@@ -1,0 +1,377 @@
+// Benchmark harness: one testing.B benchmark per table/figure of the
+// paper's evaluation (run `go test -bench=.` or, for the full paper
+// scale, `cmd/qcpa-bench`), plus microbenchmarks of the core
+// algorithms. Each figure benchmark regenerates the complete series at
+// the quick scale per iteration and reports the headline metric via
+// b.ReportMetric, so the series shapes are visible straight from the
+// bench output.
+package qcpa
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"qcpa/internal/classify"
+	"qcpa/internal/core"
+	"qcpa/internal/experiments"
+	"qcpa/internal/matching"
+	"qcpa/internal/sqlmini"
+	"qcpa/internal/workload/tpcapp"
+	"qcpa/internal/workload/tpch"
+)
+
+// benchFigure runs one experiment per iteration and reports a named
+// metric extracted from the table.
+func benchFigure(b *testing.B, run func(experiments.Options) (*experiments.Table, error),
+	metric func(*experiments.Table) (string, float64)) {
+	b.Helper()
+	opts := experiments.Quick()
+	var tab *experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = run(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if tab != nil {
+		name, v := metric(tab)
+		b.ReportMetric(v, name)
+	}
+}
+
+// lastOf returns the final Y of a named series.
+func lastOf(t *experiments.Table, name string) float64 {
+	s := t.Get(name)
+	if s == nil || len(s.Y) == 0 {
+		return 0
+	}
+	return s.Y[len(s.Y)-1]
+}
+
+func BenchmarkFig4aTPCHThroughput(b *testing.B) {
+	benchFigure(b, experiments.Fig4aTPCHThroughput, func(t *experiments.Table) (string, float64) {
+		return "column_qps", lastOf(t, "column")
+	})
+}
+
+func BenchmarkFig4bTPCHDeviation(b *testing.B) {
+	benchFigure(b, experiments.Fig4bTPCHDeviation, func(t *experiments.Table) (string, float64) {
+		return "avg_qps", lastOf(t, "average")
+	})
+}
+
+func BenchmarkFig4cReplicationDegree(b *testing.B) {
+	benchFigure(b, experiments.Fig4cReplicationDegree, func(t *experiments.Table) (string, float64) {
+		return "column_degree", lastOf(t, "column")
+	})
+}
+
+func BenchmarkFig4dAllocationTime(b *testing.B) {
+	benchFigure(b, experiments.Fig4dAllocationTime, func(t *experiments.Table) (string, float64) {
+		return "column_etl", lastOf(t, "column")
+	})
+}
+
+func BenchmarkFig4eTPCHScaling(b *testing.B) {
+	benchFigure(b, experiments.Fig4eTPCHScaling, func(t *experiments.Table) (string, float64) {
+		return "column_sf10_rel", lastOf(t, "column SF10")
+	})
+}
+
+func BenchmarkFig4fTPCAppSpeedup(b *testing.B) {
+	benchFigure(b, experiments.Fig4fTPCAppSpeedup, func(t *experiments.Table) (string, float64) {
+		return "table_speedup", lastOf(t, "table")
+	})
+}
+
+func BenchmarkFig4gTPCAppThroughput(b *testing.B) {
+	benchFigure(b, experiments.Fig4gTPCAppThroughput, func(t *experiments.Table) (string, float64) {
+		return "table_rps", lastOf(t, "table")
+	})
+}
+
+func BenchmarkFig4hTPCAppDeviation(b *testing.B) {
+	benchFigure(b, experiments.Fig4hTPCAppDeviation, func(t *experiments.Table) (string, float64) {
+		return "avg_rps", lastOf(t, "average")
+	})
+}
+
+func BenchmarkFig4iTPCAppLargeScale(b *testing.B) {
+	benchFigure(b, experiments.Fig4iTPCAppLargeScale, func(t *experiments.Table) (string, float64) {
+		return "column_rel", lastOf(t, "column")
+	})
+}
+
+func BenchmarkFig4jLoadBalance(b *testing.B) {
+	benchFigure(b, experiments.Fig4jLoadBalance, func(t *experiments.Table) (string, float64) {
+		return "tpcapp_dev", lastOf(t, "TPC-App")
+	})
+}
+
+func BenchmarkFig4kReplicationHistogramTable(b *testing.B) {
+	benchFigure(b, experiments.Fig4kReplicationHistogramTable, func(t *experiments.Table) (string, float64) {
+		return "tpch_allnodes", lastOf(t, "TPC-H")
+	})
+}
+
+func BenchmarkFig4lReplicationHistogramColumn(b *testing.B) {
+	benchFigure(b, experiments.Fig4lReplicationHistogramColumn, func(t *experiments.Table) (string, float64) {
+		s := t.Get("TPC-H")
+		if s == nil || len(s.Y) == 0 {
+			return "tpch_single", 0
+		}
+		return "tpch_single", s.Y[0]
+	})
+}
+
+func BenchmarkFig5aAutoscaleNodes(b *testing.B) {
+	benchFigure(b, experiments.Fig5aAutoscaleNodes, func(t *experiments.Table) (string, float64) {
+		s := t.Get("active nodes")
+		peak := 0.0
+		for _, v := range s.Y {
+			if v > peak {
+				peak = v
+			}
+		}
+		return "peak_nodes", peak
+	})
+}
+
+func BenchmarkFig5bAutoscaleLatency(b *testing.B) {
+	benchFigure(b, experiments.Fig5bAutoscaleLatency, func(t *experiments.Table) (string, float64) {
+		s := t.Get("with scaling")
+		sum := 0.0
+		for _, v := range s.Y {
+			sum += v
+		}
+		return "avg_ms", sum / float64(len(s.Y))
+	})
+}
+
+func BenchmarkFig6ClassDistribution(b *testing.B) {
+	benchFigure(b, experiments.Fig6ClassDistribution, func(t *experiments.Table) (string, float64) {
+		return "classes", float64(len(t.Series))
+	})
+}
+
+func BenchmarkSpeedupModel(b *testing.B) {
+	benchFigure(b, experiments.SpeedupModelTable, func(t *experiments.Table) (string, float64) {
+		return "partial_bound", lastOf(t, "partial bound")
+	})
+}
+
+func BenchmarkRobustness(b *testing.B) {
+	benchFigure(b, experiments.RobustnessTable, func(t *experiments.Table) (string, float64) {
+		s := t.Get("speedup")
+		return "speedup_at_27", s.Y[2]
+	})
+}
+
+func BenchmarkKSafety(b *testing.B) {
+	benchFigure(b, experiments.KSafetyTable, func(t *experiments.Table) (string, float64) {
+		return "tpch_repl_k2", lastOf(t, "TPC-H replication")
+	})
+}
+
+func BenchmarkAblationSolvers(b *testing.B) {
+	benchFigure(b, experiments.AblationSolvers, func(t *experiments.Table) (string, float64) {
+		return "memetic_scale", lastOf(t, "memetic scale")
+	})
+}
+
+func BenchmarkAblationGranularity(b *testing.B) {
+	benchFigure(b, experiments.AblationGranularity, func(t *experiments.Table) (string, float64) {
+		return "column_classes", lastOf(t, "classes")
+	})
+}
+
+func BenchmarkAblationScheduler(b *testing.B) {
+	benchFigure(b, experiments.AblationScheduler, func(t *experiments.Table) (string, float64) {
+		return "lp_qps", lastOf(t, "least-pending")
+	})
+}
+
+func BenchmarkAblationMatching(b *testing.B) {
+	benchFigure(b, experiments.AblationMatching, func(t *experiments.Table) (string, float64) {
+		return "hungarian_moved", lastOf(t, "hungarian")
+	})
+}
+
+func BenchmarkClusterSmoke(b *testing.B) {
+	benchFigure(b, experiments.ClusterSmoke, func(t *experiments.Table) (string, float64) {
+		return "real_rps", lastOf(t, "table-based")
+	})
+}
+
+// BenchmarkSection3Example and BenchmarkAppendixAExample time the
+// greedy allocator on the paper's worked examples (E16/E17).
+func BenchmarkSection3Example(b *testing.B) {
+	cls := NewClassification()
+	for _, f := range []string{"A", "B", "C"} {
+		cls.AddFragment(Fragment{ID: FragmentID(f), Size: 1})
+	}
+	cls.MustAddClass(NewClass("C1", Read, 0.30, "A"))
+	cls.MustAddClass(NewClass("C2", Read, 0.25, "B"))
+	cls.MustAddClass(NewClass("C3", Read, 0.25, "C"))
+	cls.MustAddClass(NewClass("C4", Read, 0.20, "A", "B"))
+	bs := UniformBackends(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Allocate(cls, bs, AllocateOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppendixAExample(b *testing.B) {
+	cls := NewClassification()
+	for _, f := range []string{"A", "B", "C"} {
+		cls.AddFragment(Fragment{ID: FragmentID(f), Size: 1})
+	}
+	cls.MustAddClass(NewClass("Q1", Read, 0.24, "A"))
+	cls.MustAddClass(NewClass("Q2", Read, 0.20, "B"))
+	cls.MustAddClass(NewClass("Q3", Read, 0.20, "C"))
+	cls.MustAddClass(NewClass("Q4", Read, 0.16, "A", "B"))
+	cls.MustAddClass(NewClass("U1", Update, 0.04, "A"))
+	cls.MustAddClass(NewClass("U2", Update, 0.10, "B"))
+	cls.MustAddClass(NewClass("U3", Update, 0.06, "C"))
+	backends := NormalizeBackends([]Backend{
+		{Name: "B1", Load: 0.30}, {Name: "B2", Load: 0.30},
+		{Name: "B3", Load: 0.20}, {Name: "B4", Load: 0.20},
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Allocate(cls, backends, AllocateOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- component microbenchmarks ----
+
+func tpchClassification(b *testing.B, strategy classify.Strategy) *core.Classification {
+	b.Helper()
+	mix, err := tpch.Mix()
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := classify.Classify(mix.Journal(10000), tpch.Schema(),
+		classify.Options{Strategy: strategy, RowCounts: tpch.RowCounts(1)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.Classification
+}
+
+func BenchmarkGreedyTPCHColumn10(b *testing.B) {
+	cls := tpchClassification(b, classify.ColumnBased)
+	bs := UniformBackends(10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Greedy(cls, bs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMemeticTPCAppTable5(b *testing.B) {
+	mix, err := tpcapp.Mix(300)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := classify.Classify(mix.Journal(200000), tpcapp.Schema(),
+		classify.Options{Strategy: classify.TableBased, RowCounts: tpcapp.RowCounts(300)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bs := UniformBackends(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Memetic(res.Classification, bs, core.MemeticOptions{Iterations: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHungarian50(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 50
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for j := range cost[i] {
+			cost[i][j] = rng.Float64() * 100
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := matching.Hungarian(cost); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClassifyTPCHColumn(b *testing.B) {
+	mix, err := tpch.Mix()
+	if err != nil {
+		b.Fatal(err)
+	}
+	journal := mix.Journal(10000)
+	schema := tpch.Schema()
+	rows := tpch.RowCounts(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := classify.Classify(journal, schema,
+			classify.Options{Strategy: classify.ColumnBased, RowCounts: rows}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSqlminiPointQuery(b *testing.B) {
+	e := sqlmini.New()
+	if err := tpcapp.Load(e, nil, map[string]int64{"customer": 1000, "orders": 3000}, 1); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sql := fmt.Sprintf(`SELECT c_balance FROM customer WHERE c_id = %d`, i%1000)
+		if _, err := e.Exec(sql); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSqlminiJoinAggregate(b *testing.B) {
+	e := sqlmini.New()
+	if err := tpch.Load(e, []string{"customer", "orders"}, map[string]int64{"customer": 500, "orders": 1500}, 1); err != nil {
+		b.Fatal(err)
+	}
+	const q = `SELECT c_custkey, COUNT(*) AS c_count FROM customer JOIN orders ON o_custkey = c_custkey GROUP BY c_custkey ORDER BY c_count DESC LIMIT 10`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Exec(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDriftDetection(b *testing.B) {
+	benchFigure(b, experiments.DriftDetection, func(t *experiments.Table) (string, float64) {
+		return "mismatch_triggers", lastOf(t, "night-only allocation")
+	})
+}
+
+func BenchmarkAblationHorizontal(b *testing.B) {
+	benchFigure(b, experiments.AblationHorizontal, func(t *experiments.Table) (string, float64) {
+		return "horizontal_degree", lastOf(t, "horizontal")
+	})
+}
+
+func BenchmarkAblationHeterogeneity(b *testing.B) {
+	benchFigure(b, experiments.AblationHeterogeneity, func(t *experiments.Table) (string, float64) {
+		return "aware_rps", lastOf(t, "aware (Eq. 7 loads)")
+	})
+}

@@ -1,0 +1,148 @@
+// Command qcpa-server runs the full three-tier CDBS over TCP: a
+// controller with embedded-engine backends, loaded with the bookstore
+// (TPC-App-style) demo data and allocated with the greedy heuristic.
+//
+// Server:
+//
+//	qcpa-server -listen 127.0.0.1:7070 -backends 3 -strategy table
+//
+// One-shot client:
+//
+//	qcpa-server -connect 127.0.0.1:7070 -sql "SELECT i_title FROM item WHERE i_id = 3"
+//	qcpa-server -connect 127.0.0.1:7070 -write -sql "UPDATE item SET i_stock = 5 WHERE i_id = 3"
+//	qcpa-server -connect 127.0.0.1:7070 -cmd stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+
+	"qcpa"
+	"qcpa/internal/cluster"
+	"qcpa/internal/core"
+	"qcpa/internal/server"
+	"qcpa/internal/sqlmini"
+	"qcpa/internal/workload/tpcapp"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", "", "address to serve on (server mode)")
+		connect  = flag.String("connect", "", "controller address (client mode)")
+		sql      = flag.String("sql", "", "statement to execute (client mode)")
+		class    = flag.String("class", "", "query class hint (client mode)")
+		write    = flag.Bool("write", false, "route as update (client mode)")
+		cmd      = flag.String("cmd", "", "protocol command: history | stats (client mode)")
+		backends = flag.Int("backends", 3, "number of backends (server mode)")
+		strategy = flag.String("strategy", "table", "classification granularity: table | column")
+	)
+	flag.Parse()
+
+	switch {
+	case *connect != "":
+		runClient(*connect, *sql, *class, *cmd, *write)
+	case *listen != "":
+		runServer(*listen, *backends, *strategy)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qcpa-server:", err)
+	os.Exit(1)
+}
+
+func runServer(addr string, n int, strategy string) {
+	mix, err := tpcapp.Mix(1)
+	if err != nil {
+		fatal(err)
+	}
+	copts := qcpa.ClassifyOptions{RowCounts: tpcapp.RowCounts(300)}
+	switch strategy {
+	case "table":
+		copts.Strategy = qcpa.TableBased
+	case "column":
+		copts.Strategy = qcpa.ColumnBased
+	default:
+		fatal(fmt.Errorf("unknown strategy %q", strategy))
+	}
+	res, err := qcpa.ClassifyJournal(mix.Journal(10000), tpcapp.Schema(), copts)
+	if err != nil {
+		fatal(err)
+	}
+	alloc, err := qcpa.Allocate(res.Classification, qcpa.UniformBackends(n), qcpa.AllocateOptions{})
+	if err != nil {
+		fatal(err)
+	}
+	c, err := cluster.New(cluster.Config{Backends: core.UniformBackends(n)})
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+	loadRows := map[string]int64{
+		"author": 50, "item": 200, "customer": 300, "address": 600, "orders": 900, "order_line": 2700,
+	}
+	if err := c.Install(alloc, func(e *sqlmini.Engine, tables []string) error {
+		return tpcapp.Load(e, tables, loadRows, 42)
+	}); err != nil {
+		fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(err)
+	}
+	srv := server.Serve(ln, c)
+	fmt.Printf("qcpa-server: serving %d backends on %s\n", n, srv.Addr())
+	fmt.Printf("allocation:\n%s\n", alloc)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("\nshutting down")
+	_ = srv.Close()
+}
+
+func runClient(addr, sql, class, cmd string, write bool) {
+	client, err := server.Dial(addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer client.Close()
+	var resp *server.Response
+	switch {
+	case cmd != "":
+		resp, err = client.Do(server.Request{Cmd: cmd})
+	case write:
+		resp, err = client.Exec(sql, class)
+	default:
+		resp, err = client.Query(sql, class)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	switch {
+	case resp.History != nil:
+		for _, h := range resp.History {
+			fmt.Printf("%6d x %8.3fms  %s\n", h.Count, h.Cost, h.SQL)
+		}
+	case resp.Tables != nil:
+		for i, ts := range resp.Tables {
+			fmt.Printf("backend %d: %v\n", i+1, ts)
+		}
+	default:
+		if len(resp.Columns) > 0 {
+			fmt.Println(resp.Columns)
+		}
+		for _, row := range resp.Rows {
+			fmt.Println(row...)
+		}
+		fmt.Printf("(%d rows, backend %s, %dus, affected %d)\n",
+			len(resp.Rows), resp.Backend, resp.DurationUS, resp.Affected)
+	}
+}

@@ -1,0 +1,193 @@
+// Command qcpa-sim runs the dynamic parts of the system interactively:
+//
+//	qcpa-sim autoscale            # 24-hour trace with autonomic scaling
+//	qcpa-sim cluster              # real-engine cluster workload run
+//	qcpa-sim elastic              # real-engine scale-out/in with live data movement
+//	qcpa-sim autoscale -scale 40  # the paper's full 40x trace scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"qcpa"
+	"qcpa/internal/autoscale"
+	"qcpa/internal/cluster"
+	"qcpa/internal/core"
+	"qcpa/internal/sqlmini"
+	"qcpa/internal/workload"
+	"qcpa/internal/workload/tpcapp"
+	"qcpa/internal/workload/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	switch cmd {
+	case "autoscale":
+		scale := fs.Float64("scale", 4, "trace scale factor (paper: 40)")
+		service := fs.Float64("service", 0.15, "seconds of service per cost unit (use 0.015 with -scale 40)")
+		maxNodes := fs.Int("max-nodes", 6, "cluster size cap")
+		seed := fs.Int64("seed", 1, "RNG seed")
+		_ = fs.Parse(os.Args[2:])
+		runAutoscale(autoscale.Options{
+			MaxNodes: *maxNodes, TraceScale: *scale, ServiceSeconds: *service, Seed: *seed,
+		})
+	case "cluster":
+		backends := fs.Int("backends", 3, "number of backends")
+		requests := fs.Int("requests", 2000, "requests to execute")
+		workers := fs.Int("workers", 8, "concurrent clients")
+		seed := fs.Int64("seed", 7, "RNG seed")
+		_ = fs.Parse(os.Args[2:])
+		runCluster(*backends, *requests, *workers, *seed)
+	case "elastic":
+		requests := fs.Int("requests", 1500, "requests per phase")
+		seed := fs.Int64("seed", 7, "RNG seed")
+		_ = fs.Parse(os.Args[2:])
+		runElastic(*requests, *seed)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: qcpa-sim <autoscale|cluster|elastic> [flags]")
+	os.Exit(2)
+}
+
+func runAutoscale(opts autoscale.Options) {
+	run, err := autoscale.Run(opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("hour  requests  nodes  avg-lat(ms)  moved")
+	for b := 0; b < trace.Buckets; b += 3 {
+		st := run[b]
+		fmt.Printf("%5.1f %9d %6d %12.1f %6.0f %s\n",
+			float64(b)/6, st.Requests, st.Nodes, st.AvgLatency*1000, st.MovedBytes,
+			strings.Repeat("#", st.Nodes))
+	}
+	s := autoscale.Summarize(run)
+	fmt.Printf("\nnodes %d..%d, capacity %d node-buckets, avg latency %.1f ms, max %.1f ms, moved %.0f units\n",
+		s.MinNodes, s.PeakNodes, s.NodeBuckets, s.AvgLatency*1000, s.MaxLatency*1000, s.MovedBytes)
+}
+
+func runCluster(n, requests, workers int, seed int64) {
+	mix, err := tpcapp.Mix(1)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := qcpa.ClassifyJournal(mix.Journal(10000), tpcapp.Schema(), qcpa.ClassifyOptions{
+		Strategy: qcpa.TableBased, RowCounts: tpcapp.RowCounts(300),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	mix.Bind(res)
+	alloc, err := qcpa.Allocate(res.Classification, qcpa.UniformBackends(n), qcpa.AllocateOptions{})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("allocation:\n%s\n\n", alloc)
+	c, err := cluster.New(cluster.Config{Backends: core.UniformBackends(n)})
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+	loadRows := map[string]int64{
+		"author": 50, "item": 200, "customer": 300, "address": 600, "orders": 900, "order_line": 2700,
+	}
+	if err := c.Install(alloc, func(e *sqlmini.Engine, tables []string) error {
+		return tpcapp.Load(e, tables, loadRows, seed)
+	}); err != nil {
+		fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	stats, err := c.Run(func() workload.Request { return mix.Next(rng) }, requests, workers)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%d requests (%d errors) at %.0f req/s, avg latency %v\n",
+		stats.Completed, stats.Errors, stats.Throughput, stats.AvgLatency)
+	fmt.Println("reads per backend:")
+	for b, cnt := range stats.PerBackend {
+		fmt.Printf("  %s: %d\n", b, cnt)
+	}
+}
+
+// runElastic demonstrates Section 5's elasticity on the real runtime:
+// the cluster grows from 2 to 4 backends and shrinks back, shipping
+// tables live between engines (cluster.Resize) while the workload keeps
+// being servable between phases.
+func runElastic(requests int, seed int64) {
+	mix, err := tpcapp.Mix(1)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := qcpa.ClassifyJournal(mix.Journal(10000), tpcapp.Schema(), qcpa.ClassifyOptions{
+		Strategy: qcpa.TableBased, RowCounts: tpcapp.RowCounts(300),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	mix.Bind(res)
+	cls := res.Classification
+	loadRows := map[string]int64{
+		"author": 50, "item": 200, "customer": 300, "address": 600, "orders": 900, "order_line": 2700,
+	}
+	loader := func(e *sqlmini.Engine, tables []string) error {
+		return tpcapp.Load(e, tables, loadRows, seed)
+	}
+
+	allocFor := func(n int) *qcpa.Allocation {
+		a, err := qcpa.Allocate(cls, qcpa.UniformBackends(n), qcpa.AllocateOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		return a
+	}
+	c, err := cluster.New(cluster.Config{Backends: core.UniformBackends(2)})
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+	if err := c.Install(allocFor(2), loader); err != nil {
+		fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	phase := func(label string) {
+		stats, err := c.Run(func() workload.Request { return mix.Next(rng) }, requests, 8)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-22s %d backends  %6.0f req/s  (%d errors)\n",
+			label, c.NumBackends(), stats.Throughput, stats.Errors)
+	}
+
+	phase("2 nodes:")
+	rep, err := c.Resize(allocFor(4), loader)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("scale-out 2->4: copied %d tables (%d rows), loaded %d, dropped %d\n",
+		rep.CopiedTables, rep.MovedRows, rep.LoadedTables, rep.DroppedTables)
+	phase("4 nodes:")
+	rep, err = c.Resize(allocFor(2), loader)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("scale-in 4->2: copied %d tables (%d rows), loaded %d, dropped %d\n",
+		rep.CopiedTables, rep.MovedRows, rep.LoadedTables, rep.DroppedTables)
+	phase("2 nodes again:")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qcpa-sim:", err)
+	os.Exit(1)
+}

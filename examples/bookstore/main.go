@@ -1,0 +1,111 @@
+// Command bookstore runs the update-heavy OLTP scenario of Section 4.2
+// on the real cluster runtime: TPC-App-style bookseller data is loaded
+// into embedded engines, a mixed read/write workload (1:7 request
+// ratio) executes with ROWA update propagation, and the cluster is then
+// re-allocated from its own recorded query history — the full loop of
+// the paper's prototype (Figure 3).
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qcpa"
+	"qcpa/internal/cluster"
+	"qcpa/internal/core"
+	"qcpa/internal/sqlmini"
+	"qcpa/internal/workload"
+	"qcpa/internal/workload/tpcapp"
+)
+
+func main() {
+	const backends = 3
+	loadRows := map[string]int64{
+		"author": 50, "item": 200, "customer": 300, "address": 600, "orders": 900, "order_line": 2700,
+	}
+
+	// 1. Classify the expected workload (the initial journal).
+	mix, err := tpcapp.Mix(1)
+	if err != nil {
+		panic(err)
+	}
+	res, err := qcpa.ClassifyJournal(mix.Journal(10000), tpcapp.Schema(), qcpa.ClassifyOptions{
+		Strategy: qcpa.TableBased, RowCounts: tpcapp.RowCounts(300),
+	})
+	if err != nil {
+		panic(err)
+	}
+	mix.Bind(res)
+	cls := res.Classification
+	fmt.Printf("classified into %d classes; Eq.17 speedup bound %.2f\n",
+		len(cls.Classes()), cls.MaxSpeedup())
+
+	// 2. Allocate and install.
+	alloc, err := qcpa.Allocate(cls, qcpa.UniformBackends(backends), qcpa.AllocateOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("allocation (theoretical speedup %.2f, replication %.2f):\n%s\n",
+		alloc.Speedup(), alloc.DegreeOfReplication(), alloc)
+
+	c, err := cluster.New(cluster.Config{Backends: core.UniformBackends(backends)})
+	if err != nil {
+		panic(err)
+	}
+	defer c.Close()
+	loader := func(e *sqlmini.Engine, tables []string) error {
+		return tpcapp.Load(e, tables, loadRows, 42)
+	}
+	if err := c.Install(alloc, loader); err != nil {
+		panic(err)
+	}
+	for i := 0; i < backends; i++ {
+		fmt.Printf("backend %d holds %v\n", i+1, c.Tables(i))
+	}
+
+	// 3. Drive the workload.
+	rng := rand.New(rand.NewSource(7))
+	stats, err := c.Run(func() workload.Request { return mix.Next(rng) }, 2000, 8)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nran %d requests (%d errors) at %.0f req/s, avg latency %v\n",
+		stats.Completed, stats.Errors, stats.Throughput, stats.AvgLatency)
+
+	// 4. ROWA consistency check: replicas of order_line agree.
+	counts := map[int]int64{}
+	for i := 0; i < backends; i++ {
+		if c.Backend(i).Table("order_line") == nil {
+			continue
+		}
+		r, err := c.Backend(i).Exec(`SELECT COUNT(*) FROM order_line`)
+		if err != nil {
+			panic(err)
+		}
+		counts[i] = r.Rows[0][0].I
+	}
+	fmt.Printf("order_line replica row counts: %v (must agree)\n", counts)
+
+	// 5. Reallocate from the real measured history.
+	hist := c.History()
+	res2, err := qcpa.ClassifyJournal(hist, tpcapp.Schema(), qcpa.ClassifyOptions{
+		Strategy: qcpa.TableBased, RowCounts: tpcapp.RowCounts(300),
+	})
+	if err != nil {
+		panic(err)
+	}
+	alloc2, err := qcpa.Allocate(res2.Classification, qcpa.UniformBackends(backends), qcpa.AllocateOptions{})
+	if err != nil {
+		panic(err)
+	}
+	plan, _, err := qcpa.PlanMigration(alloc, alloc2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nreallocation from measured history: new speedup %.2f, migration ships %.0f size units\n",
+		alloc2.Speedup(), plan.MoveSize)
+	if err := c.Install(alloc2, loader); err != nil {
+		panic(err)
+	}
+	fmt.Println("reinstalled; cluster ready")
+}

@@ -1,0 +1,60 @@
+// Command quickstart shows the minimal end-to-end use of the qcpa
+// library: define a classification (data fragments plus weighted query
+// classes), compute a partial replication with the greedy heuristic,
+// and inspect the resulting layout, theoretical speedup, and degree of
+// replication. It reproduces the paper's Section 3 read-only example
+// (Figure 2) on one, two and four backends.
+package main
+
+import (
+	"fmt"
+
+	"qcpa"
+)
+
+func main() {
+	// The Section 3 example: three equally sized relations A, B, C and
+	// four read query classes.
+	cls := qcpa.NewClassification()
+	for _, f := range []string{"A", "B", "C"} {
+		cls.AddFragment(qcpa.Fragment{ID: qcpa.FragmentID(f), Size: 1})
+	}
+	cls.MustAddClass(qcpa.NewClass("C1", qcpa.Read, 0.30, "A"))
+	cls.MustAddClass(qcpa.NewClass("C2", qcpa.Read, 0.25, "B"))
+	cls.MustAddClass(qcpa.NewClass("C3", qcpa.Read, 0.25, "C"))
+	cls.MustAddClass(qcpa.NewClass("C4", qcpa.Read, 0.20, "A", "B"))
+
+	for _, n := range []int{1, 2, 4} {
+		alloc, err := qcpa.Allocate(cls, qcpa.UniformBackends(n), qcpa.AllocateOptions{})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("--- %d backend(s) ---\n%s\n\n", n, alloc)
+	}
+
+	// Updates change the picture: replicated update classes cost
+	// throughput, so the allocator minimizes their replication.
+	withUpdates := qcpa.NewClassification()
+	for _, f := range []string{"A", "B", "C"} {
+		withUpdates.AddFragment(qcpa.Fragment{ID: qcpa.FragmentID(f), Size: 1})
+	}
+	withUpdates.MustAddClass(qcpa.NewClass("Q1", qcpa.Read, 0.24, "A"))
+	withUpdates.MustAddClass(qcpa.NewClass("Q2", qcpa.Read, 0.20, "B"))
+	withUpdates.MustAddClass(qcpa.NewClass("Q3", qcpa.Read, 0.20, "C"))
+	withUpdates.MustAddClass(qcpa.NewClass("Q4", qcpa.Read, 0.16, "A", "B"))
+	withUpdates.MustAddClass(qcpa.NewClass("U1", qcpa.Update, 0.04, "A"))
+	withUpdates.MustAddClass(qcpa.NewClass("U2", qcpa.Update, 0.10, "B"))
+	withUpdates.MustAddClass(qcpa.NewClass("U3", qcpa.Update, 0.06, "C"))
+
+	// The paper's Appendix A heterogeneous cluster: 30/30/20/20.
+	backends := qcpa.NormalizeBackends([]qcpa.Backend{
+		{Name: "B1", Load: 0.30}, {Name: "B2", Load: 0.30},
+		{Name: "B3", Load: 0.20}, {Name: "B4", Load: 0.20},
+	})
+	alloc, err := qcpa.Allocate(withUpdates, backends, qcpa.AllocateOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("--- heterogeneous, with updates (Appendix A) ---\n%s\n", alloc)
+	fmt.Printf("Eq. 17 speedup bound: %.2f\n", withUpdates.MaxSpeedup())
+}

@@ -1,0 +1,3 @@
+module qcpa
+
+go 1.22

@@ -1,0 +1,134 @@
+package autoscale
+
+import (
+	"testing"
+
+	"qcpa/internal/workload/trace"
+)
+
+// testOpts keeps the trace small so tests run fast while preserving the
+// diurnal shape.
+func testOpts() Options {
+	return Options{
+		MaxNodes:       6,
+		TraceScale:     4,    // 1/10 of the paper's 40x
+		ServiceSeconds: 0.15, // 10x per-request cost so load matches
+		Seed:           3,
+	}
+}
+
+func TestAutoscaleFollowsLoad(t *testing.T) {
+	stats, err := Run(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != trace.Buckets {
+		t.Fatalf("stats = %d buckets", len(stats))
+	}
+	s := Summarize(stats)
+	if s.PeakNodes < 3 {
+		t.Fatalf("peak nodes = %d, want scaling up under peak load", s.PeakNodes)
+	}
+	if s.MinNodes > 2 {
+		t.Fatalf("min nodes = %d, want scaling down at night", s.MinNodes)
+	}
+	// The paper: average response time ~10 ms, never above 50 ms. With
+	// our calibration the shape holds: the window average latency must
+	// stay bounded (well under 10 windows' service time) and the mean
+	// must be of the order of the service time.
+	for _, st := range stats {
+		if st.AvgLatency > 10*0.15*2 {
+			t.Fatalf("bucket %d: avg latency %.3fs exploded", st.Bucket, st.AvgLatency)
+		}
+	}
+	// Nodes at peak hour must exceed nodes at deep night.
+	nightNodes := stats[4*6].Nodes // 4:00
+	peakNodes := stats[13*6].Nodes // 13:00
+	if peakNodes <= nightNodes {
+		t.Fatalf("peak nodes %d not above night nodes %d", peakNodes, nightNodes)
+	}
+}
+
+func TestAutoscaleVsStatic(t *testing.T) {
+	opts := testOpts()
+	auto, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := RunStatic(opts, opts.MaxNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, ss := Summarize(auto), Summarize(static)
+	// Autoscaling uses fewer node-buckets (the capacity bill) ...
+	if sa.NodeBuckets >= ss.NodeBuckets {
+		t.Fatalf("autoscale node-buckets %d not below static %d", sa.NodeBuckets, ss.NodeBuckets)
+	}
+	// ... at a modest latency premium (the paper: "slightly increased
+	// response time").
+	if sa.AvgLatency > 5*ss.AvgLatency+0.2 {
+		t.Fatalf("autoscale latency %.4f too far above static %.4f", sa.AvgLatency, ss.AvgLatency)
+	}
+	// Scaling moved data; the static run did not.
+	if sa.MovedBytes <= 0 {
+		t.Fatal("no data moved during autoscaling")
+	}
+	if ss.MovedBytes != 0 {
+		t.Fatal("static run moved data")
+	}
+}
+
+func TestRunStaticErrors(t *testing.T) {
+	if _, err := RunStatic(testOpts(), 0); err == nil {
+		t.Fatal("zero static size accepted")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.AvgLatency != 0 || s.NodeBuckets != 0 {
+		t.Fatal("empty summary not zero")
+	}
+}
+
+func TestDriftDetector(t *testing.T) {
+	d := DriftDetector{Threshold: 0.5, Windows: 3}
+	balanced := []float64{1, 1, 1, 1}
+	skewed := []float64{2, 0.1, 0.1, 0.1}
+	// Balanced windows never trigger.
+	for i := 0; i < 10; i++ {
+		if d.Observe(balanced) {
+			t.Fatal("balanced load triggered drift")
+		}
+	}
+	// A fluctuation (short imbalance) does not trigger.
+	if d.Observe(skewed) || d.Observe(skewed) {
+		t.Fatal("triggered before the window count")
+	}
+	if d.Streak() != 2 {
+		t.Fatalf("streak = %d", d.Streak())
+	}
+	if d.Observe(balanced) {
+		t.Fatal("balanced window must reset, not trigger")
+	}
+	if d.Streak() != 0 {
+		t.Fatal("streak not reset")
+	}
+	// A sustained imbalance triggers exactly once, then resets.
+	fired := 0
+	for i := 0; i < 6; i++ {
+		if d.Observe(skewed) {
+			fired++
+		}
+	}
+	if fired != 2 { // windows 3 and 6
+		t.Fatalf("fired %d times over 6 skewed windows, want 2", fired)
+	}
+}
+
+func TestDriftDetectorDefaults(t *testing.T) {
+	var d DriftDetector
+	if d.threshold() != 0.5 || d.windows() != 6 {
+		t.Fatalf("defaults = %v/%v", d.threshold(), d.windows())
+	}
+}

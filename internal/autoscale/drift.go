@@ -1,0 +1,55 @@
+package autoscale
+
+import "qcpa/internal/stats"
+
+// DriftDetector implements Section 5's detection of fundamental
+// workload changes: "permanent, non-optimal backend utilizations ...
+// trigger reallocation". Feed it one observation per window (the
+// per-backend busy times or assigned loads); it reports true when the
+// imbalance has persisted long enough to be a workload shift rather
+// than a fluctuation — periodic and fluctuating workloads must NOT
+// trigger, because reallocating for them costs more than it earns.
+type DriftDetector struct {
+	// Threshold is the deviation-from-balance (Figure 4(j) metric)
+	// above which a window counts as non-optimal (default 0.5).
+	Threshold float64
+	// Windows is the number of consecutive non-optimal windows that
+	// constitute a fundamental change (default 6, one hour of
+	// 10-minute windows).
+	Windows int
+
+	streak int
+}
+
+func (d *DriftDetector) threshold() float64 {
+	if d.Threshold == 0 {
+		return 0.5
+	}
+	return d.Threshold
+}
+
+func (d *DriftDetector) windows() int {
+	if d.Windows == 0 {
+		return 6
+	}
+	return d.Windows
+}
+
+// Observe records one window's per-backend utilization and reports
+// whether a fundamental change has been detected. After firing, the
+// detector resets (the caller is expected to reallocate).
+func (d *DriftDetector) Observe(perBackend []float64) bool {
+	if stats.DeviationFromBalance(perBackend) > d.threshold() {
+		d.streak++
+	} else {
+		d.streak = 0
+	}
+	if d.streak >= d.windows() {
+		d.streak = 0
+		return true
+	}
+	return false
+}
+
+// Streak returns the current run of non-optimal windows.
+func (d *DriftDetector) Streak() int { return d.streak }

@@ -1,0 +1,502 @@
+// Package cluster is a working, concurrent implementation of the CDBS
+// prototype of Section 4 (Figure 3): a controller with per-backend
+// queues in front of independent embedded database engines
+// (internal/sqlmini standing in for the paper's PostgreSQL/MySQL
+// instances).
+//
+// Processing model (Section 2): every query is an atomic unit executed
+// entirely by one backend that stores all data fragments of the query's
+// class; reads are scheduled least-pending-request-first among the
+// eligible backends; updates follow the ROWA protocol — they execute on
+// every backend holding their data, and all backends apply conflicting
+// updates in the same global order (the controller enqueues updates
+// under a dispatch lock, and each backend drains its update queue with
+// a single applier, so per-backend FIFO order equals the global order).
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qcpa/internal/classify"
+	"qcpa/internal/core"
+	"qcpa/internal/sqlmini"
+	"qcpa/internal/workload"
+)
+
+// TableOfFragment maps a fragment ID to the table that stores it:
+// "t" -> t (table granularity), "t.col" -> t (vertical), "t#3" -> t
+// (horizontal). The runtime operates at table granularity — a backend
+// assigned any fragment of a table loads the whole table, which is also
+// what the paper's prototype does for bulk loading.
+func TableOfFragment(f core.FragmentID) string {
+	s := string(f)
+	if i := strings.IndexAny(s, ".#"); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// Loader populates an engine with the given tables (a workload
+// generator's Load function curried with its row counts).
+type Loader func(e *sqlmini.Engine, tables []string) error
+
+// Config configures a cluster.
+type Config struct {
+	// Backends names the backends and their relative performance.
+	Backends []core.Backend
+	// ReadWorkers is the number of concurrent read connections per
+	// backend (default 2), mirroring the prototype's connection pools.
+	ReadWorkers int
+}
+
+// backend is one node: an engine, its table set, and an ordered update
+// applier.
+type backend struct {
+	name     string
+	engine   *sqlmini.Engine
+	tables   map[string]bool
+	pending  atomic.Int64
+	updateCh chan *updateJob
+	wg       sync.WaitGroup
+	readSem  chan struct{}
+}
+
+type updateJob struct {
+	stmt     sqlmini.Statement
+	sql      string
+	affected int
+	done     chan error
+}
+
+// Cluster is the controller plus its backends.
+type Cluster struct {
+	cfg      Config
+	backends []*backend
+
+	mu         sync.Mutex // guards alloc, classFrags, journal
+	alloc      *core.Allocation
+	classFrags map[string][]string // class -> required tables
+
+	dispatchMu sync.Mutex // global update order
+
+	journalMu sync.Mutex
+	journal   map[string]*journalLine
+
+	stmtMu    sync.RWMutex
+	stmtCache map[string]sqlmini.Statement
+
+	stopped atomic.Bool
+}
+
+type journalLine struct {
+	count int
+	total time.Duration
+}
+
+// New creates a cluster with empty backends.
+func New(cfg Config) (*Cluster, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("cluster: no backends")
+	}
+	if cfg.ReadWorkers <= 0 {
+		cfg.ReadWorkers = 2
+	}
+	c := &Cluster{
+		cfg:       cfg,
+		journal:   make(map[string]*journalLine),
+		stmtCache: make(map[string]sqlmini.Statement),
+	}
+	for _, b := range cfg.Backends {
+		be := &backend{
+			name:     b.Name,
+			engine:   sqlmini.New(),
+			tables:   make(map[string]bool),
+			updateCh: make(chan *updateJob, 1024),
+			readSem:  make(chan struct{}, cfg.ReadWorkers),
+		}
+		be.wg.Add(1)
+		go be.applyUpdates()
+		c.backends = append(c.backends, be)
+	}
+	return c, nil
+}
+
+// applyUpdates drains the backend's update queue in FIFO order — the
+// single applier guarantees that this backend applies updates in
+// exactly the order the controller enqueued them.
+func (b *backend) applyUpdates() {
+	defer b.wg.Done()
+	for job := range b.updateCh {
+		r, err := b.engine.ExecStmt(job.stmt)
+		if err == nil {
+			job.affected = r.Affected
+		}
+		b.pending.Add(-1)
+		job.done <- err
+	}
+}
+
+// Close shuts the backends down.
+func (c *Cluster) Close() {
+	if c.stopped.Swap(true) {
+		return
+	}
+	for _, b := range c.backends {
+		close(b.updateCh)
+		b.wg.Wait()
+	}
+}
+
+// Install wipes every backend and bulk-loads the tables its fragments
+// require under the given allocation. classFrags is derived from the
+// allocation's classification. The loader receives the table list each
+// backend needs.
+func (c *Cluster) Install(alloc *core.Allocation, load Loader) error {
+	if alloc.NumBackends() != len(c.backends) {
+		return fmt.Errorf("cluster: allocation has %d backends, cluster has %d", alloc.NumBackends(), len(c.backends))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	start := time.Now()
+	_ = start
+	var wg sync.WaitGroup
+	errs := make([]error, len(c.backends))
+	for i, b := range c.backends {
+		tables := map[string]bool{}
+		for _, f := range alloc.Fragments(i) {
+			tables[TableOfFragment(f)] = true
+		}
+		list := make([]string, 0, len(tables))
+		for t := range tables {
+			list = append(list, t)
+		}
+		sort.Strings(list)
+		wg.Add(1)
+		go func(b *backend, list []string, tables map[string]bool, i int) {
+			defer wg.Done()
+			b.engine = sqlmini.New() // wipe
+			b.tables = tables
+			if len(list) > 0 {
+				errs[i] = load(b.engine, list)
+			}
+		}(b, list, tables, i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	c.alloc = alloc
+	c.classFrags = make(map[string][]string)
+	for _, cl := range alloc.Classification().Classes() {
+		tables := map[string]bool{}
+		for _, f := range cl.Fragments() {
+			tables[TableOfFragment(f)] = true
+		}
+		list := make([]string, 0, len(tables))
+		for t := range tables {
+			list = append(list, t)
+		}
+		sort.Strings(list)
+		c.classFrags[cl.Name] = list
+	}
+	return nil
+}
+
+// eligible returns the backends holding every table the class needs.
+// An unknown or empty class falls back to backends holding the tables
+// referenced by the statement itself (parsed lazily by Execute).
+func (c *Cluster) eligible(tables []string) []*backend {
+	var out []*backend
+	for _, b := range c.backends {
+		ok := true
+		for _, t := range tables {
+			if !b.tables[t] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Result reports one executed request.
+type Result struct {
+	Backend  string
+	Duration time.Duration
+	Rows     int
+	Scanned  int64
+	// Columns and Data carry the result set of a read (nil for
+	// writes).
+	Columns []string
+	Data    []sqlmini.Row
+	// Affected is the number of rows written (writes only, from one
+	// replica — all replicas agree).
+	Affected int
+}
+
+// Execute routes and executes one request synchronously. Reads run on
+// the least-pending eligible backend; writes run on every backend
+// holding their data, in global order, and return when all replicas
+// applied them.
+func (c *Cluster) Execute(req workload.Request) (*Result, error) {
+	if c.stopped.Load() {
+		return nil, errors.New("cluster: closed")
+	}
+	stmt, err := c.parse(req.SQL)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	tables, ok := c.classFrags[req.Class]
+	c.mu.Unlock()
+	if !ok {
+		// Route by the statement's own table references.
+		schema := sqlmini.SchemaOf(c.backends[0].engine)
+		// Use the union schema of all backends for analysis.
+		for _, b := range c.backends[1:] {
+			for t, cols := range sqlmini.SchemaOf(b.engine) {
+				schema[t] = cols
+			}
+		}
+		info, err := sqlmini.AnalyzeStmt(stmt, schema)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: cannot route %q: %w", req.SQL, err)
+		}
+		tables = info.Tables
+	}
+
+	start := time.Now()
+	var res *Result
+	if req.Write {
+		res, err = c.executeWrite(stmt, req.SQL, tables)
+	} else {
+		res, err = c.executeRead(stmt, tables)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Duration = time.Since(start)
+	c.record(req.SQL, res.Duration)
+	return res, nil
+}
+
+func (c *Cluster) executeRead(stmt sqlmini.Statement, tables []string) (*Result, error) {
+	elig := c.eligible(tables)
+	if len(elig) == 0 {
+		return nil, fmt.Errorf("cluster: no backend holds tables %v", tables)
+	}
+	// Least pending request first (Section 2).
+	best := elig[0]
+	bestPending := best.pending.Load()
+	for _, b := range elig[1:] {
+		if p := b.pending.Load(); p < bestPending {
+			best, bestPending = b, p
+		}
+	}
+	best.pending.Add(1)
+	best.readSem <- struct{}{}
+	r, err := best.engine.ExecStmt(stmt)
+	<-best.readSem
+	best.pending.Add(-1)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Backend: best.name, Rows: len(r.Rows), Scanned: r.Scanned, Columns: r.Columns, Data: r.Rows}, nil
+}
+
+func (c *Cluster) executeWrite(stmt sqlmini.Statement, sql string, tables []string) (*Result, error) {
+	// Targets: every backend holding ANY of the referenced tables (it
+	// must hold all of them if the allocation is valid).
+	var targets []*backend
+	for _, b := range c.backends {
+		for _, t := range tables {
+			if b.tables[t] {
+				targets = append(targets, b)
+				break
+			}
+		}
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("cluster: no backend holds tables %v for update", tables)
+	}
+	jobs := make([]*updateJob, len(targets))
+	// The dispatch lock fixes the global order: conflicting updates are
+	// enqueued to every common backend in the same sequence.
+	c.dispatchMu.Lock()
+	for i, b := range targets {
+		jobs[i] = &updateJob{stmt: stmt, sql: sql, done: make(chan error, 1)}
+		b.pending.Add(1)
+		b.updateCh <- jobs[i]
+	}
+	c.dispatchMu.Unlock()
+	var firstErr error
+	for _, j := range jobs {
+		if err := <-j.done; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return &Result{Backend: fmt.Sprintf("%d replicas", len(targets)), Affected: jobs[0].affected}, nil
+}
+
+// parse returns the cached parse of a statement — the prototype's
+// prepared-statement behavior: a workload's distinguishable queries are
+// parsed once, no matter how many backends or repetitions execute them.
+// The cache is bounded; an unbounded stream of distinct texts (e.g.
+// generated point lookups) flushes it wholesale rather than growing.
+func (c *Cluster) parse(sql string) (sqlmini.Statement, error) {
+	c.stmtMu.RLock()
+	stmt, ok := c.stmtCache[sql]
+	c.stmtMu.RUnlock()
+	if ok {
+		return stmt, nil
+	}
+	stmt, err := sqlmini.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	c.stmtMu.Lock()
+	if len(c.stmtCache) > 4096 {
+		c.stmtCache = make(map[string]sqlmini.Statement)
+	}
+	c.stmtCache[sql] = stmt
+	c.stmtMu.Unlock()
+	return stmt, nil
+}
+
+// record appends to the query history (Figure 3's journal).
+func (c *Cluster) record(sql string, d time.Duration) {
+	c.journalMu.Lock()
+	line, ok := c.journal[sql]
+	if !ok {
+		line = &journalLine{}
+		c.journal[sql] = line
+	}
+	line.count++
+	line.total += d
+	c.journalMu.Unlock()
+}
+
+// History returns the recorded journal as classification input: one
+// entry per distinguishable query with its occurrence count and average
+// execution time in milliseconds (Eq. 4's weight source).
+func (c *Cluster) History() []classify.Entry {
+	c.journalMu.Lock()
+	defer c.journalMu.Unlock()
+	entries := make([]classify.Entry, 0, len(c.journal))
+	for sql, line := range c.journal {
+		avg := float64(line.total.Microseconds()) / float64(line.count) / 1000
+		if avg <= 0 {
+			avg = 0.001
+		}
+		entries = append(entries, classify.Entry{SQL: sql, Count: line.count, Cost: avg})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].SQL < entries[j].SQL })
+	return entries
+}
+
+// ResetHistory clears the journal (after a reallocation).
+func (c *Cluster) ResetHistory() {
+	c.journalMu.Lock()
+	c.journal = make(map[string]*journalLine)
+	c.journalMu.Unlock()
+}
+
+// NumBackends returns the number of backends.
+func (c *Cluster) NumBackends() int { return len(c.backends) }
+
+// Backend returns the engine of backend i (tests and examples inspect
+// replica state through it).
+func (c *Cluster) Backend(i int) *sqlmini.Engine { return c.backends[i].engine }
+
+// Tables returns the tables held by backend i, sorted.
+func (c *Cluster) Tables(i int) []string {
+	out := make([]string, 0, len(c.backends[i].tables))
+	for t := range c.backends[i].tables {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats summarizes a Run.
+type Stats struct {
+	Completed  int
+	Errors     int
+	Elapsed    time.Duration
+	Throughput float64 // requests per second
+	AvgLatency time.Duration
+	PerBackend map[string]int // reads executed per backend
+}
+
+// Run drives the cluster with a closed loop of `concurrency` clients
+// drawing n requests from next. It mirrors the prototype's driver
+// component.
+func (c *Cluster) Run(next func() workload.Request, n, concurrency int) (*Stats, error) {
+	if concurrency <= 0 {
+		concurrency = 2 * len(c.backends)
+	}
+	var (
+		mu       sync.Mutex
+		totalLat time.Duration
+		perB     = make(map[string]int)
+		errs     int
+		done     int
+	)
+	var idx atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := idx.Add(1)
+				if int(i) > n {
+					return
+				}
+				req := func() workload.Request {
+					mu.Lock()
+					defer mu.Unlock()
+					return next()
+				}()
+				res, err := c.Execute(req)
+				mu.Lock()
+				if err != nil {
+					errs++
+				} else {
+					done++
+					totalLat += res.Duration
+					perB[res.Backend]++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	st := &Stats{
+		Completed:  done,
+		Errors:     errs,
+		Elapsed:    elapsed,
+		PerBackend: perB,
+	}
+	if done > 0 {
+		st.AvgLatency = totalLat / time.Duration(done)
+		st.Throughput = float64(done) / elapsed.Seconds()
+	}
+	return st, nil
+}

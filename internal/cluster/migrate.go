@@ -1,0 +1,173 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"qcpa/internal/core"
+	"qcpa/internal/matching"
+	"qcpa/internal/sqlmini"
+)
+
+// MigrationReport summarizes an in-place reallocation.
+type MigrationReport struct {
+	// Mapping[v] is the physical backend hosting logical backend v of
+	// the new allocation.
+	Mapping []int
+	// CopiedTables counts table instances shipped between backends.
+	CopiedTables int
+	// LoadedTables counts table instances that had to come from the
+	// loader (no backend had them).
+	LoadedTables int
+	// DroppedTables counts table instances removed.
+	DroppedTables int
+	// MovedRows is the total number of rows shipped or loaded.
+	MovedRows int64
+}
+
+// Migrate installs a new allocation without wiping the cluster: the new
+// allocation's backends are matched onto the physical backends with the
+// Hungarian method (Section 3.4), missing tables are copied row-by-row
+// from a backend that already stores them (the paper's ETL data
+// transport), tables nobody needs any more are dropped, and only tables
+// no backend holds are fetched through the loader.
+//
+// The cluster must be idle during migration (the paper's allocator
+// stops the backends); Migrate takes the controller lock for the whole
+// operation.
+func (c *Cluster) Migrate(newAlloc *core.Allocation, load Loader) (*MigrationReport, error) {
+	if newAlloc.NumBackends() != len(c.backends) {
+		return nil, fmt.Errorf("cluster: allocation has %d backends, cluster has %d",
+			newAlloc.NumBackends(), len(c.backends))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	if c.alloc == nil {
+		return nil, fmt.Errorf("cluster: no installed allocation; use Install first")
+	}
+	plan, _, err := matching.PlanMigration(c.alloc, newAlloc)
+	if err != nil {
+		return nil, err
+	}
+	rep := &MigrationReport{Mapping: plan.Mapping}
+
+	// Desired table set per physical backend.
+	want := make([]map[string]bool, len(c.backends))
+	for v := 0; v < newAlloc.NumBackends(); v++ {
+		u := plan.Mapping[v]
+		if want[u] == nil {
+			want[u] = make(map[string]bool)
+		}
+		for _, f := range newAlloc.Fragments(v) {
+			want[u][TableOfFragment(f)] = true
+		}
+	}
+	for i := range want {
+		if want[i] == nil {
+			want[i] = make(map[string]bool)
+		}
+	}
+
+	// Copy missing tables. Sources are the CURRENT holders (before any
+	// drops).
+	holders := func(table string) *backend {
+		for _, b := range c.backends {
+			if b.tables[table] && b.engine.Table(table) != nil {
+				return b
+			}
+		}
+		return nil
+	}
+	for u, tables := range want {
+		names := make([]string, 0, len(tables))
+		for t := range tables {
+			names = append(names, t)
+		}
+		sort.Strings(names)
+		for _, table := range names {
+			if c.backends[u].tables[table] {
+				continue
+			}
+			if src := holders(table); src != nil {
+				rows, err := copyTable(src.engine, c.backends[u].engine, table)
+				if err != nil {
+					return nil, err
+				}
+				rep.CopiedTables++
+				rep.MovedRows += rows
+			} else {
+				if load == nil {
+					return nil, fmt.Errorf("cluster: table %q unavailable and no loader given", table)
+				}
+				if err := load(c.backends[u].engine, []string{table}); err != nil {
+					return nil, err
+				}
+				rep.LoadedTables++
+				if t := c.backends[u].engine.Table(table); t != nil {
+					rep.MovedRows += int64(t.NumRows())
+				}
+			}
+			c.backends[u].tables[table] = true
+		}
+	}
+
+	// Drop tables not wanted any more.
+	for u, b := range c.backends {
+		for table := range b.tables {
+			if want[u][table] {
+				continue
+			}
+			if b.engine.Table(table) != nil {
+				if _, err := b.engine.Exec("DROP TABLE " + table); err != nil {
+					return nil, err
+				}
+			}
+			delete(b.tables, table)
+			rep.DroppedTables++
+		}
+	}
+
+	// Install the new routing metadata (logical -> physical order: the
+	// allocation's class routing works on table names, which are
+	// physical-agnostic).
+	c.alloc = newAlloc
+	c.classFrags = make(map[string][]string)
+	for _, cl := range newAlloc.Classification().Classes() {
+		tables := map[string]bool{}
+		for _, f := range cl.Fragments() {
+			tables[TableOfFragment(f)] = true
+		}
+		list := make([]string, 0, len(tables))
+		for t := range tables {
+			list = append(list, t)
+		}
+		sort.Strings(list)
+		c.classFrags[cl.Name] = list
+	}
+	return rep, nil
+}
+
+// copyTable ships a table's schema and rows from one engine to another,
+// returning the number of rows moved.
+func copyTable(src, dst *sqlmini.Engine, table string) (int64, error) {
+	t := src.Table(table)
+	if t == nil {
+		return 0, fmt.Errorf("cluster: source lost table %q", table)
+	}
+	if dst.Table(table) == nil {
+		cols := make([]sqlmini.Column, len(t.Cols))
+		copy(cols, t.Cols)
+		if err := dst.CreateTable(table, cols); err != nil {
+			return 0, err
+		}
+	}
+	rows, err := src.Exec("SELECT * FROM " + table)
+	if err != nil {
+		return 0, err
+	}
+	if err := dst.BulkInsert(table, rows.Rows); err != nil {
+		return 0, err
+	}
+	return int64(len(rows.Rows)), nil
+}

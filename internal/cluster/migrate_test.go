@@ -1,0 +1,204 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"qcpa/internal/core"
+	"qcpa/internal/sqlmini"
+	"qcpa/internal/workload"
+)
+
+// migrationFixture: 2 backends, tables a and b, initial layout
+// B1{a,b} / B2{b}.
+func migrationFixture(t *testing.T) (*Cluster, *core.Classification, Loader) {
+	t.Helper()
+	cl := core.NewClassification()
+	cl.AddFragment(core.Fragment{ID: "a", Size: 1})
+	cl.AddFragment(core.Fragment{ID: "b", Size: 1})
+	cl.MustAddClass(core.NewClass("QA", core.Read, 0.5, "a"))
+	cl.MustAddClass(core.NewClass("QB", core.Read, 0.5, "b"))
+	alloc := core.NewAllocation(cl, core.UniformBackends(2))
+	alloc.AddFragments(0, "a", "b")
+	alloc.SetAssign(0, "QA", 0.5)
+	alloc.AddFragments(1, "b")
+	alloc.SetAssign(1, "QB", 0.5)
+	if err := alloc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Config{Backends: core.UniformBackends(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	loader := func(e *sqlmini.Engine, tables []string) error {
+		for _, tb := range tables {
+			if e.Table(tb) != nil {
+				continue
+			}
+			if err := e.CreateTable(tb, []sqlmini.Column{
+				{Name: tb + "_id", Type: sqlmini.KindInt, PrimaryKey: true},
+				{Name: tb + "_v", Type: sqlmini.KindInt},
+			}); err != nil {
+				return err
+			}
+			rows := make([]sqlmini.Row, 20)
+			for i := range rows {
+				rows[i] = sqlmini.Row{sqlmini.Int(int64(i)), sqlmini.Int(int64(i))}
+			}
+			if err := e.BulkInsert(tb, rows); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := c.Install(alloc, loader); err != nil {
+		t.Fatal(err)
+	}
+	return c, cl, loader
+}
+
+func TestMigrateCopiesBetweenBackends(t *testing.T) {
+	c, cl, loader := migrationFixture(t)
+	// Mutate a row on B1's copy of a so we can prove the copy shipped
+	// live data, not a reload.
+	if _, err := c.Backend(0).Exec(`UPDATE a SET a_v = 777 WHERE a_id = 3`); err != nil {
+		t.Fatal(err)
+	}
+	// New layout: swap — B1{b}, B2{a,b}.
+	newAlloc := core.NewAllocation(cl, core.UniformBackends(2))
+	newAlloc.AddFragments(0, "b")
+	newAlloc.SetAssign(0, "QB", 0.5)
+	newAlloc.AddFragments(1, "a", "b")
+	newAlloc.SetAssign(1, "QA", 0.5)
+	if err := newAlloc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Migrate(newAlloc, loader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Hungarian matching maps logical B2 (needs {a,b}) onto the
+	// physical backend that already has both: physical 0. Nothing
+	// ships.
+	if rep.CopiedTables != 0 || rep.LoadedTables != 0 {
+		t.Fatalf("relabeling migration shipped data: %+v", rep)
+	}
+	// Both physical backends must still serve both classes somewhere.
+	for _, class := range []string{"QA", "QB"} {
+		sqlTable := "a"
+		if class == "QB" {
+			sqlTable = "b"
+		}
+		if _, err := c.Execute(workload.Request{
+			SQL: fmt.Sprintf(`SELECT %s_v FROM %s WHERE %s_id = 1`, sqlTable, sqlTable, sqlTable), Class: class,
+		}); err != nil {
+			t.Fatalf("%s unroutable after migration: %v", class, err)
+		}
+	}
+	// The mutated row survived.
+	found := false
+	for i := 0; i < 2; i++ {
+		if c.Backend(i).Table("a") == nil {
+			continue
+		}
+		r, err := c.Backend(i).Exec(`SELECT a_v FROM a WHERE a_id = 3`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Rows[0][0].I == 777 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("live data lost by migration")
+	}
+}
+
+func TestMigrateCopiesLiveData(t *testing.T) {
+	c, cl, loader := migrationFixture(t)
+	if _, err := c.Backend(0).Exec(`UPDATE a SET a_v = 555 WHERE a_id = 7`); err != nil {
+		t.Fatal(err)
+	}
+	// New layout forces a onto BOTH backends: each must hold a copy.
+	newAlloc := core.NewAllocation(cl, core.UniformBackends(2))
+	newAlloc.AddFragments(0, "a", "b")
+	newAlloc.SetAssign(0, "QA", 0.25)
+	newAlloc.SetAssign(0, "QB", 0.25)
+	newAlloc.AddFragments(1, "a", "b")
+	newAlloc.SetAssign(1, "QA", 0.25)
+	newAlloc.SetAssign(1, "QB", 0.25)
+	if err := newAlloc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Migrate(newAlloc, loader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CopiedTables != 1 {
+		t.Fatalf("copied = %d, want 1 (a to the second backend)", rep.CopiedTables)
+	}
+	if rep.MovedRows != 20 {
+		t.Fatalf("moved rows = %d, want 20", rep.MovedRows)
+	}
+	// Both copies carry the mutation (shipped from the live replica).
+	for i := 0; i < 2; i++ {
+		r, err := c.Backend(i).Exec(`SELECT a_v FROM a WHERE a_id = 7`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Rows[0][0].I != 555 {
+			t.Fatalf("backend %d copy is stale: %v", i, r.Rows[0][0])
+		}
+	}
+}
+
+func TestMigrateDropsUnneededTables(t *testing.T) {
+	c, cl, loader := migrationFixture(t)
+	// New layout drops b from backend 0 (b keeps one copy).
+	newAlloc := core.NewAllocation(cl, core.UniformBackends(2))
+	newAlloc.AddFragments(0, "a")
+	newAlloc.SetAssign(0, "QA", 0.5)
+	newAlloc.AddFragments(1, "b")
+	newAlloc.SetAssign(1, "QB", 0.5)
+	if err := newAlloc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Migrate(newAlloc, loader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DroppedTables != 1 {
+		t.Fatalf("dropped = %d, want 1", rep.DroppedTables)
+	}
+	total := 0
+	for i := 0; i < 2; i++ {
+		if c.Backend(i).Table("b") != nil {
+			total++
+		}
+	}
+	if total != 1 {
+		t.Fatalf("b exists on %d backends, want 1", total)
+	}
+}
+
+func TestMigrateErrors(t *testing.T) {
+	c, cl, loader := migrationFixture(t)
+	a3, err := core.Greedy(cl, core.UniformBackends(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Migrate(a3, loader); err == nil {
+		t.Error("backend count mismatch accepted")
+	}
+	// Fresh cluster without Install.
+	c2, err := New(Config{Backends: core.UniformBackends(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	a2, _ := core.Greedy(cl, core.UniformBackends(2))
+	if _, err := c2.Migrate(a2, loader); err == nil {
+		t.Error("migrate before install accepted")
+	}
+}

@@ -1,0 +1,197 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"qcpa/internal/core"
+	"qcpa/internal/matching"
+	"qcpa/internal/sqlmini"
+)
+
+// Resize changes the cluster to the backend count of newAlloc — the
+// elastic scaling of Section 5 on the real runtime. Scale-out creates
+// fresh backends and ships them their tables (from live replicas where
+// possible, the loader otherwise); scale-in is planned with the
+// Hungarian matching against virtual empty backends: the physical
+// backends matched to virtual ones are decommissioned after their
+// uniquely-held tables have been copied off.
+//
+// Like Migrate, Resize requires a quiesced cluster and holds the
+// controller lock throughout.
+func (c *Cluster) Resize(newAlloc *core.Allocation, load Loader) (*MigrationReport, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.alloc == nil {
+		return nil, fmt.Errorf("cluster: no installed allocation; use Install first")
+	}
+	nOld := len(c.backends)
+	nNew := newAlloc.NumBackends()
+	if nNew == nOld {
+		c.mu.Unlock()
+		rep, err := c.Migrate(newAlloc, load)
+		c.mu.Lock()
+		return rep, err
+	}
+
+	plan, decommissioned, err := matching.PlanMigration(c.alloc, newAlloc)
+	if err != nil {
+		return nil, err
+	}
+	rep := &MigrationReport{Mapping: plan.Mapping}
+
+	// Grow the physical pool so every mapped index exists.
+	for len(c.backends) <= maxOf(plan.Mapping) {
+		name := fmt.Sprintf("B%d", len(c.backends)+1)
+		if i := len(c.backends); i < nNew {
+			name = newAlloc.Backends()[i].Name
+		}
+		be := &backend{
+			name:     name,
+			engine:   sqlmini.New(),
+			tables:   make(map[string]bool),
+			updateCh: make(chan *updateJob, 1024),
+			readSem:  make(chan struct{}, c.cfg.ReadWorkers),
+		}
+		be.wg.Add(1)
+		go be.applyUpdates()
+		c.backends = append(c.backends, be)
+	}
+
+	// Desired tables per physical backend (decommissioned ones want
+	// nothing).
+	dead := make(map[int]bool, len(decommissioned))
+	for _, d := range decommissioned {
+		dead[d] = true
+	}
+	want := make([]map[string]bool, len(c.backends))
+	for i := range want {
+		want[i] = make(map[string]bool)
+	}
+	for v := 0; v < nNew; v++ {
+		u := plan.Mapping[v]
+		for _, f := range newAlloc.Fragments(v) {
+			want[u][TableOfFragment(f)] = true
+		}
+	}
+
+	// Ship missing tables (live copy preferred).
+	holders := func(table string) *backend {
+		for i, b := range c.backends {
+			if !dead[i] && b.tables[table] && b.engine.Table(table) != nil {
+				return b
+			}
+		}
+		// A decommissioned backend may be the last holder.
+		for _, b := range c.backends {
+			if b.tables[table] && b.engine.Table(table) != nil {
+				return b
+			}
+		}
+		return nil
+	}
+	for u, tables := range want {
+		names := make([]string, 0, len(tables))
+		for t := range tables {
+			names = append(names, t)
+		}
+		sort.Strings(names)
+		for _, table := range names {
+			if c.backends[u].tables[table] {
+				continue
+			}
+			if src := holders(table); src != nil && src != c.backends[u] {
+				rows, err := copyTable(src.engine, c.backends[u].engine, table)
+				if err != nil {
+					return nil, err
+				}
+				rep.CopiedTables++
+				rep.MovedRows += rows
+			} else {
+				if load == nil {
+					return nil, fmt.Errorf("cluster: table %q unavailable and no loader given", table)
+				}
+				if err := load(c.backends[u].engine, []string{table}); err != nil {
+					return nil, err
+				}
+				rep.LoadedTables++
+				if t := c.backends[u].engine.Table(table); t != nil {
+					rep.MovedRows += int64(t.NumRows())
+				}
+			}
+			c.backends[u].tables[table] = true
+		}
+	}
+
+	// Drop surplus tables on surviving backends.
+	for u, b := range c.backends {
+		if dead[u] {
+			continue
+		}
+		for table := range b.tables {
+			if want[u][table] {
+				continue
+			}
+			if b.engine.Table(table) != nil {
+				if _, err := b.engine.Exec("DROP TABLE " + table); err != nil {
+					return nil, err
+				}
+			}
+			delete(b.tables, table)
+			rep.DroppedTables++
+		}
+	}
+
+	// Retire decommissioned backends and compact the pool in mapping
+	// order: logical backend v of the new allocation becomes physical
+	// backend v.
+	ordered := make([]*backend, nNew)
+	for v := 0; v < nNew; v++ {
+		ordered[v] = c.backends[plan.Mapping[v]]
+	}
+	used := make(map[*backend]bool, nNew)
+	for _, b := range ordered {
+		used[b] = true
+	}
+	for _, b := range c.backends {
+		if !used[b] {
+			close(b.updateCh)
+			b.wg.Wait()
+		}
+	}
+	c.backends = ordered
+	for v, b := range ordered {
+		b.name = newAlloc.Backends()[v].Name
+	}
+	rep.Mapping = make([]int, nNew)
+	for v := range rep.Mapping {
+		rep.Mapping[v] = v
+	}
+
+	// Install routing metadata.
+	c.alloc = newAlloc
+	c.classFrags = make(map[string][]string)
+	for _, cl := range newAlloc.Classification().Classes() {
+		tables := map[string]bool{}
+		for _, f := range cl.Fragments() {
+			tables[TableOfFragment(f)] = true
+		}
+		list := make([]string, 0, len(tables))
+		for t := range tables {
+			list = append(list, t)
+		}
+		sort.Strings(list)
+		c.classFrags[cl.Name] = list
+	}
+	return rep, nil
+}
+
+func maxOf(xs []int) int {
+	m := -1
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

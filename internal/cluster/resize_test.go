@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"testing"
+
+	"qcpa/internal/core"
+	"qcpa/internal/workload"
+)
+
+func TestResizeScaleOut(t *testing.T) {
+	c, cl, loader := migrationFixture(t) // 2 backends: B1{a,b}, B2{b}
+	// Mark live data so we can prove copies ship state, not reloads.
+	if _, err := c.Backend(0).Exec(`UPDATE a SET a_v = 321 WHERE a_id = 5`); err != nil {
+		t.Fatal(err)
+	}
+	// Grow to 4 backends with a spread layout.
+	n4, err := core.Greedy(cl, core.UniformBackends(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Resize(n4, loader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumBackends() != 4 {
+		t.Fatalf("backends = %d, want 4", c.NumBackends())
+	}
+	if len(rep.Mapping) != 4 {
+		t.Fatalf("mapping = %v", rep.Mapping)
+	}
+	// Every class executable.
+	for _, req := range []workload.Request{
+		{SQL: `SELECT a_v FROM a WHERE a_id = 5`, Class: "QA"},
+		{SQL: `SELECT b_v FROM b WHERE b_id = 1`, Class: "QB"},
+		{SQL: `UPDATE b SET b_v = 7 WHERE b_id = 1`, Class: "UB", Write: true},
+	} {
+		if _, err := c.Execute(req); err != nil {
+			t.Fatalf("%s after scale-out: %v", req.Class, err)
+		}
+	}
+	// The mutation survived on every copy of a.
+	for i := 0; i < 4; i++ {
+		if c.Backend(i).Table("a") == nil {
+			continue
+		}
+		r, err := c.Backend(i).Exec(`SELECT a_v FROM a WHERE a_id = 5`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Rows[0][0].I != 321 {
+			t.Fatalf("backend %d copy of a is stale", i)
+		}
+	}
+}
+
+func TestResizeScaleIn(t *testing.T) {
+	c, cl, loader := migrationFixture(t)
+	// First grow to 3, mutate, then shrink back to 2 — data must
+	// survive the decommissioning.
+	n3, err := core.Greedy(cl, core.UniformBackends(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Resize(n3, loader); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Execute(workload.Request{SQL: `UPDATE b SET b_v = 111 WHERE b_id = 2`, Class: "UB", Write: true}); err != nil {
+		t.Fatal(err)
+	}
+	n2, err := core.Greedy(cl, core.UniformBackends(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Resize(n2, loader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumBackends() != 2 {
+		t.Fatalf("backends = %d, want 2", c.NumBackends())
+	}
+	_ = rep
+	// All classes still executable and the mutation survived.
+	r, err := c.Execute(workload.Request{SQL: `SELECT b_v FROM b WHERE b_id = 2`, Class: "QB"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Data[0][0].I != 111 {
+		t.Fatalf("mutation lost on scale-in: %v", r.Data[0][0])
+	}
+	if _, err := c.Execute(workload.Request{SQL: `SELECT a_v FROM a WHERE a_id = 1`, Class: "QA"}); err != nil {
+		t.Fatalf("QA after scale-in: %v", err)
+	}
+}
+
+func TestResizeSameCountDelegatesToMigrate(t *testing.T) {
+	c, cl, loader := migrationFixture(t)
+	n2, err := core.Greedy(cl, core.UniformBackends(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Resize(n2, loader); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumBackends() != 2 {
+		t.Fatalf("backends = %d", c.NumBackends())
+	}
+}
+
+func TestResizeBeforeInstall(t *testing.T) {
+	c, err := New(Config{Backends: core.UniformBackends(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cl := core.NewClassification()
+	cl.AddFragment(core.Fragment{ID: "a", Size: 1})
+	cl.MustAddClass(core.NewClass("q", core.Read, 1, "a"))
+	a, _ := core.Greedy(cl, core.UniformBackends(3))
+	if _, err := c.Resize(a, nil); err == nil {
+		t.Fatal("resize before install accepted")
+	}
+}

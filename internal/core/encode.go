@@ -1,0 +1,120 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// allocationJSON is the stable wire form of an allocation, including
+// enough of the classification to reload it independently.
+type allocationJSON struct {
+	Fragments []fragmentJSON `json:"fragments"`
+	Classes   []classJSON    `json:"classes"`
+	Backends  []backendJSON  `json:"backends"`
+}
+
+type fragmentJSON struct {
+	ID   string  `json:"id"`
+	Size float64 `json:"size"`
+}
+
+type classJSON struct {
+	Name      string   `json:"name"`
+	Kind      string   `json:"kind"`
+	Weight    float64  `json:"weight"`
+	Fragments []string `json:"fragments"`
+}
+
+type backendJSON struct {
+	Name      string             `json:"name"`
+	Load      float64            `json:"load"`
+	Fragments []string           `json:"fragments"`
+	Assign    map[string]float64 `json:"assign"`
+}
+
+// Encode writes the allocation (with its classification) as JSON, the
+// persistent form of a computed plan: cmd/qcpa-alloc writes it and
+// deployment tooling reads it.
+func (a *Allocation) Encode(w io.Writer) error {
+	out := allocationJSON{}
+	for _, f := range a.cls.Fragments() {
+		out.Fragments = append(out.Fragments, fragmentJSON{ID: string(f.ID), Size: f.Size})
+	}
+	for _, c := range a.cls.Classes() {
+		cj := classJSON{Name: c.Name, Kind: c.Kind.String(), Weight: c.Weight}
+		for _, f := range c.Fragments() {
+			cj.Fragments = append(cj.Fragments, string(f))
+		}
+		out.Classes = append(out.Classes, cj)
+	}
+	for b, be := range a.backends {
+		bj := backendJSON{Name: be.Name, Load: be.Load, Assign: map[string]float64{}}
+		for _, f := range a.Fragments(b) {
+			bj.Fragments = append(bj.Fragments, string(f))
+		}
+		for _, name := range a.AssignedClasses(b) {
+			bj.Assign[name] = a.Assign(b, name)
+		}
+		out.Backends = append(out.Backends, bj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&out)
+}
+
+// DecodeAllocation reads an allocation previously written by Encode,
+// rebuilding the classification and validating the result.
+func DecodeAllocation(r io.Reader) (*Allocation, error) {
+	var in allocationJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("core: decoding allocation: %w", err)
+	}
+	cls := NewClassification()
+	for _, f := range in.Fragments {
+		cls.AddFragment(Fragment{ID: FragmentID(f.ID), Size: f.Size})
+	}
+	for _, c := range in.Classes {
+		kind := Read
+		switch c.Kind {
+		case "read":
+		case "update":
+			kind = Update
+		default:
+			return nil, fmt.Errorf("core: unknown class kind %q", c.Kind)
+		}
+		frags := make([]FragmentID, len(c.Fragments))
+		for i, f := range c.Fragments {
+			frags[i] = FragmentID(f)
+		}
+		if err := cls.AddClass(NewClass(c.Name, kind, c.Weight, frags...)); err != nil {
+			return nil, err
+		}
+	}
+	if err := cls.Validate(); err != nil {
+		return nil, err
+	}
+	backends := make([]Backend, len(in.Backends))
+	for i, b := range in.Backends {
+		backends[i] = Backend{Name: b.Name, Load: b.Load}
+	}
+	a := NewAllocation(cls, backends)
+	for i, b := range in.Backends {
+		for _, f := range b.Fragments {
+			if _, ok := cls.Fragment(FragmentID(f)); !ok {
+				return nil, fmt.Errorf("core: backend %s references unknown fragment %q", b.Name, f)
+			}
+			a.AddFragments(i, FragmentID(f))
+		}
+		for name, w := range b.Assign {
+			if cls.Class(name) == nil {
+				return nil, fmt.Errorf("core: backend %s assigns unknown class %q", b.Name, name)
+			}
+			a.SetAssign(i, name, w)
+		}
+	}
+	if err := a.Validate(); err != nil {
+		return nil, fmt.Errorf("core: decoded allocation invalid: %w", err)
+	}
+	return a, nil
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cl := appendixAClassification()
+	backends := []Backend{{"B1", 0.30}, {"B2", 0.30}, {"B3", 0.20}, {"B4", 0.20}}
+	a, err := Greedy(cl, backends)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := a.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeAllocation(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumBackends() != 4 {
+		t.Fatalf("backends = %d", got.NumBackends())
+	}
+	if math.Abs(got.Scale()-a.Scale()) > 1e-12 {
+		t.Fatalf("scale %v != %v", got.Scale(), a.Scale())
+	}
+	if math.Abs(got.DegreeOfReplication()-a.DegreeOfReplication()) > 1e-12 {
+		t.Fatalf("replication %v != %v", got.DegreeOfReplication(), a.DegreeOfReplication())
+	}
+	for _, c := range cl.Classes() {
+		for b := 0; b < 4; b++ {
+			if math.Abs(got.Assign(b, c.Name)-a.Assign(b, c.Name)) > 1e-12 {
+				t.Fatalf("assign(%s,%d) differs", c.Name, b)
+			}
+		}
+	}
+}
+
+func TestDecodeAllocationErrors(t *testing.T) {
+	bad := []string{
+		`not json`,
+		`{"fragments":[],"classes":[],"backends":[]}`, // no classes
+		`{"fragments":[{"id":"a","size":1}],
+		  "classes":[{"name":"q","kind":"sideways","weight":1,"fragments":["a"]}],
+		  "backends":[]}`, // bad kind
+		`{"fragments":[{"id":"a","size":1}],
+		  "classes":[{"name":"q","kind":"read","weight":1,"fragments":["a"]}],
+		  "backends":[{"name":"b","load":1,"fragments":["zzz"],"assign":{}}]}`, // unknown fragment
+		`{"fragments":[{"id":"a","size":1}],
+		  "classes":[{"name":"q","kind":"read","weight":1,"fragments":["a"]}],
+		  "backends":[{"name":"b","load":1,"fragments":["a"],"assign":{"zzz":1}}]}`, // unknown class
+		`{"fragments":[{"id":"a","size":1}],
+		  "classes":[{"name":"q","kind":"read","weight":1,"fragments":["a"]}],
+		  "backends":[{"name":"b","load":1,"fragments":[],"assign":{}}]}`, // read unassigned
+	}
+	for i, s := range bad {
+		if _, err := DecodeAllocation(strings.NewReader(s)); err == nil {
+			t.Errorf("case %d: no error", i)
+		}
+	}
+}
+
+// TestEncodePropertyRoundTrip: random greedy allocations survive a
+// round trip bit-for-bit in the quantities that matter.
+func TestEncodePropertyRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cl := randomClassification(rng)
+		n := 2 + rng.Intn(4)
+		a, err := Greedy(cl, UniformBackends(n))
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := a.Encode(&buf); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		got, err := DecodeAllocation(&buf)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return math.Abs(got.Scale()-a.Scale()) < 1e-12 &&
+			math.Abs(got.TotalDataSize()-a.TotalDataSize()) < 1e-9 &&
+			got.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,412 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// greedyState carries the mutable state of Algorithm 1 / Algorithm 4.
+type greedyState struct {
+	cls   *Classification
+	alloc *Allocation
+
+	currentLoad []float64 // per backend
+	scaledLoad  []float64 // per backend
+	restWeight  map[string]float64
+	queue       []*Class
+
+	// k-safety extension (Algorithm 4); k == 0 disables it.
+	k       int
+	inCk    map[string]bool // classes that are being re-replicated (C_k)
+	counted map[string]bool // classes whose replica count was already fixed up
+}
+
+// Greedy computes a partial replication for the classification on the
+// given backends using the first-fit heuristic of Algorithm 1. The
+// returned allocation is valid (Allocation.Validate passes): every read
+// class is fully assigned, and every update class is co-located, with
+// full weight, with every replica of its data.
+//
+// The backend loads must sum to 1 within tolerance, and the class weights
+// must sum to 1 (use Classification.Normalize).
+func Greedy(cls *Classification, backends []Backend) (*Allocation, error) {
+	return GreedyKSafe(cls, backends, 0)
+}
+
+// GreedyKSafe computes a k-safe partial replication using Algorithm 4 of
+// Appendix C: every query class is allocated to at least k+1 backends,
+// so the cluster survives the loss of any k backends without losing data
+// or the ability to process any query class locally. k = 0 yields plain
+// Algorithm 1.
+func GreedyKSafe(cls *Classification, backends []Backend, k int) (*Allocation, error) {
+	if err := cls.Validate(); err != nil {
+		return nil, err
+	}
+	if len(backends) == 0 {
+		return nil, errors.New("core: no backends")
+	}
+	if k < 0 {
+		return nil, errors.New("core: negative k")
+	}
+	if k >= len(backends) {
+		return nil, errors.New("core: k-safety requires at least k+1 backends")
+	}
+	totalLoad := 0.0
+	for _, b := range backends {
+		totalLoad += b.Load
+	}
+	if math.Abs(totalLoad-1) > 1e-6 {
+		return nil, errors.New("core: backend loads must sum to 1 (use NormalizeBackends)")
+	}
+
+	st := &greedyState{
+		cls:         cls,
+		alloc:       NewAllocation(cls, backends),
+		currentLoad: make([]float64, len(backends)),
+		scaledLoad:  make([]float64, len(backends)),
+		restWeight:  make(map[string]float64),
+		k:           k,
+		inCk:        make(map[string]bool),
+		counted:     make(map[string]bool),
+	}
+	for b := range backends {
+		st.scaledLoad[b] = backends[b].Load
+	}
+	for _, c := range cls.Classes() {
+		st.restWeight[c.Name] = c.Weight
+	}
+
+	// Line 1: C* = C_Q ∪ {C_U with no overlapping read class}.
+	for _, c := range cls.Reads() {
+		st.queue = append(st.queue, c)
+	}
+	for _, u := range cls.Updates() {
+		covered := false
+		for _, q := range cls.Reads() {
+			if u.Overlaps(q) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			st.queue = append(st.queue, u)
+			// Algorithm 4 line 2: such update classes must be allocated
+			// k additional times explicitly.
+			if k > 0 {
+				st.inCk[u.Name] = true
+				for i := 0; i < k; i++ {
+					st.queue = append(st.queue, u)
+				}
+			}
+		}
+	}
+	st.sortQueue()
+
+	// Guard against pathological non-termination (the algorithm is
+	// polynomial; this bound is far above any legitimate iteration
+	// count).
+	maxIter := (len(cls.Classes()) + 1) * (len(backends) + 1) * 64 * (k + 2)
+	for iter := 0; len(st.queue) > 0; iter++ {
+		if iter > maxIter {
+			return nil, errors.New("core: greedy allocation did not terminate (inconsistent classification?)")
+		}
+		st.step()
+	}
+	if err := st.alloc.Validate(); err != nil {
+		return nil, err
+	}
+	return st.alloc, nil
+}
+
+// sortQueue implements lines 2 and 33: sort descending by
+// (restWeight(C) + weight(updates(C))) × size(C ∪ updates(C)), breaking
+// ties by restWeight and then by name for determinism.
+func (st *greedyState) sortQueue() {
+	key := func(c *Class) float64 {
+		ups := st.cls.UpdatesFor(c)
+		w := st.restWeight[c.Name]
+		for _, u := range ups {
+			if u.Name != c.Name { // an update class is in its own updates()
+				w += u.Weight
+			}
+		}
+		union := ClassUnion(append([]*Class{c}, ups...)...)
+		return w * st.cls.SizeOf(union)
+	}
+	sort.SliceStable(st.queue, func(i, j int) bool {
+		ki, kj := key(st.queue[i]), key(st.queue[j])
+		if math.Abs(ki-kj) > Eps {
+			return ki > kj
+		}
+		ri, rj := st.restWeight[st.queue[i].Name], st.restWeight[st.queue[j].Name]
+		if math.Abs(ri-rj) > Eps {
+			return ri > rj
+		}
+		return st.queue[i].Name < st.queue[j].Name
+	})
+}
+
+// updateClosure returns the set of update classes that must be co-located
+// with class c, and the full fragment set to place. This is the
+// transitive closure of Eq. 12: placing the fragments of updates(c) can
+// bring further update classes into scope (their data would be stored on
+// the backend, so by Eq. 10 they must be assigned there too). The paper's
+// examples have single-fragment update classes, for which the closure
+// equals updates(c).
+func (st *greedyState) updateClosure(c *Class) (ups []*Class, frags []FragmentID) {
+	inSet := make(map[string]bool)
+	fragSet := make(map[FragmentID]struct{})
+	for _, f := range c.Fragments() {
+		fragSet[f] = struct{}{}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, u := range st.cls.Updates() {
+			if inSet[u.Name] {
+				continue
+			}
+			overlap := false
+			for _, f := range u.Fragments() {
+				if _, ok := fragSet[f]; ok {
+					overlap = true
+					break
+				}
+			}
+			if overlap {
+				inSet[u.Name] = true
+				ups = append(ups, u)
+				for _, f := range u.Fragments() {
+					fragSet[f] = struct{}{}
+				}
+				changed = true
+			}
+		}
+	}
+	frags = make([]FragmentID, 0, len(fragSet))
+	for f := range fragSet {
+		frags = append(frags, f)
+	}
+	sort.Slice(frags, func(i, j int) bool { return frags[i] < frags[j] })
+	return ups, frags
+}
+
+// full reports whether backend b has no remaining capacity.
+func (st *greedyState) full(b int) bool {
+	return st.currentLoad[b] >= st.scaledLoad[b]-Eps
+}
+
+// step performs one iteration of the while loop of Algorithm 1 (lines
+// 6-33) including the k-safety additions of Algorithm 4.
+func (st *greedyState) step() {
+	c := st.queue[0]
+	backends := st.alloc.Backends()
+
+	// A pending k-safety replica may have become redundant through
+	// intervening fragment placements; drop it.
+	if st.k > 0 && st.inCk[c.Name] && st.alloc.ClassReplicas(c) >= st.k+1 {
+		st.queue = st.queue[1:]
+		return
+	}
+
+	// Lines 7-9: if all backends are full, raise every backend's scaled
+	// load so it can hold its relative share of the class's weight.
+	allFull := true
+	for b := range backends {
+		if !st.full(b) {
+			allFull = false
+			break
+		}
+	}
+	if allFull {
+		for b := range backends {
+			st.scaledLoad[b] = st.currentLoad[b] + backends[b].Load*c.Weight
+		}
+	}
+
+	ups, unionFrags := st.updateClosure(c)
+
+	// Lines 10-16: difference of the class to each backend.
+	best, bestDiff := -1, math.Inf(1)
+	for b := range backends {
+		var d float64
+		switch {
+		case st.full(b):
+			d = math.Inf(1)
+		case st.k > 0 && st.inCk[c.Name] && st.alloc.HasAllFragments(b, c.Fragments()):
+			// Algorithm 4 line 12: never place a replica of a class on a
+			// backend that already holds one.
+			d = math.Inf(1)
+		case st.currentLoad[b] == 0:
+			d = 0
+		default:
+			d = 0
+			for _, f := range unionFrags {
+				if !st.alloc.HasFragment(b, f) {
+					frag, _ := st.cls.Fragment(f)
+					d += frag.Size
+				}
+			}
+		}
+		if d < bestDiff {
+			best, bestDiff = b, d
+		}
+	}
+	if math.IsInf(bestDiff, 1) {
+		// Every backend is either full or already holds a replica. Raise
+		// all scaled loads (lines 7-9) and retry; if the block was caused
+		// by the k-safety replica rule on non-full backends, pick the
+		// first backend without a replica next round.
+		for b := range backends {
+			if st.full(b) {
+				st.scaledLoad[b] = st.currentLoad[b] + backends[b].Load*math.Max(c.Weight, st.restWeight[c.Name])
+			}
+		}
+		return
+	}
+	b := best
+
+	// Line 18: place the fragments of C ∪ updates(C).
+	st.alloc.AddFragments(b, unionFrags...)
+
+	// Line 19: add the update load that is not yet allocated to the
+	// backend; record the assignments (Eq. 10: full weight).
+	added := 0.0
+	for _, u := range ups {
+		if st.alloc.Assign(b, u.Name) <= 0 {
+			st.alloc.SetAssign(b, u.Name, u.Weight)
+			added += u.Weight
+			st.dequeueCoAllocated(u, c)
+		}
+	}
+	st.currentLoad[b] += added
+
+	if c.Kind == Update || (st.k > 0 && st.inCk[c.Name]) {
+		// Lines 20-23 (Algorithm 4 lines 21-24): update classes and
+		// zero-weight replicas are allocated to exactly one backend per
+		// queue entry.
+		if c.Kind == Read && st.alloc.Assign(b, c.Name) <= 0 {
+			// A replica of a read class carries no weight but must be
+			// able to execute the class locally; mark it with a zero
+			// assignment by leaving assign empty (fragments suffice).
+			_ = b
+		}
+		if st.currentLoad[b] > st.scaledLoad[b] {
+			st.rescaleFrom(b)
+		}
+		st.queue = st.queue[1:]
+	} else {
+		// Lines 24-32: read classes are filled up to the scaled load.
+		if st.currentLoad[b] >= st.scaledLoad[b]-Eps {
+			st.scaledLoad[b] = st.currentLoad[b] + backends[b].Load*c.Weight
+		}
+		avail := st.scaledLoad[b] - st.currentLoad[b]
+		rest := st.restWeight[c.Name]
+		if rest > avail+Eps {
+			st.alloc.AddAssign(b, c.Name, avail)
+			st.restWeight[c.Name] = rest - avail
+			st.currentLoad[b] = st.scaledLoad[b]
+		} else {
+			st.alloc.AddAssign(b, c.Name, rest)
+			st.currentLoad[b] += rest
+			st.restWeight[c.Name] = 0
+			st.queue = st.queue[1:]
+			st.ensureReplicas(c)
+		}
+	}
+
+	// Line 33: re-sort the remaining classes.
+	st.sortQueue()
+}
+
+// dequeueCoAllocated removes an update class from the explicit queue when
+// it was just co-allocated through another class's closure. Only queue
+// entries beyond position 0 are touched (position 0 is the class being
+// processed); k-safety replica entries of the class are kept.
+func (st *greedyState) dequeueCoAllocated(u *Class, current *Class) {
+	if u.Name == current.Name || st.inCk[u.Name] {
+		return
+	}
+	for i := 1; i < len(st.queue); i++ {
+		if st.queue[i].Name == u.Name {
+			st.queue = append(st.queue[:i], st.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// rescaleFrom implements the Eq. 15 adaption mentioned after line 22: a
+// backend was overloaded by mandatory update weight, so the global scale
+// grows and every backend's scaled load is raised proportionally.
+func (st *greedyState) rescaleFrom(b int) {
+	backends := st.alloc.Backends()
+	st.scaledLoad[b] = st.currentLoad[b]
+	scale := 1.0
+	for i := range backends {
+		if backends[i].Load > 0 {
+			if r := st.scaledLoad[i] / backends[i].Load; r > scale {
+				scale = r
+			}
+		}
+	}
+	for i := range backends {
+		if s := backends[i].Load * scale; s > st.scaledLoad[i] {
+			st.scaledLoad[i] = s
+		}
+	}
+}
+
+// ensureReplicas implements Algorithm 3 (lines 34-38 of Algorithm 4):
+// after a read class is completely allocated, enqueue zero-weight
+// replicas until the class exists on at least k+1 backends.
+func (st *greedyState) ensureReplicas(c *Class) {
+	if st.k == 0 || st.counted[c.Name] {
+		return
+	}
+	st.counted[c.Name] = true
+	replicas := st.alloc.ClassReplicas(c)
+	if replicas >= st.k+1 {
+		return
+	}
+	st.inCk[c.Name] = true
+	st.restWeight[c.Name] = 0
+	for i := replicas; i < st.k+1; i++ {
+		st.queue = append(st.queue, c)
+	}
+}
+
+// EnsureFragmentRedundancy implements Eq. 46 for read-only fragments:
+// every fragment that is referenced by no update class is placed on at
+// least k+1 backends. Missing copies are placed on the backends with the
+// smallest stored data size, which spreads the redundant data evenly.
+// Fragments referenced by update classes are left untouched (their
+// placement is governed by the query-class replication of Algorithm 4).
+func EnsureFragmentRedundancy(a *Allocation, k int) {
+	cls := a.Classification()
+	updated := make(map[FragmentID]bool)
+	for _, u := range cls.Updates() {
+		for _, f := range u.Fragments() {
+			updated[f] = true
+		}
+	}
+	for _, frag := range cls.Fragments() {
+		if updated[frag.ID] {
+			continue
+		}
+		for a.FragmentReplicas(frag.ID) < k+1 {
+			best, bestSize := -1, math.Inf(1)
+			for b := 0; b < a.NumBackends(); b++ {
+				if a.HasFragment(b, frag.ID) {
+					continue
+				}
+				if s := a.DataSize(b); s < bestSize {
+					best, bestSize = b, s
+				}
+			}
+			if best < 0 {
+				break // already on every backend
+			}
+			a.AddFragments(best, frag.ID)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"errors"
+	"math"
+)
+
+// EnsureClassRedundancy post-processes any valid allocation so that
+// every query class exists on at least k+1 backends (the Appendix C
+// guarantee), by installing zero-weight replicas — fragments plus the
+// mandatory update co-assignments (Eq. 10) — on the least-loaded
+// backends lacking one.
+//
+// This is the adaptation of k-safety to the meta-heuristic the paper
+// mentions but does not spell out: Algorithm 4 bakes the redundancy
+// into the greedy construction, while solutions from the memetic or
+// optimal solvers are repaired afterwards. The repair can only increase
+// the scale factor (replicated updates cost throughput, exactly as
+// Appendix C discusses); read shares are finally re-balanced so the
+// extra replicas are also used.
+func EnsureClassRedundancy(a *Allocation, k int) error {
+	if k < 0 {
+		return errors.New("core: negative k")
+	}
+	if k >= a.NumBackends() {
+		return errors.New("core: k-safety requires at least k+1 backends")
+	}
+	cls := a.Classification()
+	for _, c := range cls.Classes() {
+		for a.ClassReplicas(c) < k+1 {
+			// Least-loaded backend without a replica.
+			best, bestLoad := -1, math.Inf(1)
+			for b := 0; b < a.NumBackends(); b++ {
+				if a.HasAllFragments(b, c.Fragments()) {
+					continue
+				}
+				if l := a.AssignedLoad(b); l < bestLoad {
+					best, bestLoad = b, l
+				}
+			}
+			if best < 0 {
+				break // on every backend already
+			}
+			installClass(a, best, c)
+			if c.Kind == Update && a.Assign(best, c.Name) == 0 {
+				a.SetAssign(best, c.Name, c.Weight)
+			}
+		}
+	}
+	return RebalanceReads(a)
+}

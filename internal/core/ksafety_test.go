@@ -1,0 +1,230 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEnsureClassRedundancyOnMemetic(t *testing.T) {
+	cl := appendixAClassification()
+	a, err := Memetic(cl, UniformBackends(4), MemeticOptions{Iterations: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := a.Scale()
+	if err := EnsureClassRedundancy(a, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("invalid after redundancy repair: %v", err)
+	}
+	for _, c := range cl.Classes() {
+		if a.ClassReplicas(c) < 2 {
+			t.Fatalf("class %s has %d replicas", c.Name, a.ClassReplicas(c))
+		}
+	}
+	// Replicated updates can only hurt throughput.
+	if a.Scale() < before-1e-9 {
+		t.Fatalf("scale improved from redundancy: %v -> %v", before, a.Scale())
+	}
+}
+
+func TestEnsureClassRedundancyErrors(t *testing.T) {
+	cl := section3Classification()
+	a, _ := Greedy(cl, UniformBackends(2))
+	if err := EnsureClassRedundancy(a, -1); err == nil {
+		t.Error("negative k accepted")
+	}
+	if err := EnsureClassRedundancy(a, 2); err == nil {
+		t.Error("k >= |B| accepted")
+	}
+	if err := EnsureClassRedundancy(a, 0); err != nil {
+		t.Errorf("k=0 is a no-op, got %v", err)
+	}
+}
+
+// TestEnsureClassRedundancyProperty: repairing any valid greedy
+// allocation yields a valid k-redundant allocation.
+func TestEnsureClassRedundancyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cl := randomClassification(rng)
+		n := 3 + rng.Intn(4)
+		k := 1 + rng.Intn(2)
+		if k >= n {
+			k = n - 1
+		}
+		a, err := Greedy(cl, UniformBackends(n))
+		if err != nil {
+			return false
+		}
+		if err := EnsureClassRedundancy(a, k); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if err := a.Validate(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		for _, c := range cl.Classes() {
+			if a.ClassReplicas(c) < k+1 {
+				t.Logf("seed %d: class %s has %d replicas, want %d", seed, c.Name, a.ClassReplicas(c), k+1)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRebalanceReadsNeverWorsens: for random valid allocations,
+// RebalanceReads never increases the scale factor.
+func TestRebalanceReadsNeverWorsens(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cl := randomClassification(rng)
+		n := 2 + rng.Intn(4)
+		a, err := Greedy(cl, UniformBackends(n))
+		if err != nil {
+			return false
+		}
+		before := a.Scale()
+		if err := RebalanceReads(a); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if a.Scale() > before+1e-9 {
+			t.Logf("seed %d: scale %v -> %v", seed, before, a.Scale())
+			return false
+		}
+		return a.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpeedupUnderDriftMonotone: growing any single class's weight can
+// only lower (or keep) the achievable speedup.
+func TestSpeedupUnderDriftMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cl := randomClassification(rng)
+		n := 2 + rng.Intn(3)
+		a, err := Greedy(cl, UniformBackends(n))
+		if err != nil {
+			return false
+		}
+		classes := cl.Classes()
+		c := classes[rng.Intn(len(classes))]
+		prev, err := SpeedupUnderDrift(a, nil)
+		if err != nil {
+			return false
+		}
+		for _, mult := range []float64{1.1, 1.3, 1.8} {
+			s, err := SpeedupUnderDrift(a, map[string]float64{c.Name: c.Weight * mult})
+			if err != nil {
+				t.Logf("seed %d: %v", seed, err)
+				return false
+			}
+			if s > prev+1e-9 {
+				t.Logf("seed %d: speedup rose %v -> %v under drift", seed, prev, s)
+				return false
+			}
+			prev = s
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// survivesFailures reports whether every query class remains locally
+// executable after removing any combination of k backends — the
+// operational meaning of k-safety in Appendix C.
+func survivesFailures(a *Allocation, k int) bool {
+	n := a.NumBackends()
+	cls := a.Classification()
+	var dead []int
+	var rec func(start int) bool
+	alive := func(b int) bool {
+		for _, d := range dead {
+			if d == b {
+				return false
+			}
+		}
+		return true
+	}
+	rec = func(start int) bool {
+		if len(dead) == k {
+			for _, c := range cls.Classes() {
+				ok := false
+				for b := 0; b < n; b++ {
+					if alive(b) && a.HasAllFragments(b, c.Fragments()) {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					return false
+				}
+			}
+			return true
+		}
+		for b := start; b < n; b++ {
+			dead = append(dead, b)
+			if !rec(b + 1) {
+				dead = dead[:len(dead)-1]
+				return false
+			}
+			dead = dead[:len(dead)-1]
+		}
+		return true
+	}
+	return rec(0)
+}
+
+// TestKSafetySurvivesFailureInjection: after GreedyKSafe with k, every
+// subset of k backend failures leaves all classes executable.
+func TestKSafetySurvivesFailureInjection(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cl := randomClassification(rng)
+		n := 3 + rng.Intn(3)
+		k := 1
+		if n > 3 && rng.Intn(2) == 0 {
+			k = 2
+		}
+		a, err := GreedyKSafe(cl, UniformBackends(n), k)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if !survivesFailures(a, k) {
+			t.Logf("seed %d: n=%d k=%d allocation does not survive %d failures", seed, n, k, k)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPlainGreedyDoesNotSurvive: without k-safety, a single failure
+// usually breaks some class (sanity check that the property above is
+// not vacuous).
+func TestPlainGreedyDoesNotSurvive(t *testing.T) {
+	cl := section3Classification()
+	a, err := Greedy(cl, UniformBackends(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if survivesFailures(a, 1) {
+		t.Fatal("plain greedy allocation unexpectedly 1-safe (C3 has a single replica)")
+	}
+}

@@ -1,0 +1,201 @@
+package core
+
+import "math/rand"
+
+// localImprove applies the memetic algorithm's improvement step: the two
+// local-search strategies of Section 3.3 (Eqs. 21-26) followed by exact
+// read re-balancing. It returns whether the allocation improved.
+func localImprove(a *Allocation, rng *rand.Rand) bool {
+	improved := false
+	for pass := 0; pass < 4; pass++ {
+		changed := false
+		if shiftCommonPairs(a) {
+			changed = true
+		}
+		if reduceHeavyUpdateReplication(a) {
+			changed = true
+		}
+		before := CostOf(a)
+		if RebalanceReads(a) == nil {
+			if CostOf(a).Less(before) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		improved = true
+	}
+	_ = rng
+	return improved
+}
+
+// shiftCommonPairs implements the first local-search strategy
+// (Eqs. 21-22): if two backends share at least two read classes with
+// positive assignments (Eq. 21) whose update sets differ (Eq. 22), the
+// shares can be consolidated so each class concentrates on one backend,
+// potentially freeing replicated update classes. Every candidate shift
+// is evaluated against the cost function and kept only on improvement.
+// Complexity is O(|C_Q|² × |B|²) over the candidate space, matching the
+// paper's O(|Q|² × |B|) per backend pair.
+func shiftCommonPairs(a *Allocation) bool {
+	cls := a.Classification()
+	reads := cls.Reads()
+	improved := false
+	for b1 := 0; b1 < a.NumBackends(); b1++ {
+		for b2 := 0; b2 < a.NumBackends(); b2++ {
+			if b1 == b2 {
+				continue
+			}
+			// Common read classes (Eq. 21 requires at least two).
+			var common []*Class
+			for _, c := range reads {
+				if a.Assign(b1, c.Name) > Eps && a.Assign(b2, c.Name) > Eps {
+					common = append(common, c)
+				}
+			}
+			if len(common) < 2 {
+				continue
+			}
+			for i := 0; i < len(common); i++ {
+				for j := i + 1; j < len(common); j++ {
+					c1, c2 := common[i], common[j]
+					if sameUpdateSets(cls, c1, c2) {
+						continue // Eq. 22: update sets must differ
+					}
+					if tryShift(a, c1, c2, b1, b2) {
+						improved = true
+					}
+				}
+			}
+		}
+	}
+	return improved
+}
+
+// sameUpdateSets reports whether two classes have identical update sets
+// (Eq. 12).
+func sameUpdateSets(cls *Classification, c1, c2 *Class) bool {
+	u1 := cls.UpdatesFor(c1)
+	u2 := cls.UpdatesFor(c2)
+	if len(u1) != len(u2) {
+		return false
+	}
+	names := make(map[string]bool, len(u1))
+	for _, u := range u1 {
+		names[u.Name] = true
+	}
+	for _, u := range u2 {
+		if !names[u.Name] {
+			return false
+		}
+	}
+	return true
+}
+
+// tryShift concentrates c1 on b1 and c2 on b2 by exchanging equal
+// weight, prunes both backends, and keeps the move only if the cost
+// improves.
+func tryShift(a *Allocation, c1, c2 *Class, b1, b2 int) bool {
+	d := a.Assign(b2, c1.Name)
+	if w := a.Assign(b1, c2.Name); w < d {
+		d = w
+	}
+	if d <= Eps {
+		return false
+	}
+	before := CostOf(a)
+	trial := a.Clone()
+	trial.AddAssign(b1, c1.Name, d)
+	trial.AddAssign(b2, c1.Name, -d)
+	trial.AddAssign(b2, c2.Name, d)
+	trial.AddAssign(b1, c2.Name, -d)
+	pruneBackend(trial, b1)
+	pruneBackend(trial, b2)
+	if CostOf(trial).Less(before) && trial.Validate() == nil {
+		*a = *trial
+		return true
+	}
+	return false
+}
+
+// reduceHeavyUpdateReplication implements the second local-search
+// strategy (Eqs. 23-26): when a heavy update class is replicated on two
+// backends (Eq. 23) and a lighter one exists (Eq. 24), move the read
+// shares tied to the heavy class off one backend (Eq. 25 requires they
+// fit) so the heavy replica can be dropped — accepting that the lighter
+// class may become replicated instead (Eq. 26 demands a net win, which
+// the cost comparison enforces exactly).
+func reduceHeavyUpdateReplication(a *Allocation) bool {
+	cls := a.Classification()
+	improved := false
+	for _, u1 := range cls.Updates() {
+		// Backends replicating u1.
+		var reps []int
+		for b := 0; b < a.NumBackends(); b++ {
+			if a.Assign(b, u1.Name) > 0 {
+				reps = append(reps, b)
+			}
+		}
+		if len(reps) < 2 {
+			continue
+		}
+		// Try to evacuate the replica whose tied read weight is
+		// smallest.
+		for _, b1 := range reps {
+			if tryEvacuateUpdate(a, u1, b1, reps) {
+				improved = true
+				break
+			}
+		}
+	}
+	return improved
+}
+
+// tryEvacuateUpdate moves every read share on b1 that references data of
+// update class u1 to the other backends replicating u1, then prunes b1.
+// The move is kept only if the cost improves.
+func tryEvacuateUpdate(a *Allocation, u1 *Class, b1 int, reps []int) bool {
+	cls := a.Classification()
+	var targets []int
+	for _, b := range reps {
+		if b != b1 {
+			targets = append(targets, b)
+		}
+	}
+	if len(targets) == 0 {
+		return false
+	}
+	before := CostOf(a)
+	trial := a.Clone()
+	moved := false
+	ti := 0
+	for _, c := range cls.Reads() {
+		w := trial.Assign(b1, c.Name)
+		if w <= Eps || !c.Overlaps(u1) {
+			continue
+		}
+		// Round-robin the shares over the remaining replicas that can
+		// execute the class locally (install fragments if needed — the
+		// cost comparison vetoes bad ideas).
+		to := targets[ti%len(targets)]
+		ti++
+		installClass(trial, to, c)
+		trial.AddAssign(to, c.Name, w)
+		trial.SetAssign(b1, c.Name, 0)
+		moved = true
+	}
+	if !moved {
+		return false
+	}
+	pruneBackend(trial, b1)
+	// Rebalance to give the move its best chance.
+	if err := RebalanceReads(trial); err != nil {
+		return false
+	}
+	if CostOf(trial).Less(before) && trial.Validate() == nil {
+		*a = *trial
+		return true
+	}
+	return false
+}

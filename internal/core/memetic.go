@@ -1,0 +1,375 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Cost is the lexicographic objective of the allocation problem:
+// primarily the scale factor (throughput, Eq. 19), secondarily the total
+// allocated data size (replication overhead).
+type Cost struct {
+	Scale float64
+	Size  float64
+}
+
+// CostOf evaluates an allocation.
+func CostOf(a *Allocation) Cost {
+	return Cost{Scale: a.Scale(), Size: a.TotalDataSize()}
+}
+
+// Less compares costs lexicographically with tolerance on the scale.
+func (c Cost) Less(o Cost) bool {
+	if math.Abs(c.Scale-o.Scale) > 1e-9 {
+		return c.Scale < o.Scale
+	}
+	return c.Size < o.Size-1e-9
+}
+
+// MemeticOptions configure the evolutionary improvement of Algorithm 2.
+type MemeticOptions struct {
+	// Population is the population size p (default 12).
+	Population int
+	// Iterations is the number of evolutionary rounds (default 60).
+	Iterations int
+	// Seed makes the run deterministic (default 1).
+	Seed int64
+	// DisableLocalSearch turns the memetic algorithm into a plain
+	// evolutionary program (no improvement step), for ablations.
+	DisableLocalSearch bool
+}
+
+func (o MemeticOptions) withDefaults() MemeticOptions {
+	if o.Population == 0 {
+		o.Population = 12
+	}
+	if o.Iterations == 0 {
+		o.Iterations = 60
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Memetic improves an allocation with the hybrid evolutionary strategy
+// of Algorithm 2: starting from the greedy heuristic's solution, each
+// iteration mutates the population (no recombination, as in evolutionary
+// programming), keeps the best 2/3 of the parents and the best 1/3 of
+// the offspring ((λ+µ) selection), and applies the two local-search
+// strategies of Eqs. 21-26 plus exact read re-balancing to a random
+// third of the survivors. The best allocation found is returned; it is
+// never worse than the greedy solution.
+func Memetic(cls *Classification, backends []Backend, opts MemeticOptions) (*Allocation, error) {
+	init, err := Greedy(cls, backends)
+	if err != nil {
+		return nil, err
+	}
+	return MemeticFrom(init, opts)
+}
+
+// MemeticFrom runs the memetic algorithm from a given valid initial
+// solution.
+func MemeticFrom(init *Allocation, opts MemeticOptions) (*Allocation, error) {
+	if err := init.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	// Nothing to mutate: a single backend, or a workload with no read
+	// shares to move (update-only classifications are fully determined
+	// by Eq. 10). The greedy solution is final.
+	if init.NumBackends() < 2 || len(readPlacements(init)) == 0 {
+		return init, nil
+	}
+
+	type scored struct {
+		a *Allocation
+		c Cost
+	}
+	pop := []scored{{init, CostOf(init)}}
+
+	better := func(x, y scored) bool { return x.c.Less(y.c) }
+	sortPop := func(p []scored) {
+		sort.SliceStable(p, func(i, j int) bool { return better(p[i], p[j]) })
+	}
+
+	for it := 0; it < opts.Iterations; it++ {
+		// Mutation: p offspring, each from a single random parent. The
+		// attempt budget guards against degenerate populations whose
+		// mutations cannot change anything.
+		offspring := make([]scored, 0, opts.Population)
+		for attempts := 0; len(offspring) < opts.Population && attempts < 20*opts.Population; attempts++ {
+			parent := pop[rng.Intn(len(pop))]
+			child := parent.a.Clone()
+			n := 1 + rng.Intn(3)
+			changed := false
+			for i := 0; i < n; i++ {
+				if mutate(child, rng) {
+					changed = true
+				}
+			}
+			if !changed {
+				continue
+			}
+			if child.Validate() != nil {
+				continue // defensive: discard invalid mutants
+			}
+			offspring = append(offspring, scored{child, CostOf(child)})
+		}
+		// Selection: best 2/3 of the old population, best 1/3 of the
+		// offspring.
+		sortPop(pop)
+		sortPop(offspring)
+		keepOld := (2*opts.Population + 2) / 3
+		if keepOld > len(pop) {
+			keepOld = len(pop)
+		}
+		keepNew := opts.Population - keepOld
+		if keepNew > len(offspring) {
+			keepNew = len(offspring)
+		}
+		next := make([]scored, 0, keepOld+keepNew)
+		next = append(next, pop[:keepOld]...)
+		next = append(next, offspring[:keepNew]...)
+		pop = next
+
+		// Improvement: local search on a random third of the population.
+		if !opts.DisableLocalSearch {
+			k := (len(pop) + 2) / 3
+			perm := rng.Perm(len(pop))
+			for _, idx := range perm[:k] {
+				improved := pop[idx].a.Clone()
+				if localImprove(improved, rng) {
+					if improved.Validate() == nil {
+						pop[idx] = scored{improved, CostOf(improved)}
+					}
+				}
+			}
+		}
+	}
+	sortPop(pop)
+	best := pop[0]
+	if !best.c.Less(CostOf(init)) && CostOf(init).Less(best.c) {
+		return init, nil
+	}
+	return best.a, nil
+}
+
+// mutate applies one random structural mutation, returning whether the
+// allocation changed. All mutations preserve validity by construction
+// (fragments and update classes move with the read shares; orphaned data
+// is pruned).
+func mutate(a *Allocation, rng *rand.Rand) bool {
+	switch rng.Intn(3) {
+	case 0:
+		return mutateMoveRead(a, rng, false)
+	case 1:
+		return mutateMoveRead(a, rng, true)
+	default:
+		return mutateSwapReads(a, rng)
+	}
+}
+
+// readPlacements lists (class, backend) pairs with a positive read
+// assignment, in deterministic order.
+func readPlacements(a *Allocation) [][2]int {
+	cls := a.Classification()
+	var out [][2]int
+	for ci, c := range cls.Classes() {
+		if c.Kind != Read {
+			continue
+		}
+		for b := 0; b < a.NumBackends(); b++ {
+			if a.Assign(b, c.Name) > Eps {
+				out = append(out, [2]int{ci, b})
+			}
+		}
+	}
+	return out
+}
+
+// mutateMoveRead moves all or half of one read share to another backend,
+// installing the needed fragments and update classes there.
+func mutateMoveRead(a *Allocation, rng *rand.Rand, half bool) bool {
+	pl := readPlacements(a)
+	if len(pl) == 0 || a.NumBackends() < 2 {
+		return false
+	}
+	pick := pl[rng.Intn(len(pl))]
+	cls := a.Classification()
+	c := cls.Classes()[pick[0]]
+	from := pick[1]
+	to := rng.Intn(a.NumBackends() - 1)
+	if to >= from {
+		to++
+	}
+	w := a.Assign(from, c.Name)
+	if half {
+		w /= 2
+	}
+	if w <= Eps {
+		return false
+	}
+	installClass(a, to, c)
+	a.AddAssign(to, c.Name, w)
+	a.AddAssign(from, c.Name, -w)
+	pruneBackend(a, from)
+	return true
+}
+
+// mutateSwapReads exchanges the shares of two read classes between two
+// backends.
+func mutateSwapReads(a *Allocation, rng *rand.Rand) bool {
+	pl := readPlacements(a)
+	if len(pl) < 2 {
+		return false
+	}
+	p1 := pl[rng.Intn(len(pl))]
+	p2 := pl[rng.Intn(len(pl))]
+	if p1 == p2 || p1[1] == p2[1] {
+		return false
+	}
+	cls := a.Classification()
+	c1, c2 := cls.Classes()[p1[0]], cls.Classes()[p2[0]]
+	w1, w2 := a.Assign(p1[1], c1.Name), a.Assign(p2[1], c2.Name)
+	w := math.Min(w1, w2)
+	if w <= Eps {
+		return false
+	}
+	installClass(a, p2[1], c1)
+	installClass(a, p1[1], c2)
+	a.AddAssign(p2[1], c1.Name, w)
+	a.AddAssign(p1[1], c1.Name, -w)
+	a.AddAssign(p1[1], c2.Name, w)
+	a.AddAssign(p2[1], c2.Name, -w)
+	pruneBackend(a, p1[1])
+	pruneBackend(a, p2[1])
+	return true
+}
+
+// installClass places the fragments of c and its transitive update
+// closure on backend b and assigns the update classes there (Eq. 10).
+func installClass(a *Allocation, b int, c *Class) {
+	cls := a.Classification()
+	fragSet := make(map[FragmentID]struct{})
+	for _, f := range c.Fragments() {
+		fragSet[f] = struct{}{}
+	}
+	assigned := make(map[string]bool)
+	for changed := true; changed; {
+		changed = false
+		for _, u := range cls.Updates() {
+			if assigned[u.Name] {
+				continue
+			}
+			overlap := false
+			for _, f := range u.Fragments() {
+				if _, ok := fragSet[f]; ok {
+					overlap = true
+					break
+				}
+			}
+			if overlap {
+				assigned[u.Name] = true
+				for _, f := range u.Fragments() {
+					fragSet[f] = struct{}{}
+				}
+				changed = true
+			}
+		}
+	}
+	frags := make([]FragmentID, 0, len(fragSet))
+	for f := range fragSet {
+		frags = append(frags, f)
+	}
+	a.AddFragments(b, frags...)
+	for name := range assigned {
+		u := cls.Class(name)
+		a.SetAssign(b, name, u.Weight)
+	}
+}
+
+// pruneBackend removes data and update assignments from backend b that
+// no read share on b requires any more, keeping Eq. 10/11 intact: an
+// update class is only dropped if it keeps at least one replica
+// elsewhere, and fragments are only removed when no assigned class
+// references them.
+func pruneBackend(a *Allocation, b int) {
+	cls := a.Classification()
+
+	// Fragments needed by the read shares on b (with update closure).
+	needed := make(map[FragmentID]struct{})
+	for _, c := range cls.Reads() {
+		if a.Assign(b, c.Name) > Eps {
+			for _, f := range c.Fragments() {
+				needed[f] = struct{}{}
+			}
+		}
+	}
+	// Transitive closure over update classes touching needed data.
+	keepUpdates := make(map[string]bool)
+	for changed := true; changed; {
+		changed = false
+		for _, u := range cls.Updates() {
+			if keepUpdates[u.Name] {
+				continue
+			}
+			overlap := false
+			for _, f := range u.Fragments() {
+				if _, ok := needed[f]; ok {
+					overlap = true
+					break
+				}
+			}
+			if overlap {
+				keepUpdates[u.Name] = true
+				for _, f := range u.Fragments() {
+					needed[f] = struct{}{}
+				}
+				changed = true
+			}
+		}
+	}
+	// Updates with no read dependency on b: droppable only with another
+	// replica elsewhere.
+	for _, u := range cls.Updates() {
+		if keepUpdates[u.Name] || a.Assign(b, u.Name) <= 0 {
+			continue
+		}
+		elsewhere := false
+		for ob := 0; ob < a.NumBackends(); ob++ {
+			if ob != b && a.Assign(ob, u.Name) > 0 {
+				elsewhere = true
+				break
+			}
+		}
+		if elsewhere {
+			a.SetAssign(b, u.Name, 0)
+		} else {
+			keepUpdates[u.Name] = true
+			for _, f := range u.Fragments() {
+				needed[f] = struct{}{}
+			}
+		}
+	}
+	// Zero read assignments that fell below tolerance.
+	for _, c := range cls.Reads() {
+		if w := a.Assign(b, c.Name); w > 0 && w <= Eps {
+			a.SetAssign(b, c.Name, 0)
+		}
+	}
+	// Drop unneeded fragments.
+	for _, f := range a.Fragments(b) {
+		if _, ok := needed[f]; !ok {
+			a.RemoveFragment(b, f)
+		}
+	}
+}
+
+// ErrNoImprovement is returned by improvement helpers when nothing
+// changed (exported for callers that distinguish the case).
+var ErrNoImprovement = errors.New("core: no improvement found")

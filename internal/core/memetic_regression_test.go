@@ -1,0 +1,32 @@
+package core
+
+import "testing"
+
+// TestMemeticUpdateOnlyWorkload: a classification with only update
+// classes must not hang the memetic loop (regression: offspring
+// generation looped forever because no mutation could change anything).
+func TestMemeticUpdateOnlyWorkload(t *testing.T) {
+	cl := NewClassification()
+	cl.AddFragment(Fragment{ID: "a", Size: 1})
+	cl.AddFragment(Fragment{ID: "b", Size: 2})
+	cl.MustAddClass(NewClass("U1", Update, 0.6, "a"))
+	cl.MustAddClass(NewClass("U2", Update, 0.4, "b"))
+	a, err := Memetic(cl, UniformBackends(3), MemeticOptions{Iterations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemeticSingleBackend(t *testing.T) {
+	cl := section3Classification()
+	a, err := Memetic(cl, UniformBackends(1), MemeticOptions{Iterations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

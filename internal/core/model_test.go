@@ -1,0 +1,246 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestClassBasics(t *testing.T) {
+	c := NewClass("q1", Read, 0.3, "b", "a", "b")
+	if got := c.Fragments(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Fragments() = %v, want [a b]", got)
+	}
+	if !c.References("a") || c.References("c") {
+		t.Fatalf("References misbehaves")
+	}
+	o := NewClass("q2", Update, 0.1, "b", "c")
+	if !c.Overlaps(o) {
+		t.Fatalf("q1 and q2 share b, Overlaps = false")
+	}
+	p := NewClass("q3", Read, 0.1, "z")
+	if c.Overlaps(p) {
+		t.Fatalf("q1 and q3 are disjoint, Overlaps = true")
+	}
+	if c.Kind.String() != "read" || o.Kind.String() != "update" {
+		t.Fatalf("Kind.String wrong")
+	}
+}
+
+func TestClassificationErrors(t *testing.T) {
+	cl := NewClassification()
+	cl.AddFragment(Fragment{ID: "a", Size: 1})
+	if err := cl.AddClass(NewClass("", Read, 0.5, "a")); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := cl.AddClass(NewClass("q", Read, -0.5, "a")); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if err := cl.AddClass(NewClass("q", Read, 0.5, "missing")); err == nil {
+		t.Error("unknown fragment accepted")
+	}
+	if err := cl.AddClass(NewClass("q", Read, 0.5)); err == nil {
+		t.Error("empty fragment set accepted")
+	}
+	if err := cl.AddClass(NewClass("q", Read, 0.5, "a")); err != nil {
+		t.Fatalf("valid class rejected: %v", err)
+	}
+	if err := cl.AddClass(NewClass("q", Read, 0.5, "a")); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if err := cl.Validate(); err == nil {
+		t.Error("weights sum to 0.5, Validate passed")
+	}
+	if err := cl.Normalize(); err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	if err := cl.Validate(); err != nil {
+		t.Fatalf("Validate after Normalize: %v", err)
+	}
+	empty := NewClassification()
+	if err := empty.Normalize(); err == nil {
+		t.Error("Normalize on empty classification passed")
+	}
+	if err := empty.Validate(); err == nil {
+		t.Error("Validate on empty classification passed")
+	}
+}
+
+func TestUpdatesForAndMaxSpeedup(t *testing.T) {
+	cl := NewClassification()
+	for _, f := range []string{"a", "b", "c"} {
+		cl.AddFragment(Fragment{ID: FragmentID(f), Size: 1})
+	}
+	q1 := NewClass("q1", Read, 0.4, "a")
+	q2 := NewClass("q2", Read, 0.3, "b", "c")
+	u1 := NewClass("u1", Update, 0.2, "a")
+	u2 := NewClass("u2", Update, 0.1, "c")
+	for _, c := range []*Class{q1, q2, u1, u2} {
+		cl.MustAddClass(c)
+	}
+	if got := cl.UpdatesFor(q1); len(got) != 1 || got[0] != u1 {
+		t.Fatalf("UpdatesFor(q1) = %v, want [u1]", got)
+	}
+	if got := cl.UpdatesFor(q2); len(got) != 1 || got[0] != u2 {
+		t.Fatalf("UpdatesFor(q2) = %v, want [u2]", got)
+	}
+	// An update class's updates() contains itself (Eq. 12).
+	if got := cl.UpdatesFor(u1); len(got) != 1 || got[0] != u1 {
+		t.Fatalf("UpdatesFor(u1) = %v, want [u1]", got)
+	}
+	if !almostEq(cl.UpdateWeightFor(q1), 0.2) {
+		t.Fatalf("UpdateWeightFor(q1) = %v", cl.UpdateWeightFor(q1))
+	}
+	// Eq. 17: max over classes of related update weight is 0.2 -> bound 5.
+	if got := cl.MaxSpeedup(); !almostEq(got, 5) {
+		t.Fatalf("MaxSpeedup = %v, want 5", got)
+	}
+}
+
+func TestMaxSpeedupReadOnly(t *testing.T) {
+	cl := NewClassification()
+	cl.AddFragment(Fragment{ID: "a", Size: 1})
+	cl.MustAddClass(NewClass("q", Read, 1, "a"))
+	if got := cl.MaxSpeedup(); !math.IsInf(got, 1) {
+		t.Fatalf("read-only MaxSpeedup = %v, want +Inf", got)
+	}
+}
+
+func TestUniformAndNormalizeBackends(t *testing.T) {
+	bs := UniformBackends(4)
+	if len(bs) != 4 {
+		t.Fatalf("len = %d", len(bs))
+	}
+	sum := 0.0
+	for _, b := range bs {
+		sum += b.Load
+	}
+	if !almostEq(sum, 1) {
+		t.Fatalf("loads sum to %v", sum)
+	}
+	hetero := NormalizeBackends([]Backend{{"x", 3}, {"y", 1}})
+	if !almostEq(hetero[0].Load, 0.75) || !almostEq(hetero[1].Load, 0.25) {
+		t.Fatalf("NormalizeBackends = %v", hetero)
+	}
+}
+
+func TestAllocationAccounting(t *testing.T) {
+	cl := NewClassification()
+	cl.AddFragment(Fragment{ID: "a", Size: 2})
+	cl.AddFragment(Fragment{ID: "b", Size: 3})
+	q := NewClass("q", Read, 0.7, "a")
+	u := NewClass("u", Update, 0.3, "b")
+	cl.MustAddClass(q)
+	cl.MustAddClass(u)
+
+	a := NewAllocation(cl, UniformBackends(2))
+	a.AddFragments(0, "a")
+	a.AddFragments(1, "b")
+	a.SetAssign(0, "q", 0.7)
+	a.SetAssign(1, "u", 0.3)
+
+	if err := a.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if !almostEq(a.AssignedLoad(0), 0.7) || !almostEq(a.AssignedLoad(1), 0.3) {
+		t.Fatalf("AssignedLoad = %v %v", a.AssignedLoad(0), a.AssignedLoad(1))
+	}
+	if !almostEq(a.Scale(), 1.4) {
+		t.Fatalf("Scale = %v, want 1.4", a.Scale())
+	}
+	if !almostEq(a.Speedup(), 2/1.4) {
+		t.Fatalf("Speedup = %v", a.Speedup())
+	}
+	if !almostEq(a.ScaledLoad(0), 0.7) {
+		t.Fatalf("ScaledLoad(0) = %v", a.ScaledLoad(0))
+	}
+	if !almostEq(a.DegreeOfReplication(), 1) {
+		t.Fatalf("DegreeOfReplication = %v, want 1 (no replication)", a.DegreeOfReplication())
+	}
+	if !almostEq(a.DataSize(0), 2) || !almostEq(a.DataSize(1), 3) {
+		t.Fatalf("DataSize = %v %v", a.DataSize(0), a.DataSize(1))
+	}
+	if a.FragmentReplicas("a") != 1 || a.ClassReplicas(q) != 1 {
+		t.Fatalf("replica counts wrong")
+	}
+	if got := a.AssignedClasses(0); len(got) != 1 || got[0] != "q" {
+		t.Fatalf("AssignedClasses(0) = %v", got)
+	}
+	if a.String() == "" {
+		t.Fatal("String() empty")
+	}
+
+	// Violations.
+	bad := a.Clone()
+	bad.SetAssign(0, "q", 0.5) // read under-assigned
+	if err := bad.Validate(); err == nil {
+		t.Error("under-assigned read class passed Validate")
+	}
+	bad2 := a.Clone()
+	bad2.SetAssign(1, "q", 0.1) // assigns a class without its fragments
+	if err := bad2.Validate(); err == nil {
+		t.Error("assignment without fragments passed Validate")
+	}
+	bad3 := a.Clone()
+	bad3.AddFragments(0, "b") // b on backend 0 but u not assigned there (ROWA violated)
+	if err := bad3.Validate(); err == nil {
+		t.Error("update data without update assignment passed Validate")
+	}
+	bad4 := a.Clone()
+	bad4.SetAssign(1, "u", 0) // update nowhere
+	if err := bad4.Validate(); err == nil {
+		t.Error("unassigned update class passed Validate")
+	}
+}
+
+func TestFullReplication(t *testing.T) {
+	cl := NewClassification()
+	cl.AddFragment(Fragment{ID: "a", Size: 1})
+	cl.AddFragment(Fragment{ID: "b", Size: 1})
+	cl.MustAddClass(NewClass("q", Read, 0.75, "a"))
+	cl.MustAddClass(NewClass("u", Update, 0.25, "b"))
+
+	a := FullReplication(cl, UniformBackends(4))
+	if err := a.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if !almostEq(a.DegreeOfReplication(), 4) {
+		t.Fatalf("DegreeOfReplication = %v, want 4", a.DegreeOfReplication())
+	}
+	// Each backend: 0.75/4 read share + 0.25 update = 0.4375; scale = 1.75.
+	if !almostEq(a.Scale(), 1.75) {
+		t.Fatalf("Scale = %v, want 1.75", a.Scale())
+	}
+	// Amdahl (Eq. 1): speedup = 1/(0.75/4 + 0.25) = 4/1.75.
+	if !almostEq(a.Speedup(), 4/1.75) {
+		t.Fatalf("Speedup = %v, want %v", a.Speedup(), 4/1.75)
+	}
+}
+
+func TestLoadAndAllocationMatrix(t *testing.T) {
+	cl := NewClassification()
+	cl.AddFragment(Fragment{ID: "a", Size: 1})
+	cl.AddFragment(Fragment{ID: "b", Size: 1})
+	cl.MustAddClass(NewClass("q", Read, 1, "a"))
+	a := NewAllocation(cl, UniformBackends(2))
+	a.AddFragments(0, "a")
+	a.SetAssign(0, "q", 1)
+	lm := a.LoadMatrix()
+	if !almostEq(lm[0][0], 1) || !almostEq(lm[1][0], 0) {
+		t.Fatalf("LoadMatrix = %v", lm)
+	}
+	am := a.AllocationMatrix()
+	if am[0][0] != 1 || am[0][1] != 0 || am[1][0] != 0 {
+		t.Fatalf("AllocationMatrix = %v", am)
+	}
+}
+
+func TestClassUnion(t *testing.T) {
+	c1 := NewClass("c1", Read, 0, "b", "a")
+	c2 := NewClass("c2", Read, 0, "c", "b")
+	u := ClassUnion(c1, c2)
+	if len(u) != 3 || u[0] != "a" || u[1] != "b" || u[2] != "c" {
+		t.Fatalf("ClassUnion = %v", u)
+	}
+}

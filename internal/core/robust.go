@@ -1,0 +1,128 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// SpeedupUnderDrift evaluates Section 5's workload-change analysis: the
+// theoretical speedup of an existing allocation when class weights drift
+// without reallocating. newWeights maps class names to their new
+// absolute weights; classes not listed keep their old weight. Each
+// backend's share of a drifted class scales proportionally to its
+// current assignment, and the resulting over-utilization is translated
+// into speedup by Eq. 19.
+//
+// The paper's example: in the Figure 2 four-backend allocation, raising
+// class C3's weight from 25% to 27% reduces the achievable speedup from
+// 4 to 4/1.08 ≈ 3.7.
+func SpeedupUnderDrift(a *Allocation, newWeights map[string]float64) (float64, error) {
+	cls := a.Classification()
+	for name := range newWeights {
+		if cls.Class(name) == nil {
+			return 0, fmt.Errorf("core: unknown class %q", name)
+		}
+		if newWeights[name] < 0 {
+			return 0, fmt.Errorf("core: negative weight for class %q", name)
+		}
+	}
+	scale := 1.0
+	for b := 0; b < a.NumBackends(); b++ {
+		load := 0.0
+		for _, c := range cls.Classes() {
+			w := a.Assign(b, c.Name)
+			if w <= 0 {
+				continue
+			}
+			if nw, ok := newWeights[c.Name]; ok && c.Weight > 0 {
+				w *= nw / c.Weight
+			}
+			load += w
+		}
+		if bl := a.Backends()[b].Load; bl > 0 {
+			if r := load / bl; r > scale {
+				scale = r
+			}
+		}
+	}
+	return float64(a.NumBackends()) / scale, nil
+}
+
+// ShiftableWeight returns, for backend b, how much assigned read weight
+// could be shifted to other backends that already hold the necessary
+// fragments, without moving any data. This is Section 5's robustness
+// notion: an allocation tolerates workload changes if loaded backends
+// can hand off weight.
+func ShiftableWeight(a *Allocation, b int) float64 {
+	cls := a.Classification()
+	total := 0.0
+	for _, c := range cls.Reads() {
+		w := a.Assign(b, c.Name)
+		if w <= Eps {
+			continue
+		}
+		for ob := 0; ob < a.NumBackends(); ob++ {
+			if ob != b && a.HasAllFragments(ob, c.Fragments()) {
+				total += w
+				break
+			}
+		}
+	}
+	return total
+}
+
+// EnsureRobustness implements Section 5's robustness reserve: for every
+// backend whose shiftable weight is below frac × its assigned load,
+// zero-weight replicas of its heaviest read classes are installed on the
+// least-loaded other backend until the reserve is met. The allocation
+// stays valid; only data placement (and mandatory update co-location)
+// grows.
+func EnsureRobustness(a *Allocation, frac float64) error {
+	if frac < 0 || frac > 1 {
+		return errors.New("core: robustness fraction must be in [0,1]")
+	}
+	if a.NumBackends() < 2 {
+		return nil
+	}
+	cls := a.Classification()
+	for b := 0; b < a.NumBackends(); b++ {
+		for ShiftableWeight(a, b) < frac*a.AssignedLoad(b)-Eps {
+			// Heaviest read share on b that is not yet shiftable.
+			var best *Class
+			bestW := 0.0
+			for _, c := range cls.Reads() {
+				w := a.Assign(b, c.Name)
+				if w <= Eps || w <= bestW {
+					continue
+				}
+				shiftable := false
+				for ob := 0; ob < a.NumBackends(); ob++ {
+					if ob != b && a.HasAllFragments(ob, c.Fragments()) {
+						shiftable = true
+						break
+					}
+				}
+				if !shiftable {
+					best, bestW = c, w
+				}
+			}
+			if best == nil {
+				break // everything on b is already shiftable
+			}
+			// Install a zero-weight replica on the least-loaded other
+			// backend.
+			target, targetLoad := -1, math.Inf(1)
+			for ob := 0; ob < a.NumBackends(); ob++ {
+				if ob == b {
+					continue
+				}
+				if l := a.AssignedLoad(ob); l < targetLoad {
+					target, targetLoad = ob, l
+				}
+			}
+			installClass(a, target, best)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"qcpa/internal/core"
+	"qcpa/internal/sim"
+)
+
+// measureWithPolicy runs a closed-loop simulation under a specific read
+// scheduling policy and returns the throughput.
+func measureWithPolicy(a *core.Allocation, st *setup, opts Options, policy int) (float64, error) {
+	res, err := sim.RunClosedLoop(sim.Options{
+		Alloc:      a,
+		Seed:       opts.Seed,
+		CacheAlpha: tpchCache.Alpha,
+		CacheBeta:  tpchCache.Beta,
+		Policy:     sim.SchedulerPolicy(policy),
+	}, st.next(), opts.Requests)
+	if err != nil {
+		return 0, err
+	}
+	return res.Throughput, nil
+}
+
+// Experiment pairs an id with its generator.
+type Experiment struct {
+	ID  string
+	Run func(Options) (*Table, error)
+}
+
+// AllExperiments lists every regenerable figure/table in DESIGN.md
+// order.
+func AllExperiments() []Experiment {
+	return []Experiment{
+		{"E01", Fig4aTPCHThroughput},
+		{"E02", Fig4bTPCHDeviation},
+		{"E03", Fig4cReplicationDegree},
+		{"E04", Fig4dAllocationTime},
+		{"E05", Fig4eTPCHScaling},
+		{"E06", Fig4fTPCAppSpeedup},
+		{"E07", Fig4gTPCAppThroughput},
+		{"E08", Fig4hTPCAppDeviation},
+		{"E09", Fig4iTPCAppLargeScale},
+		{"E10", Fig4jLoadBalance},
+		{"E11", Fig4kReplicationHistogramTable},
+		{"E12", Fig4lReplicationHistogramColumn},
+		{"E13", Fig5aAutoscaleNodes},
+		{"E14", Fig5bAutoscaleLatency},
+		{"E15", Fig6ClassDistribution},
+		{"E18", SpeedupModelTable},
+		{"E19", RobustnessTable},
+		{"E20", KSafetyTable},
+		{"E21", ClusterSmoke},
+		{"A1", AblationSolvers},
+		{"A2", AblationGranularity},
+		{"A3", AblationScheduler},
+		{"A4", AblationMatching},
+		{"E22", DriftDetection},
+		{"A5", AblationHorizontal},
+		{"A6", AblationHeterogeneity},
+	}
+}
+
+// RunAll executes every experiment and returns the tables in order.
+func RunAll(opts Options) ([]*Table, error) {
+	var out []*Table
+	for _, e := range AllExperiments() {
+		t, err := e.Run(opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

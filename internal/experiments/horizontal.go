@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+
+	"qcpa/internal/classify"
+	"qcpa/internal/core"
+	"qcpa/internal/workload/tpch"
+)
+
+// AblationHorizontal (A5) exercises the third classification
+// granularity of Section 3.1 — horizontal (predicate-based range)
+// partitioning — on the TPC-H workload. The two fact tables are
+// range-partitioned by date (lineitem by l_shipdate, orders by
+// o_orderdate); queries with date predicates then touch only the
+// fragments their ranges select, so the allocator can split the fact
+// tables across backends instead of replicating them whole.
+//
+// Compared series: table-based vs horizontal degree of replication and
+// the fragment count, over 1..MaxBackends backends.
+func AblationHorizontal(opts Options) (*Table, error) {
+	opts = opts.WithDefaults()
+	mix, err := tpch.Mix()
+	if err != nil {
+		return nil, err
+	}
+	journal := mix.Journal(10000)
+	schema := tpch.Schema()
+	rows := tpch.RowCounts(1)
+
+	table, err := classify.Classify(journal, schema, classify.Options{
+		Strategy: classify.TableBased, RowCounts: rows,
+	})
+	if err != nil {
+		return nil, err
+	}
+	horiz, err := classify.Classify(journal, schema, classify.Options{
+		Strategy:  classify.Horizontal,
+		RowCounts: rows,
+		Horizontal: map[string]classify.HorizontalSpec{
+			"lineitem": {Column: "l_shipdate", Buckets: 6, Min: 0, Max: tpch.MaxDate - 1},
+			"orders":   {Column: "o_orderdate", Buckets: 6, Min: 0, Max: tpch.MaxDate - 1},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID: "A5", Title: "ablation: horizontal partitioning of the TPC-H fact tables",
+		XLabel: "backends", YLabel: "degree of replication (Eq. 28)",
+	}
+	tSeries := Series{Name: "table-based", X: backendRange(opts.MaxBackends)}
+	hSeries := Series{Name: "horizontal", X: tSeries.X}
+	for n := 1; n <= opts.MaxBackends; n++ {
+		at, err := core.Greedy(table.Classification, core.UniformBackends(n))
+		if err != nil {
+			return nil, err
+		}
+		ah, err := core.Greedy(horiz.Classification, core.UniformBackends(n))
+		if err != nil {
+			return nil, err
+		}
+		// Normalize both to their own database size (identical data,
+		// different fragmentations).
+		tSeries.Y = append(tSeries.Y, at.TotalDataSize()/table.Classification.TotalSize())
+		hSeries.Y = append(hSeries.Y, ah.TotalDataSize()/horiz.Classification.TotalSize())
+	}
+	t.Series = []Series{tSeries, hSeries}
+	t.Notes = fmt.Sprintf("fragments: %d table-based vs %d horizontal",
+		len(table.Classification.Fragments()), len(horiz.Classification.Fragments()))
+	return t, nil
+}

@@ -1,0 +1,305 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qcpa/internal/autoscale"
+	"qcpa/internal/classify"
+	"qcpa/internal/cluster"
+	"qcpa/internal/core"
+	"qcpa/internal/sqlmini"
+	"qcpa/internal/stats"
+	"qcpa/internal/workload"
+	"qcpa/internal/workload/tpcapp"
+	"qcpa/internal/workload/trace"
+)
+
+// Fig4jLoadBalance regenerates Figure 4(j): the deviation from balance
+// of the column-based allocation under TPC-H (read-only) and TPC-App
+// (read-write), measured as the maximum relative deviation of a
+// backend's busy time from the all-backend average, averaged over Runs
+// seeds. The read-write workload deviates more — and the deviation
+// stems from underloaded, not overloaded, backends.
+func Fig4jLoadBalance(opts Options) (*Table, error) {
+	opts = opts.WithDefaults()
+	t := &Table{
+		ID: "E10", Title: "Fig 4(j) relative load balance TPC-H vs TPC-App",
+		XLabel: "backends", YLabel: "deviation from balance",
+	}
+	for _, wl := range []string{"TPC-H", "TPC-App"} {
+		s := Series{Name: wl, X: backendRange(opts.MaxBackends)}
+		for n := 1; n <= opts.MaxBackends; n++ {
+			var sum stats.Summary
+			for r := 0; r < opts.Runs; r++ {
+				var (
+					a   *core.Allocation
+					st  *setup
+					err error
+				)
+				if wl == "TPC-H" {
+					a, st, err = allocFor("column", n, opts.Seed)
+				} else {
+					a, st, err = tpcappAlloc("column", n, false)
+				}
+				if err != nil {
+					return nil, err
+				}
+				res, err := measure(a, st, opts, opts.Seed+int64(r)*17, wl == "TPC-H")
+				if err != nil {
+					return nil, err
+				}
+				sum.Add(stats.DeviationFromBalance(res.BusyTime))
+			}
+			s.Y = append(s.Y, sum.Mean())
+		}
+		t.Series = append(t.Series, s)
+	}
+	return t, nil
+}
+
+// jitter rebuilds a classification with weights perturbed by ±frac
+// (re-normalized), emulating run-to-run variation of the measured
+// execution times that the paper averages over.
+func jitter(cls *core.Classification, rng *rand.Rand, frac float64) (*core.Classification, error) {
+	out := core.NewClassification()
+	for _, f := range cls.Fragments() {
+		out.AddFragment(f)
+	}
+	for _, c := range cls.Classes() {
+		w := c.Weight * (1 + frac*(2*rng.Float64()-1))
+		if err := out.AddClass(core.NewClass(c.Name, c.Kind, w, c.Fragments()...)); err != nil {
+			return nil, err
+		}
+	}
+	if err := out.Normalize(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// replicationHistogram counts, per table, on how many backends the
+// table (or any of its fragments) is replicated, averaged over Runs
+// jittered allocations on MaxBackends backends.
+func replicationHistogram(opts Options, strategy classify.Strategy, id, title string) (*Table, error) {
+	opts = opts.WithDefaults()
+	n := opts.MaxBackends
+	t := &Table{
+		ID: id, Title: title,
+		XLabel: "number of replicas", YLabel: "frequency (avg of runs)",
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	for _, wl := range []string{"TPC-H", "TPC-App"} {
+		var st *setup
+		var err error
+		if wl == "TPC-H" {
+			st, err = tpchSetup(strategy, 1)
+		} else {
+			st, err = tpcappSetup(strategy, false)
+		}
+		if err != nil {
+			return nil, err
+		}
+		hist := stats.NewHistogram()
+		for r := 0; r < opts.Runs; r++ {
+			cls, err := jitter(st.cls, rng, 0.10)
+			if err != nil {
+				return nil, err
+			}
+			a, err := core.Greedy(cls, core.UniformBackends(n))
+			if err != nil {
+				return nil, err
+			}
+			for _, f := range cls.Fragments() {
+				if c := a.FragmentReplicas(f.ID); c > 0 {
+					hist.Add(c, 1)
+				}
+			}
+		}
+		hist.Scale(1 / float64(opts.Runs))
+		s := Series{Name: wl}
+		for b := 1; b <= n; b++ {
+			s.X = append(s.X, float64(b))
+			s.Y = append(s.Y, hist.Get(b))
+		}
+		t.Series = append(t.Series, s)
+	}
+	return t, nil
+}
+
+// Fig4kReplicationHistogramTable regenerates Figure 4(k): replication
+// counts per table for table-based allocation on 10 backends. TPC-H's
+// lineitem lands on every node; TPC-App's heavily updated order_line
+// stays on exactly one.
+func Fig4kReplicationHistogramTable(opts Options) (*Table, error) {
+	return replicationHistogram(opts, classify.TableBased,
+		"E11", "Fig 4(k) replication histogram (table-based)")
+}
+
+// Fig4lReplicationHistogramColumn regenerates Figure 4(l): replication
+// counts per column for column-based allocation. The histograms of the
+// two workloads are more alike than in the table-based case (more
+// fragments, and the algorithm's effort to reduce replication).
+func Fig4lReplicationHistogramColumn(opts Options) (*Table, error) {
+	return replicationHistogram(opts, classify.ColumnBased,
+		"E12", "Fig 4(l) replication histogram (column-based)")
+}
+
+// autoscaleOpts derives trace-experiment options from the suite options
+// (scaled down in Quick mode via Requests).
+func autoscaleOpts(opts Options) autoscale.Options {
+	scale := 40.0
+	service := 0.045
+	if opts.Requests < 4000 { // quick mode: 1/10 of the load, higher cost
+		scale, service = 4, 0.15
+	}
+	return autoscale.Options{MaxNodes: 6, TraceScale: scale, ServiceSeconds: service, Seed: opts.Seed}
+}
+
+// Fig5aAutoscaleNodes regenerates Section 5's "Number of Active Servers
+// Compared to Workload": the request curve of the 24-hour trace and the
+// number of active nodes chosen by the response-time-driven scaler.
+func Fig5aAutoscaleNodes(opts Options) (*Table, error) {
+	opts = opts.WithDefaults()
+	run, err := autoscale.Run(autoscaleOpts(opts))
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID: "E13", Title: "Sec 5 Fig: active servers vs workload (24 h trace)",
+		XLabel: "bucket (10 min)", YLabel: "requests / nodes",
+	}
+	reqs := Series{Name: "requests/10min"}
+	nodes := Series{Name: "active nodes"}
+	for _, st := range run {
+		reqs.X = append(reqs.X, float64(st.Bucket))
+		reqs.Y = append(reqs.Y, float64(st.Requests))
+		nodes.X = append(nodes.X, float64(st.Bucket))
+		nodes.Y = append(nodes.Y, float64(st.Nodes))
+	}
+	t.Series = []Series{reqs, nodes}
+	return t, nil
+}
+
+// Fig5bAutoscaleLatency regenerates Section 5's "Average Response Time
+// Compared to Workload": the per-window average response time with
+// autonomic scaling vs the static-maximum baseline.
+func Fig5bAutoscaleLatency(opts Options) (*Table, error) {
+	opts = opts.WithDefaults()
+	aOpts := autoscaleOpts(opts)
+	auto, err := autoscale.Run(aOpts)
+	if err != nil {
+		return nil, err
+	}
+	static, err := autoscale.RunStatic(aOpts, aOpts.MaxNodes)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID: "E14", Title: "Sec 5 Fig: avg response time, scaling vs static",
+		XLabel: "bucket (10 min)", YLabel: "avg response time (ms)",
+	}
+	w := Series{Name: "with scaling"}
+	wo := Series{Name: "without scaling"}
+	for i := range auto {
+		w.X = append(w.X, float64(auto[i].Bucket))
+		w.Y = append(w.Y, auto[i].AvgLatency*1000)
+		wo.X = append(wo.X, float64(static[i].Bucket))
+		wo.Y = append(wo.Y, static[i].AvgLatency*1000)
+	}
+	t.Series = []Series{w, wo}
+	return t, nil
+}
+
+// Fig6ClassDistribution regenerates Figure 6: the request rate of the
+// five trace classes over the day, in requests per 10-minute bucket.
+func Fig6ClassDistribution(opts Options) (*Table, error) {
+	t := &Table{
+		ID: "E15", Title: "Fig 6 distribution of query classes over a day",
+		XLabel: "bucket (10 min)", YLabel: "requests / 10 min",
+	}
+	for _, c := range trace.ClassNames() {
+		s := Series{Name: "Class " + c}
+		for b := 0; b < trace.Buckets; b++ {
+			s.X = append(s.X, float64(b))
+			s.Y = append(s.Y, trace.Rate(c, b))
+		}
+		t.Series = append(t.Series, s)
+	}
+	return t, nil
+}
+
+// ClusterSmoke runs a short end-to-end workload on the real cluster
+// runtime (engines, ROWA, journal) and reports measured throughput —
+// the experiment suite's proof that the prototype path works, not just
+// the simulator.
+func ClusterSmoke(opts Options) (*Table, error) {
+	opts = opts.WithDefaults()
+	return clusterSmoke(opts)
+}
+
+// clusterSmoke is separated for testing.
+func clusterSmoke(opts Options) (*Table, error) {
+	t := &Table{
+		ID: "E21", Title: "cluster runtime smoke (real engines, TPC-App)",
+		XLabel: "backends", YLabel: "requests/sec (real execution)",
+		Notes: "correctness path (routing, ROWA, journal), not a scaling claim: the demo data is tiny, so coordination dominates",
+	}
+	s := Series{Name: "table-based"}
+	for _, n := range []int{1, 2, 3} {
+		thr, err := runClusterOnce(n, opts)
+		if err != nil {
+			return nil, err
+		}
+		s.X = append(s.X, float64(n))
+		s.Y = append(s.Y, thr)
+	}
+	t.Series = []Series{s}
+	return t, nil
+}
+
+func runClusterOnce(n int, opts Options) (float64, error) {
+	// Small-id mix so generated point queries hit loaded rows.
+	mix, err := tpcapp.Mix(1)
+	if err != nil {
+		return 0, err
+	}
+	journal := mix.Journal(10000)
+	res, err := classify.Classify(journal, tpcapp.Schema(), classify.Options{
+		Strategy: classify.TableBased, RowCounts: tpcapp.RowCounts(300),
+	})
+	if err != nil {
+		return 0, err
+	}
+	mix.Bind(res)
+	alloc, err := core.Greedy(res.Classification, core.UniformBackends(n))
+	if err != nil {
+		return 0, err
+	}
+	c, err := cluster.New(cluster.Config{Backends: core.UniformBackends(n)})
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	loadRows := map[string]int64{
+		"author": 25, "item": 60, "customer": 80, "address": 160, "orders": 120, "order_line": 400,
+	}
+	if err := c.Install(alloc, func(e *sqlmini.Engine, tables []string) error {
+		return tpcapp.Load(e, tables, loadRows, opts.Seed)
+	}); err != nil {
+		return 0, err
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	reqs := opts.Requests / 4
+	if reqs < 200 {
+		reqs = 200
+	}
+	stats, err := c.Run(func() workload.Request { return mix.Next(rng) }, reqs, 2*n)
+	if err != nil {
+		return 0, err
+	}
+	if stats.Errors > 0 {
+		return 0, fmt.Errorf("experiments: cluster run had %d errors", stats.Errors)
+	}
+	return stats.Throughput, nil
+}

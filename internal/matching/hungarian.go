@@ -1,0 +1,99 @@
+// Package matching implements the physical-allocation machinery of
+// Section 3.4 and Section 5 of the paper: the Hungarian method for
+// cost-minimal perfect matchings, migration planning between an
+// installed and a newly computed allocation (Eq. 27), elastic scale-out
+// and scale-in with virtual empty backends, and the merging of
+// per-segment allocations for periodically changing workloads.
+package matching
+
+import (
+	"errors"
+	"math"
+)
+
+// Hungarian computes a minimum-cost perfect matching on a square cost
+// matrix using the O(n³) Kuhn-Munkres algorithm with potentials. It
+// returns, for each row, the assigned column, plus the total cost.
+// Costs may be any finite float64 values (negative allowed).
+func Hungarian(cost [][]float64) ([]int, float64, error) {
+	n := len(cost)
+	if n == 0 {
+		return nil, 0, nil
+	}
+	for _, row := range cost {
+		if len(row) != n {
+			return nil, 0, errors.New("matching: cost matrix is not square")
+		}
+		for _, c := range row {
+			if math.IsNaN(c) || math.IsInf(c, 0) {
+				return nil, 0, errors.New("matching: cost matrix contains NaN or Inf")
+			}
+		}
+	}
+
+	// Potentials u (rows), v (columns); way[j] is the column preceding j
+	// on the alternating path; matchCol[j] is the row matched to column
+	// j. Index 0 is a dummy; rows and columns are 1-based internally.
+	const inf = math.MaxFloat64
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	matchCol := make([]int, n+1)
+	way := make([]int, n+1)
+
+	for i := 1; i <= n; i++ {
+		matchCol[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := 0; j <= n; j++ {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := matchCol[j0]
+			delta := inf
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[matchCol[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if matchCol[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			matchCol[j0] = matchCol[j1]
+			j0 = j1
+		}
+	}
+
+	assign := make([]int, n)
+	total := 0.0
+	for j := 1; j <= n; j++ {
+		if matchCol[j] > 0 {
+			assign[matchCol[j]-1] = j - 1
+			total += cost[matchCol[j]-1][j-1]
+		}
+	}
+	return assign, total, nil
+}

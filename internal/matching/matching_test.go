@@ -1,0 +1,370 @@
+package matching
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qcpa/internal/core"
+)
+
+func TestHungarianIdentity(t *testing.T) {
+	cost := [][]float64{
+		{0, 9, 9},
+		{9, 0, 9},
+		{9, 9, 0},
+	}
+	assign, total, err := Hungarian(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 0 {
+		t.Fatalf("total = %v, want 0", total)
+	}
+	for i, j := range assign {
+		if i != j {
+			t.Fatalf("assign = %v, want identity", assign)
+		}
+	}
+}
+
+func TestHungarianKnown(t *testing.T) {
+	// Classic example: optimal cost is 5 (1+2+2) with rows->cols 1,0,2
+	// or similar.
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	assign, total, err := Hungarian(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 5 {
+		t.Fatalf("total = %v, want 5 (assign %v)", total, assign)
+	}
+}
+
+func TestHungarianNegativeCosts(t *testing.T) {
+	cost := [][]float64{
+		{-5, 0},
+		{0, -5},
+	}
+	assign, total, err := Hungarian(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != -10 || assign[0] != 0 || assign[1] != 1 {
+		t.Fatalf("total %v assign %v", total, assign)
+	}
+}
+
+func TestHungarianErrors(t *testing.T) {
+	if _, _, err := Hungarian([][]float64{{1, 2}}); err == nil {
+		t.Error("non-square matrix accepted")
+	}
+	if _, _, err := Hungarian([][]float64{{math.Inf(1)}}); err == nil {
+		t.Error("Inf cost accepted")
+	}
+	if a, total, err := Hungarian(nil); err != nil || len(a) != 0 || total != 0 {
+		t.Error("empty matrix should be trivially solved")
+	}
+}
+
+// TestHungarianPropertyVsBruteForce: the Hungarian optimum must equal
+// exhaustive permutation search on random matrices up to 6×6.
+func TestHungarianPropertyVsBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = math.Round(rng.Float64()*100) / 10
+			}
+		}
+		_, got, err := Hungarian(cost)
+		if err != nil {
+			return false
+		}
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = i
+		}
+		best := math.Inf(1)
+		var rec func(i int)
+		rec = func(i int) {
+			if i == n {
+				s := 0.0
+				for r, c := range perm {
+					s += cost[r][c]
+				}
+				if s < best {
+					best = s
+				}
+				return
+			}
+			for j := i; j < n; j++ {
+				perm[i], perm[j] = perm[j], perm[i]
+				rec(i + 1)
+				perm[i], perm[j] = perm[j], perm[i]
+			}
+		}
+		rec(0)
+		if math.Abs(got-best) > 1e-9 {
+			t.Logf("seed %d n %d: hungarian %v brute %v", seed, n, got, best)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// twoBackendFixture builds a classification and two allocations that
+// differ by a relabeling of backends, so the optimal migration is free
+// while the naive identity mapping pays.
+func twoBackendFixture(t *testing.T) (*core.Classification, *core.Allocation, *core.Allocation) {
+	t.Helper()
+	cl := core.NewClassification()
+	cl.AddFragment(core.Fragment{ID: "a", Size: 10})
+	cl.AddFragment(core.Fragment{ID: "b", Size: 20})
+	cl.MustAddClass(core.NewClass("qa", core.Read, 0.5, "a"))
+	cl.MustAddClass(core.NewClass("qb", core.Read, 0.5, "b"))
+	old := core.NewAllocation(cl, core.UniformBackends(2))
+	old.AddFragments(0, "a")
+	old.SetAssign(0, "qa", 0.5)
+	old.AddFragments(1, "b")
+	old.SetAssign(1, "qb", 0.5)
+	newA := core.NewAllocation(cl, core.UniformBackends(2))
+	newA.AddFragments(0, "b") // swapped labels
+	newA.SetAssign(0, "qb", 0.5)
+	newA.AddFragments(1, "a")
+	newA.SetAssign(1, "qa", 0.5)
+	return cl, old, newA
+}
+
+func TestPlanMigrationRelabeling(t *testing.T) {
+	_, old, newA := twoBackendFixture(t)
+	plan, dec, err := PlanMigration(old, newA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != 0 {
+		t.Fatalf("decommissioned %v on same-size migration", dec)
+	}
+	if plan.MoveSize != 0 {
+		t.Fatalf("MoveSize = %v, want 0 (pure relabeling)", plan.MoveSize)
+	}
+	if plan.Mapping[0] != 1 || plan.Mapping[1] != 0 {
+		t.Fatalf("Mapping = %v, want [1 0]", plan.Mapping)
+	}
+	if naive := NaiveMigrationSize(old, newA); naive != 30 {
+		t.Fatalf("naive cost = %v, want 30", naive)
+	}
+}
+
+func TestPlanMigrationScaleOut(t *testing.T) {
+	cl := core.NewClassification()
+	cl.AddFragment(core.Fragment{ID: "a", Size: 5})
+	cl.MustAddClass(core.NewClass("q", core.Read, 1, "a"))
+	old := core.NewAllocation(cl, core.UniformBackends(1))
+	old.AddFragments(0, "a")
+	old.SetAssign(0, "q", 1)
+	newA := core.NewAllocation(cl, core.UniformBackends(2))
+	newA.AddFragments(0, "a")
+	newA.AddFragments(1, "a")
+	newA.SetAssign(0, "q", 0.5)
+	newA.SetAssign(1, "q", 0.5)
+
+	plan, dec, err := PlanMigration(old, newA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != 0 {
+		t.Fatalf("decommissioned = %v on scale-out", dec)
+	}
+	// One backend keeps its replica (cost 0), the new one loads 5.
+	if plan.MoveSize != 5 {
+		t.Fatalf("MoveSize = %v, want 5", plan.MoveSize)
+	}
+}
+
+func TestPlanMigrationScaleIn(t *testing.T) {
+	cl := core.NewClassification()
+	cl.AddFragment(core.Fragment{ID: "a", Size: 5})
+	cl.AddFragment(core.Fragment{ID: "b", Size: 7})
+	cl.MustAddClass(core.NewClass("qa", core.Read, 0.5, "a"))
+	cl.MustAddClass(core.NewClass("qb", core.Read, 0.5, "b"))
+	old := core.NewAllocation(cl, core.UniformBackends(3))
+	old.AddFragments(0, "a")
+	old.SetAssign(0, "qa", 0.5)
+	old.AddFragments(1, "b")
+	old.SetAssign(1, "qb", 0.5)
+	old.AddFragments(2, "a", "b") // the replica-rich backend
+	newA := core.NewAllocation(cl, core.UniformBackends(2))
+	newA.AddFragments(0, "a", "b")
+	newA.SetAssign(0, "qa", 0.5)
+	newA.SetAssign(0, "qb", 0.5)
+	newA.AddFragments(1, "a")
+	_ = newA.Validate()
+	newA.SetAssign(1, "qa", 0) // keep simple: backend 1 holds a replica only
+
+	plan, dec, err := PlanMigration(old, newA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != 1 {
+		t.Fatalf("decommissioned = %v, want exactly one", dec)
+	}
+	// New backend 0 needs {a,b}: old backend 2 has both (cost 0); new
+	// backend 1 needs {a}: old 0 has it. So old backend 1 retires and
+	// nothing ships.
+	if plan.MoveSize != 0 {
+		t.Fatalf("MoveSize = %v, want 0", plan.MoveSize)
+	}
+	if dec[0] != 1 {
+		t.Fatalf("decommissioned backend = %v, want 1", dec)
+	}
+}
+
+func TestPlanMigrationNil(t *testing.T) {
+	if _, _, err := PlanMigration(nil, nil); err == nil {
+		t.Fatal("nil allocations accepted")
+	}
+}
+
+// TestPlanMigrationPropertyBeatsNaive: on random old/new allocation
+// pairs the Hungarian plan never ships more than the identity mapping.
+func TestPlanMigrationPropertyBeatsNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cl := core.NewClassification()
+		nf := 2 + rng.Intn(5)
+		ids := make([]core.FragmentID, nf)
+		for i := range ids {
+			ids[i] = core.FragmentID(rune('a' + i))
+			cl.AddFragment(core.Fragment{ID: ids[i], Size: 1 + rng.Float64()*9})
+		}
+		cl.MustAddClass(core.NewClass("q", core.Read, 1, ids...))
+		n := 2 + rng.Intn(4)
+		mk := func() *core.Allocation {
+			a := core.NewAllocation(cl, core.UniformBackends(n))
+			for b := 0; b < n; b++ {
+				for _, f := range ids {
+					if rng.Float64() < 0.5 {
+						a.AddFragments(b, f)
+					}
+				}
+			}
+			return a
+		}
+		old, newA := mk(), mk()
+		plan, _, err := PlanMigration(old, newA)
+		if err != nil {
+			return false
+		}
+		if plan.MoveSize > NaiveMigrationSize(old, newA)+1e-9 {
+			t.Logf("seed %d: plan %v > naive %v", seed, plan.MoveSize, NaiveMigrationSize(old, newA))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestETLCostModel(t *testing.T) {
+	cl := core.NewClassification()
+	cl.AddFragment(core.Fragment{ID: "a", Size: 10})
+	cl.AddFragment(core.Fragment{ID: "b", Size: 10})
+	cl.MustAddClass(core.NewClass("q", core.Read, 1, "a", "b"))
+	old := core.NewAllocation(cl, core.UniformBackends(2)) // empty
+	newA := core.FullReplication(cl, core.UniformBackends(2))
+	plan, _, err := PlanMigration(old, newA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := DefaultETLCostModel()
+	d := m.Duration(plan, newA)
+	// Both backends load 20 units in parallel: 20 * 1.5 = 30, no
+	// fragmentation overhead for full replicas.
+	if math.Abs(d-30) > 1e-9 {
+		t.Fatalf("Duration = %v, want 30", d)
+	}
+}
+
+func TestMergeAllocations(t *testing.T) {
+	// Two segments of a day: at night class B dominates, during the day
+	// classes A and C. The merged allocation must serve both locally.
+	ref := core.NewClassification()
+	for _, f := range []string{"a", "b", "c"} {
+		ref.AddFragment(core.Fragment{ID: core.FragmentID(f), Size: 1})
+	}
+	ref.MustAddClass(core.NewClass("QA", core.Read, 0.4, "a"))
+	ref.MustAddClass(core.NewClass("QB", core.Read, 0.3, "b"))
+	ref.MustAddClass(core.NewClass("QC", core.Read, 0.2, "c"))
+	ref.MustAddClass(core.NewClass("UB", core.Update, 0.1, "b"))
+
+	mkSeg := func(weights map[string]float64) *core.Allocation {
+		cl := core.NewClassification()
+		for _, f := range []string{"a", "b", "c"} {
+			cl.AddFragment(core.Fragment{ID: core.FragmentID(f), Size: 1})
+		}
+		cl.MustAddClass(core.NewClass("QA", core.Read, weights["QA"], "a"))
+		cl.MustAddClass(core.NewClass("QB", core.Read, weights["QB"], "b"))
+		cl.MustAddClass(core.NewClass("QC", core.Read, weights["QC"], "c"))
+		cl.MustAddClass(core.NewClass("UB", core.Update, weights["UB"], "b"))
+		if err := cl.Normalize(); err != nil {
+			t.Fatal(err)
+		}
+		a, err := core.Greedy(cl, core.UniformBackends(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	night := mkSeg(map[string]float64{"QA": 0.05, "QB": 0.7, "QC": 0.05, "UB": 0.2})
+	day := mkSeg(map[string]float64{"QA": 0.5, "QB": 0.1, "QC": 0.35, "UB": 0.05})
+
+	merged, err := MergeAllocations(ref, []*core.Allocation{night, day})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.Validate(); err != nil {
+		t.Fatalf("merged invalid: %v", err)
+	}
+	// Every class of every segment must be locally executable somewhere.
+	for _, seg := range []*core.Allocation{night, day} {
+		for _, c := range seg.Classification().Classes() {
+			found := false
+			for b := 0; b < merged.NumBackends(); b++ {
+				if merged.HasAllFragments(b, c.Fragments()) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("class %s not executable on merged allocation", c.Name)
+			}
+		}
+	}
+}
+
+func TestMergeAllocationsErrors(t *testing.T) {
+	ref := core.NewClassification()
+	ref.AddFragment(core.Fragment{ID: "a", Size: 1})
+	ref.MustAddClass(core.NewClass("q", core.Read, 1, "a"))
+	if _, err := MergeAllocations(ref, nil); err == nil {
+		t.Error("empty segment list accepted")
+	}
+	a1, _ := core.Greedy(ref, core.UniformBackends(2))
+	a2, _ := core.Greedy(ref, core.UniformBackends(3))
+	if _, err := MergeAllocations(ref, []*core.Allocation{a1, a2}); err == nil {
+		t.Error("mismatched backend counts accepted")
+	}
+}

@@ -1,0 +1,144 @@
+package matching
+
+import (
+	"errors"
+	"fmt"
+
+	"qcpa/internal/core"
+)
+
+// MergeAllocations combines per-segment allocations (Section 5: the
+// query history is segmented with a sliding window and one allocation is
+// computed per segment) into a single allocation that can serve every
+// segment's workload locally.
+//
+// The segments are aligned pairwise with the Hungarian method so that
+// backends whose fragment sets overlap most are merged (minimizing the
+// extra replication the union introduces), then every backend receives
+// the union of its matched fragment sets. Update classes of the
+// reference classification are installed wherever their data lands
+// (Eq. 10) and read shares are recomputed exactly for the reference
+// weights.
+//
+// ref is the classification whose weights the merged allocation is
+// balanced for (typically the whole-day workload); every fragment
+// referenced by a segment must exist in ref.
+func MergeAllocations(ref *core.Classification, segments []*core.Allocation) (*core.Allocation, error) {
+	if len(segments) == 0 {
+		return nil, errors.New("matching: no segment allocations")
+	}
+	backends := segments[0].Backends()
+	for _, s := range segments[1:] {
+		if s.NumBackends() != len(backends) {
+			return nil, errors.New("matching: segment allocations differ in backend count")
+		}
+	}
+
+	merged := core.NewAllocation(ref, backends)
+	// Seed with the first segment's placement.
+	for b := 0; b < len(backends); b++ {
+		for _, f := range segments[0].Fragments(b) {
+			if _, ok := ref.Fragment(f); !ok {
+				return nil, fmt.Errorf("matching: fragment %q missing from reference classification", f)
+			}
+			merged.AddFragments(b, f)
+		}
+	}
+
+	for _, seg := range segments[1:] {
+		n := len(backends)
+		cost := make([][]float64, n)
+		for v := 0; v < n; v++ {
+			cost[v] = make([]float64, n)
+			for u := 0; u < n; u++ {
+				var missing float64
+				for _, f := range seg.Fragments(v) {
+					frag, ok := ref.Fragment(f)
+					if !ok {
+						return nil, fmt.Errorf("matching: fragment %q missing from reference classification", f)
+					}
+					if !merged.HasFragment(u, f) {
+						missing += frag.Size
+					}
+				}
+				cost[v][u] = missing
+			}
+		}
+		assign, _, err := Hungarian(cost)
+		if err != nil {
+			return nil, err
+		}
+		for v := 0; v < n; v++ {
+			merged.AddFragments(assign[v], seg.Fragments(v)...)
+		}
+	}
+
+	// Every read class of the reference needs at least one home (a
+	// segment may never have seen it).
+	for _, c := range ref.Reads() {
+		hosted := false
+		for b := 0; b < len(backends); b++ {
+			if merged.HasAllFragments(b, c.Fragments()) {
+				hosted = true
+				break
+			}
+		}
+		if !hosted {
+			best, bestSize := 0, merged.DataSize(0)
+			for b := 1; b < len(backends); b++ {
+				if s := merged.DataSize(b); s < bestSize {
+					best, bestSize = b, s
+				}
+			}
+			merged.AddFragments(best, c.Fragments()...)
+		}
+	}
+
+	// An update class whose data no segment placed still needs one home.
+	for _, u := range ref.Updates() {
+		present := false
+		for b := 0; b < len(backends) && !present; b++ {
+			for _, f := range u.Fragments() {
+				if merged.HasFragment(b, f) {
+					present = true
+					break
+				}
+			}
+		}
+		if !present {
+			merged.AddFragments(0, u.Fragments()...)
+		}
+	}
+
+	// Install update classes wherever their data lives (Eq. 10, applied
+	// to a fixpoint: installing an update class adds its fragments,
+	// which can bring further update classes into scope).
+	for changed := true; changed; {
+		changed = false
+		for _, u := range ref.Updates() {
+			for b := 0; b < len(backends); b++ {
+				touches := false
+				for _, f := range u.Fragments() {
+					if merged.HasFragment(b, f) {
+						touches = true
+						break
+					}
+				}
+				if touches && merged.Assign(b, u.Name) == 0 {
+					merged.AddFragments(b, u.Fragments()...)
+					merged.SetAssign(b, u.Name, u.Weight)
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Exact read balancing for the reference weights.
+	if err := core.RebalanceReads(merged); err != nil {
+		return nil, err
+	}
+	if err := merged.Validate(); err != nil {
+		return nil, fmt.Errorf("matching: merged allocation invalid: %w", err)
+	}
+	return merged, nil
+}

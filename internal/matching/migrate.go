@@ -1,0 +1,206 @@
+package matching
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"qcpa/internal/core"
+)
+
+// Move describes one fragment transfer of a migration plan.
+type Move struct {
+	Fragment core.FragmentID
+	// ToBackend indexes the physical (old) backend that receives the
+	// fragment.
+	ToBackend int
+	Size      float64
+}
+
+// Drop describes one fragment removal.
+type Drop struct {
+	Fragment    core.FragmentID
+	FromBackend int
+	Size        float64
+}
+
+// Plan is the result of matching a newly computed allocation onto the
+// installed one (Section 3.4): which logical backend of the new
+// allocation lands on which physical backend, which fragments must be
+// shipped, and which can be dropped.
+type Plan struct {
+	// Mapping[v] is the physical backend that hosts logical backend v of
+	// the new allocation.
+	Mapping []int
+	// Moves lists the fragments that must be transferred and loaded.
+	Moves []Move
+	// Drops lists fragments that the physical backend no longer needs.
+	Drops []Drop
+	// MoveSize is the summed size of all moves — the ETL cost the
+	// matching minimizes (Eq. 27).
+	MoveSize float64
+	// DropSize is the summed size of all drops.
+	DropSize float64
+}
+
+// PlanMigration computes a cost-minimal mapping of the new allocation's
+// backends onto the old allocation's backends using the Hungarian method
+// on the Eq. 27 cost matrix: the weight of edge (v, u) is the size of
+// the fragments of new backend v that old backend u does not store yet.
+//
+// The two allocations may differ in backend count (Section 5's elastic
+// scaling): a larger new allocation pads the old side with empty virtual
+// backends (scale-out: the extra logical backends are new nodes), and a
+// smaller new allocation pads the new side (scale-in: physical backends
+// matched to virtual backends are decommissioned, reported via
+// Decommissioned).
+func PlanMigration(oldA, newA *core.Allocation) (*Plan, []int, error) {
+	if oldA == nil || newA == nil {
+		return nil, nil, errors.New("matching: nil allocation")
+	}
+	nOld := oldA.NumBackends()
+	nNew := newA.NumBackends()
+	n := nOld
+	if nNew > n {
+		n = nNew
+	}
+	cls := newA.Classification()
+
+	// cost[v][u]: size of fragments needed by new backend v missing on
+	// old backend u. Virtual rows (v >= nNew) and virtual columns
+	// (u >= nOld) cost 0 and len-of-new-v respectively.
+	cost := make([][]float64, n)
+	for v := 0; v < n; v++ {
+		cost[v] = make([]float64, n)
+		for u := 0; u < n; u++ {
+			if v >= nNew {
+				cost[v][u] = 0 // virtual new backend: nothing to ship
+				continue
+			}
+			var missing float64
+			for _, f := range newA.Fragments(v) {
+				frag, ok := cls.Fragment(f)
+				if !ok {
+					return nil, nil, fmt.Errorf("matching: unknown fragment %q", f)
+				}
+				if u >= nOld || !oldA.HasFragment(u, f) {
+					missing += frag.Size
+				}
+			}
+			cost[v][u] = missing
+		}
+	}
+	assign, _, err := Hungarian(cost)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	plan := &Plan{Mapping: make([]int, nNew)}
+	decommissioned := []int{}
+	usedOld := make([]bool, n)
+	for v := 0; v < nNew; v++ {
+		plan.Mapping[v] = assign[v]
+		usedOld[assign[v]] = true
+	}
+	for v := nNew; v < n; v++ {
+		// Old backend matched to a virtual new backend is decommissioned.
+		if assign[v] < nOld {
+			decommissioned = append(decommissioned, assign[v])
+		}
+	}
+	sort.Ints(decommissioned)
+
+	for v := 0; v < nNew; v++ {
+		u := plan.Mapping[v]
+		for _, f := range newA.Fragments(v) {
+			frag, _ := cls.Fragment(f)
+			if u >= nOld || !oldA.HasFragment(u, f) {
+				plan.Moves = append(plan.Moves, Move{Fragment: f, ToBackend: u, Size: frag.Size})
+				plan.MoveSize += frag.Size
+			}
+		}
+		if u < nOld {
+			needed := make(map[core.FragmentID]bool)
+			for _, f := range newA.Fragments(v) {
+				needed[f] = true
+			}
+			for _, f := range oldA.Fragments(u) {
+				if !needed[f] {
+					frag, _ := oldA.Classification().Fragment(f)
+					plan.Drops = append(plan.Drops, Drop{Fragment: f, FromBackend: u, Size: frag.Size})
+					plan.DropSize += frag.Size
+				}
+			}
+		}
+	}
+	return plan, decommissioned, nil
+}
+
+// NaiveMigrationSize returns the ETL cost of installing the new
+// allocation with the identity mapping (logical backend v onto physical
+// backend v), the baseline the Hungarian matching improves on.
+func NaiveMigrationSize(oldA, newA *core.Allocation) float64 {
+	cls := newA.Classification()
+	total := 0.0
+	for v := 0; v < newA.NumBackends(); v++ {
+		for _, f := range newA.Fragments(v) {
+			frag, _ := cls.Fragment(f)
+			if v >= oldA.NumBackends() || !oldA.HasFragment(v, f) {
+				total += frag.Size
+			}
+		}
+	}
+	return total
+}
+
+// ETLCostModel translates migration volume into time, mirroring the
+// paper's Figure 4(d) measurement: preparing table fragments, network
+// transfer, and bulk load all scale with the shipped bytes, plus a fixed
+// per-backend overhead for fragmented (non-full) allocations.
+type ETLCostModel struct {
+	// PrepPerUnit is the fragment-extraction time per size unit.
+	PrepPerUnit float64
+	// TransferPerUnit is the network time per size unit.
+	TransferPerUnit float64
+	// LoadPerUnit is the bulk-load time per size unit.
+	LoadPerUnit float64
+	// FragmentationOverhead is a fixed cost paid once per backend that
+	// receives a proper subset of the database (full replicas skip the
+	// fragment preparation step entirely).
+	FragmentationOverhead float64
+}
+
+// DefaultETLCostModel mirrors the relative magnitudes of the paper's
+// cluster (loading dominates, then transfer, then preparation).
+func DefaultETLCostModel() ETLCostModel {
+	return ETLCostModel{
+		PrepPerUnit:           0.2,
+		TransferPerUnit:       0.3,
+		LoadPerUnit:           1.0,
+		FragmentationOverhead: 0.05,
+	}
+}
+
+// Duration estimates the wall-clock time of installing newA from oldA
+// given a plan. Backends load in parallel, so the duration is the
+// maximum per-backend time.
+func (m ETLCostModel) Duration(plan *Plan, newA *core.Allocation) float64 {
+	perBackend := make(map[int]float64)
+	for _, mv := range plan.Moves {
+		perUnit := m.PrepPerUnit + m.TransferPerUnit + m.LoadPerUnit
+		perBackend[mv.ToBackend] += mv.Size * perUnit
+	}
+	total := newA.Classification().TotalSize()
+	for v, u := range plan.Mapping {
+		if newA.DataSize(v) < total-1e-9 {
+			perBackend[u] += m.FragmentationOverhead
+		}
+	}
+	maxT := 0.0
+	for _, t := range perBackend {
+		if t > maxT {
+			maxT = t
+		}
+	}
+	return maxT
+}

@@ -1,0 +1,254 @@
+// Package server exposes a cluster controller over TCP, completing the
+// paper's three-tier architecture (Figure 1): clients connect to the
+// controller, which schedules their queries onto the backends. The wire
+// protocol is newline-delimited JSON — one request object per line, one
+// response object per line, pipelinable per connection.
+//
+// Request:
+//
+//	{"sql": "SELECT ...", "class": "Q1", "write": false}
+//
+// Response:
+//
+//	{"ok": true, "backend": "B2", "columns": [...], "rows": [[...]],
+//	 "affected": 0, "duration_us": 123}
+//
+// A request with "cmd": "history" returns the controller's recorded
+// query journal instead (the input to reallocation); "cmd": "stats"
+// returns per-backend table sets.
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"qcpa/internal/cluster"
+	"qcpa/internal/sqlmini"
+	"qcpa/internal/workload"
+)
+
+// Request is one client message.
+type Request struct {
+	Cmd   string `json:"cmd,omitempty"` // "", "history", "stats"
+	SQL   string `json:"sql,omitempty"`
+	Class string `json:"class,omitempty"`
+	Write bool   `json:"write,omitempty"`
+}
+
+// HistoryEntry mirrors the journal lines returned by cmd "history".
+type HistoryEntry struct {
+	SQL   string  `json:"sql"`
+	Count int     `json:"count"`
+	Cost  float64 `json:"cost"`
+}
+
+// Response is one server message.
+type Response struct {
+	OK         bool            `json:"ok"`
+	Error      string          `json:"error,omitempty"`
+	Backend    string          `json:"backend,omitempty"`
+	Columns    []string        `json:"columns,omitempty"`
+	Rows       [][]interface{} `json:"rows,omitempty"`
+	Affected   int             `json:"affected,omitempty"`
+	DurationUS int64           `json:"duration_us,omitempty"`
+	History    []HistoryEntry  `json:"history,omitempty"`
+	Tables     [][]string      `json:"tables,omitempty"`
+}
+
+// Server serves a cluster over a listener.
+type Server struct {
+	cluster *cluster.Cluster
+	ln      net.Listener
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	closed  bool
+}
+
+// Serve starts accepting connections on ln; it returns immediately.
+// Close stops the accept loop and waits for in-flight connections.
+func Serve(ln net.Listener, c *cluster.Cluster) *Server {
+	s := &Server{cluster: c, ln: ln}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listener address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops the server (the cluster itself is not closed).
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	w := bufio.NewWriter(conn)
+	enc := json.NewEncoder(w)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req Request
+		var resp Response
+		if err := json.Unmarshal(line, &req); err != nil {
+			resp = Response{Error: "bad request: " + err.Error()}
+		} else {
+			resp = s.execute(req)
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) execute(req Request) Response {
+	switch req.Cmd {
+	case "":
+		res, err := s.cluster.Execute(workload.Request{SQL: req.SQL, Class: req.Class, Write: req.Write})
+		if err != nil {
+			return Response{Error: err.Error()}
+		}
+		out := Response{
+			OK:         true,
+			Backend:    res.Backend,
+			Columns:    res.Columns,
+			Affected:   res.Affected,
+			DurationUS: res.Duration.Microseconds(),
+		}
+		for _, row := range res.Data {
+			jr := make([]interface{}, len(row))
+			for i, v := range row {
+				jr[i] = jsonValue(v)
+			}
+			out.Rows = append(out.Rows, jr)
+		}
+		return out
+	case "history":
+		var hist []HistoryEntry
+		for _, e := range s.cluster.History() {
+			hist = append(hist, HistoryEntry{SQL: e.SQL, Count: e.Count, Cost: e.Cost})
+		}
+		return Response{OK: true, History: hist}
+	case "stats":
+		var tables [][]string
+		for i := 0; i < s.cluster.NumBackends(); i++ {
+			tables = append(tables, s.cluster.Tables(i))
+		}
+		return Response{OK: true, Tables: tables}
+	}
+	return Response{Error: fmt.Sprintf("unknown cmd %q", req.Cmd)}
+}
+
+// jsonValue converts an engine value into a JSON-friendly Go value.
+func jsonValue(v sqlmini.Value) interface{} {
+	switch v.K {
+	case sqlmini.KindInt:
+		return v.I
+	case sqlmini.KindFloat:
+		return v.F
+	case sqlmini.KindText:
+		return v.S
+	default:
+		return nil
+	}
+}
+
+// Client is a synchronous client for the controller protocol. It is
+// safe for concurrent use; requests are serialized per connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+// Dial connects to a controller.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Do sends one request and reads its response.
+func (c *Client) Do(req Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	data, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	data = append(data, '\n')
+	if _, err := c.conn.Write(data); err != nil {
+		return nil, err
+	}
+	line, err := c.r.ReadBytes('\n')
+	if err != nil {
+		return nil, err
+	}
+	var resp Response
+	if err := json.Unmarshal(line, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Query executes a read.
+func (c *Client) Query(sql, class string) (*Response, error) {
+	resp, err := c.Do(Request{SQL: sql, Class: class})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return resp, errors.New(resp.Error)
+	}
+	return resp, nil
+}
+
+// Exec executes a write (routed via ROWA to all replicas).
+func (c *Client) Exec(sql, class string) (*Response, error) {
+	resp, err := c.Do(Request{SQL: sql, Class: class, Write: true})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return resp, errors.New(resp.Error)
+	}
+	return resp, nil
+}

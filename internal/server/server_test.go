@@ -1,0 +1,229 @@
+package server
+
+import (
+	"net"
+	"sync"
+	"testing"
+
+	"qcpa/internal/cluster"
+	"qcpa/internal/core"
+	"qcpa/internal/sqlmini"
+)
+
+// startServer spins up a 2-backend cluster (tables a+b / b) behind a
+// TCP listener on a random port.
+func startServer(t *testing.T) (*Server, *cluster.Cluster, string) {
+	t.Helper()
+	cl := core.NewClassification()
+	cl.AddFragment(core.Fragment{ID: "a", Size: 1})
+	cl.AddFragment(core.Fragment{ID: "b", Size: 1})
+	cl.MustAddClass(core.NewClass("QA", core.Read, 0.4, "a"))
+	cl.MustAddClass(core.NewClass("QB", core.Read, 0.3, "b"))
+	cl.MustAddClass(core.NewClass("UB", core.Update, 0.3, "b"))
+	alloc := core.NewAllocation(cl, core.UniformBackends(2))
+	alloc.AddFragments(0, "a", "b")
+	alloc.SetAssign(0, "QA", 0.4)
+	alloc.SetAssign(0, "UB", 0.3)
+	alloc.AddFragments(1, "b")
+	alloc.SetAssign(1, "QB", 0.3)
+	alloc.SetAssign(1, "UB", 0.3)
+	if err := alloc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := cluster.New(cluster.Config{Backends: core.UniformBackends(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	load := func(e *sqlmini.Engine, tables []string) error {
+		for _, tb := range tables {
+			if err := e.CreateTable(tb, []sqlmini.Column{
+				{Name: tb + "_id", Type: sqlmini.KindInt, PrimaryKey: true},
+				{Name: tb + "_v", Type: sqlmini.KindInt},
+			}); err != nil {
+				return err
+			}
+			rows := make([]sqlmini.Row, 5)
+			for i := range rows {
+				rows[i] = sqlmini.Row{sqlmini.Int(int64(i)), sqlmini.Int(int64(i * 2))}
+			}
+			if err := e.BulkInsert(tb, rows); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := c.Install(alloc, load); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(ln, c)
+	t.Cleanup(func() { srv.Close() })
+	return srv, c, ln.Addr().String()
+}
+
+func TestQueryOverTCP(t *testing.T) {
+	_, _, addr := startServer(t)
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	resp, err := client.Query(`SELECT a_v FROM a WHERE a_id = 2`, "QA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Rows) != 1 {
+		t.Fatalf("rows = %v", resp.Rows)
+	}
+	if v, ok := resp.Rows[0][0].(float64); !ok || v != 4 {
+		t.Fatalf("value = %v (JSON numbers arrive as float64)", resp.Rows[0][0])
+	}
+	if resp.Backend != "B1" {
+		t.Fatalf("backend = %s", resp.Backend)
+	}
+	if resp.Columns[0] != "a_v" {
+		t.Fatalf("columns = %v", resp.Columns)
+	}
+	if resp.DurationUS < 0 {
+		t.Fatal("negative duration")
+	}
+}
+
+func TestWriteOverTCPReachesAllReplicas(t *testing.T) {
+	_, c, addr := startServer(t)
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	resp, err := client.Exec(`UPDATE b SET b_v = 99 WHERE b_id = 1`, "UB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Affected != 1 {
+		t.Fatalf("affected = %d", resp.Affected)
+	}
+	for i := 0; i < 2; i++ {
+		r, err := c.Backend(i).Exec(`SELECT b_v FROM b WHERE b_id = 1`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Rows[0][0].I != 99 {
+			t.Fatalf("backend %d missed the write", i)
+		}
+	}
+}
+
+func TestServerErrorsAreReported(t *testing.T) {
+	_, _, addr := startServer(t)
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.Query(`SELECT nope FROM a`, "QA"); err == nil {
+		t.Fatal("bad query did not error")
+	}
+	// The connection survives an error.
+	if _, err := client.Query(`SELECT a_v FROM a WHERE a_id = 0`, "QA"); err != nil {
+		t.Fatalf("connection unusable after error: %v", err)
+	}
+	resp, err := client.Do(Request{Cmd: "bogus"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK {
+		t.Fatal("unknown command accepted")
+	}
+}
+
+func TestHistoryAndStatsCommands(t *testing.T) {
+	_, _, addr := startServer(t)
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := client.Query(`SELECT a_v FROM a WHERE a_id = 1`, "QA"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := client.Do(Request{Cmd: "history"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK || len(resp.History) != 1 || resp.History[0].Count != 3 {
+		t.Fatalf("history = %+v", resp.History)
+	}
+	resp, err = client.Do(Request{Cmd: "stats"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Tables) != 2 || len(resp.Tables[0]) != 2 || len(resp.Tables[1]) != 1 {
+		t.Fatalf("stats = %v", resp.Tables)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	_, _, addr := startServer(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer client.Close()
+			for i := 0; i < 20; i++ {
+				if _, err := client.Query(`SELECT b_v FROM b WHERE b_id = 2`, "QB"); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestMalformedLine(t *testing.T) {
+	_, _, addr := startServer(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("this is not json\n")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no error response")
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv, _, _ := startServer(t)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

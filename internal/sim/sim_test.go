@@ -1,0 +1,361 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qcpa/internal/core"
+)
+
+// readOnlyCls builds the Section 3 read-only classification.
+func readOnlyCls() *core.Classification {
+	cl := core.NewClassification()
+	for _, f := range []string{"A", "B", "C"} {
+		cl.AddFragment(core.Fragment{ID: core.FragmentID(f), Size: 1})
+	}
+	cl.MustAddClass(core.NewClass("C1", core.Read, 0.30, "A"))
+	cl.MustAddClass(core.NewClass("C2", core.Read, 0.25, "B"))
+	cl.MustAddClass(core.NewClass("C3", core.Read, 0.25, "C"))
+	cl.MustAddClass(core.NewClass("C4", core.Read, 0.20, "A", "B"))
+	return cl
+}
+
+// drawFrom samples requests according to class weights.
+func drawFrom(cl *core.Classification) func(rng *rand.Rand) Request {
+	classes := cl.Classes()
+	return func(rng *rand.Rand) Request {
+		x := rng.Float64()
+		acc := 0.0
+		for _, c := range classes {
+			acc += c.Weight
+			if x <= acc {
+				return Request{Class: c.Name, Write: c.Kind == core.Update, Cost: 1}
+			}
+		}
+		c := classes[len(classes)-1]
+		return Request{Class: c.Name, Write: c.Kind == core.Update, Cost: 1}
+	}
+}
+
+// TestReadOnlyLinearSpeedup: with full replication and a read-only
+// workload, throughput must scale (near) linearly with the number of
+// backends, matching Section 2's model.
+func TestReadOnlyLinearSpeedup(t *testing.T) {
+	cl := readOnlyCls()
+	base := 0.0
+	for _, n := range []int{1, 2, 4, 8} {
+		a := core.FullReplication(cl, core.UniformBackends(n))
+		res, err := RunClosedLoop(Options{Alloc: a}, drawFrom(cl), 4000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 1 {
+			base = res.Throughput
+			continue
+		}
+		speedup := res.Throughput / base
+		if math.Abs(speedup-float64(n)) > 0.15*float64(n) {
+			t.Fatalf("n=%d: speedup %.3f, want ~%d", n, speedup, n)
+		}
+	}
+}
+
+// TestPartialReplicationMatchesModel: the greedy allocation of the
+// Section 3 example must also reach speedup ~2 and ~4 on 2/4 backends.
+func TestPartialReplicationMatchesModel(t *testing.T) {
+	cl := readOnlyCls()
+	a1, _ := core.Greedy(cl, core.UniformBackends(1))
+	r1, err := RunClosedLoop(Options{Alloc: a1}, drawFrom(cl), 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{2, 4} {
+		a, err := core.Greedy(cl, core.UniformBackends(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunClosedLoop(Options{Alloc: a}, drawFrom(cl), 6000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		speedup := res.Throughput / r1.Throughput
+		if math.Abs(speedup-float64(n)) > 0.2*float64(n) {
+			t.Fatalf("n=%d: measured speedup %.3f vs theoretical %.3f", n, speedup, a.Speedup())
+		}
+	}
+}
+
+// updateCls builds the Appendix A classification (24% updates related to
+// reads).
+func updateCls() *core.Classification {
+	cl := core.NewClassification()
+	for _, f := range []string{"A", "B", "C"} {
+		cl.AddFragment(core.Fragment{ID: core.FragmentID(f), Size: 1})
+	}
+	cl.MustAddClass(core.NewClass("Q1", core.Read, 0.24, "A"))
+	cl.MustAddClass(core.NewClass("Q2", core.Read, 0.20, "B"))
+	cl.MustAddClass(core.NewClass("Q3", core.Read, 0.20, "C"))
+	cl.MustAddClass(core.NewClass("Q4", core.Read, 0.16, "A", "B"))
+	cl.MustAddClass(core.NewClass("U1", core.Update, 0.04, "A"))
+	cl.MustAddClass(core.NewClass("U2", core.Update, 0.10, "B"))
+	cl.MustAddClass(core.NewClass("U3", core.Update, 0.06, "C"))
+	return cl
+}
+
+// TestUpdatesFollowROWA: with full replication, update-heavy workloads
+// plateau near Amdahl's bound (Eq. 1) while partial replication scales
+// better — the core claim of Section 4.2.
+func TestUpdatesFollowROWA(t *testing.T) {
+	cl := updateCls()
+	draw := drawFrom(cl)
+
+	single := core.FullReplication(cl, core.UniformBackends(1))
+	r1, err := RunClosedLoop(Options{Alloc: single}, draw, 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	n := 8
+	full := core.FullReplication(cl, core.UniformBackends(n))
+	rFull, err := RunClosedLoop(Options{Alloc: full}, draw, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullSpeedup := rFull.Throughput / r1.Throughput
+	// Amdahl: updates are 20% of weight -> bound 1/(0.8/8+0.2) = 3.33.
+	amdahl := 1 / (0.8/float64(n) + 0.2)
+	if fullSpeedup > amdahl*1.15 {
+		t.Fatalf("full replication speedup %.2f above Amdahl bound %.2f", fullSpeedup, amdahl)
+	}
+
+	part, err := core.Greedy(cl, core.UniformBackends(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rPart, err := RunClosedLoop(Options{Alloc: part}, draw, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partSpeedup := rPart.Throughput / r1.Throughput
+	if partSpeedup <= fullSpeedup {
+		t.Fatalf("partial replication speedup %.2f not above full replication %.2f", partSpeedup, fullSpeedup)
+	}
+	// The static model (Eq. 19) is a guide, not a ceiling: the dynamic
+	// least-pending scheduler may beat the static assign split because
+	// reads can run on any data-holding backend. The hard ceilings are
+	// Eq. 17 and |B|.
+	if partSpeedup < part.Speedup()*0.85 {
+		t.Fatalf("measured %.2f far below theoretical %.2f", partSpeedup, part.Speedup())
+	}
+	if partSpeedup > cl.MaxSpeedup()*1.1 {
+		t.Fatalf("measured %.2f exceeds Eq. 17 bound %.2f", partSpeedup, cl.MaxSpeedup())
+	}
+	if partSpeedup > float64(n)+1e-9 {
+		t.Fatalf("measured %.2f exceeds backend count %d", partSpeedup, n)
+	}
+}
+
+// TestCacheFactorSuperLinear: with the cache model enabled, specialized
+// backends (storing a fraction of the data) beat full replication even
+// on read-only workloads — the Figure 4(a) effect.
+func TestCacheFactorSuperLinear(t *testing.T) {
+	cl := readOnlyCls()
+	n := 4
+	opts := func(a *core.Allocation) Options {
+		return Options{Alloc: a, CacheAlpha: 0.4, CacheBeta: 0.7}
+	}
+	full := core.FullReplication(cl, core.UniformBackends(n))
+	rFull, err := RunClosedLoop(opts(full), drawFrom(cl), 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, _ := core.Greedy(cl, core.UniformBackends(n))
+	rPart, err := RunClosedLoop(opts(part), drawFrom(cl), 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rPart.Throughput <= rFull.Throughput {
+		t.Fatalf("partial %.2f not above full %.2f with cache model", rPart.Throughput, rFull.Throughput)
+	}
+}
+
+// TestRandomPolicyImbalance: random scheduling wastes capacity relative
+// to least-pending (the Figure 4(a) random-allocation plateau is driven
+// by imbalance).
+func TestSchedulerPolicies(t *testing.T) {
+	cl := readOnlyCls()
+	a := core.FullReplication(cl, core.UniformBackends(4))
+	lp, err := RunClosedLoop(Options{Alloc: a, Policy: LeastPending}, drawFrom(cl), 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := RunClosedLoop(Options{Alloc: a, Policy: RoundRobin}, drawFrom(cl), 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd, err := RunClosedLoop(Options{Alloc: a, Policy: RandomEligible}, drawFrom(cl), 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp.Throughput < rnd.Throughput*0.98 {
+		t.Fatalf("least-pending %.2f below random %.2f", lp.Throughput, rnd.Throughput)
+	}
+	if lp.Throughput < rr.Throughput*0.95 {
+		t.Fatalf("least-pending %.2f well below round-robin %.2f", lp.Throughput, rr.Throughput)
+	}
+}
+
+// TestHeterogeneousSpeeds: a backend with twice the load handles twice
+// the work at equal utilization.
+func TestHeterogeneousSpeeds(t *testing.T) {
+	cl := readOnlyCls()
+	backends := core.NormalizeBackends([]core.Backend{{Name: "big", Load: 2}, {Name: "small", Load: 1}})
+	a := core.FullReplication(cl, backends)
+	res, err := RunClosedLoop(Options{Alloc: a}, drawFrom(cl), 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Busy times should be roughly equal (both saturated), but the big
+	// backend should complete ~2x the requests; check busy balance.
+	dev := math.Abs(res.BusyTime[0]-res.BusyTime[1]) / math.Max(res.BusyTime[0], res.BusyTime[1])
+	if dev > 0.1 {
+		t.Fatalf("busy-time imbalance %.2f on heterogeneous cluster", dev)
+	}
+}
+
+func TestOpenLoopLatency(t *testing.T) {
+	cl := readOnlyCls()
+	a := core.FullReplication(cl, core.UniformBackends(2))
+	// Requests arriving far apart: latency equals service time (0.5 at
+	// speed 1... cost 0.5).
+	var reqs []TimedRequest
+	for i := 0; i < 10; i++ {
+		reqs = append(reqs, TimedRequest{
+			Request: Request{Class: "C1", Cost: 0.5},
+			Arrival: float64(i) * 10,
+		})
+	}
+	res, err := RunOpenLoop(Options{Alloc: a}, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 10 {
+		t.Fatalf("completed = %d", res.Completed)
+	}
+	if math.Abs(res.AvgLatency-0.5) > 1e-9 {
+		t.Fatalf("AvgLatency = %v, want 0.5 (no queueing)", res.AvgLatency)
+	}
+	// A burst at time 0 on one eligible backend queues up.
+	burst := []TimedRequest{
+		{Request: Request{Class: "C1", Cost: 1}, Arrival: 0},
+		{Request: Request{Class: "C1", Cost: 1}, Arrival: 0},
+		{Request: Request{Class: "C1", Cost: 1}, Arrival: 0},
+	}
+	res, err = RunOpenLoop(Options{Alloc: a}, burst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two backends: first two run in parallel (latency 1), third queues
+	// (latency 2).
+	if math.Abs(res.MaxLatency-2) > 1e-9 {
+		t.Fatalf("MaxLatency = %v, want 2", res.MaxLatency)
+	}
+}
+
+func TestWriteLatencyIsMaxOverReplicas(t *testing.T) {
+	cl := updateCls()
+	a := core.FullReplication(cl, core.UniformBackends(3))
+	reqs := []TimedRequest{{Request: Request{Class: "U1", Write: true, Cost: 1}, Arrival: 0}}
+	res, err := RunOpenLoop(Options{Alloc: a}, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 1 {
+		t.Fatalf("completed = %d", res.Completed)
+	}
+	// All three replicas run in parallel; latency 1, but busy time on
+	// every backend.
+	if math.Abs(res.AvgLatency-1) > 1e-9 {
+		t.Fatalf("latency = %v", res.AvgLatency)
+	}
+	for b, bt := range res.BusyTime {
+		if math.Abs(bt-1) > 1e-9 {
+			t.Fatalf("backend %d busy %v, want 1 (ROWA)", b, bt)
+		}
+	}
+}
+
+func TestSimErrors(t *testing.T) {
+	if _, err := RunClosedLoop(Options{}, nil, 1); err == nil {
+		t.Error("nil allocation accepted")
+	}
+	cl := readOnlyCls()
+	a := core.NewAllocation(cl, core.UniformBackends(2)) // no data anywhere
+	if _, err := RunClosedLoop(Options{Alloc: a}, drawFrom(cl), 10); err == nil {
+		t.Error("class without eligible backend accepted")
+	}
+	full := core.FullReplication(cl, core.UniformBackends(2))
+	if _, err := RunClosedLoop(Options{Alloc: full, Speeds: []float64{1}}, drawFrom(cl), 10); err == nil {
+		t.Error("speeds length mismatch accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cl := updateCls()
+	a, _ := core.Greedy(cl, core.UniformBackends(3))
+	r1, err := RunClosedLoop(Options{Alloc: a, Seed: 42}, drawFrom(cl), 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunClosedLoop(Options{Alloc: a, Seed: 42}, drawFrom(cl), 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Throughput != r2.Throughput || r1.Makespan != r2.Makespan {
+		t.Fatal("same seed produced different results")
+	}
+	r3, err := RunClosedLoop(Options{Alloc: a, Seed: 43}, drawFrom(cl), 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Makespan == r3.Makespan {
+		t.Fatal("different seeds produced identical makespan (suspicious)")
+	}
+}
+
+// TestClosedLoopConservation: every issued request completes, busy time
+// never exceeds the makespan per backend, and throughput is consistent
+// with completed/makespan.
+func TestClosedLoopConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cl := updateCls()
+		n := 1 + rng.Intn(5)
+		a := core.FullReplication(cl, core.UniformBackends(n))
+		total := 500 + rng.Intn(1000)
+		res, err := RunClosedLoop(Options{Alloc: a, Seed: seed}, drawFrom(cl), total)
+		if err != nil {
+			return false
+		}
+		if res.Completed != total {
+			t.Logf("seed %d: completed %d of %d", seed, res.Completed, total)
+			return false
+		}
+		for b, bt := range res.BusyTime {
+			if bt > res.Makespan+1e-9 {
+				t.Logf("seed %d: backend %d busy %v > makespan %v", seed, b, bt, res.Makespan)
+				return false
+			}
+		}
+		if math.Abs(res.Throughput*res.Makespan-float64(total)) > 1e-6*float64(total) {
+			t.Logf("seed %d: throughput inconsistent", seed)
+			return false
+		}
+		return res.AvgLatency >= 0 && res.MaxLatency >= res.AvgLatency
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,241 @@
+package sqlmini
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Table is an in-memory row store with an optional primary-key hash
+// index.
+type Table struct {
+	Name    string
+	Cols    []Column
+	colIdx  map[string]int
+	pkCol   int // -1 when no primary key
+	rows    []Row
+	pk      map[string]int // pk key() -> row index
+	indexes []*secondaryIndex
+}
+
+func newTable(name string, cols []Column) (*Table, error) {
+	t := &Table{Name: name, Cols: cols, colIdx: make(map[string]int, len(cols)), pkCol: -1}
+	for i, c := range cols {
+		if _, dup := t.colIdx[c.Name]; dup {
+			return nil, fmt.Errorf("sqlmini: duplicate column %q in table %q", c.Name, name)
+		}
+		t.colIdx[c.Name] = i
+		if c.PrimaryKey {
+			if t.pkCol >= 0 {
+				return nil, fmt.Errorf("sqlmini: table %q has multiple primary keys", name)
+			}
+			t.pkCol = i
+		}
+	}
+	if t.pkCol >= 0 {
+		t.pk = make(map[string]int)
+	}
+	return t, nil
+}
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// ColumnIndex returns the index of a column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	if i, ok := t.colIdx[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// PrimaryKey returns the primary-key column name, or "".
+func (t *Table) PrimaryKey() string {
+	if t.pkCol < 0 {
+		return ""
+	}
+	return t.Cols[t.pkCol].Name
+}
+
+// appendRow validates and stores a row.
+func (t *Table) appendRow(r Row) error {
+	if len(r) != len(t.Cols) {
+		return fmt.Errorf("sqlmini: table %q expects %d values, got %d", t.Name, len(t.Cols), len(r))
+	}
+	for i := range r {
+		v, err := coerce(r[i], t.Cols[i].Type)
+		if err != nil {
+			return fmt.Errorf("%w (column %q)", err, t.Cols[i].Name)
+		}
+		r[i] = v
+	}
+	if t.pkCol >= 0 {
+		k := r[t.pkCol].key()
+		if _, dup := t.pk[k]; dup {
+			return fmt.Errorf("sqlmini: duplicate primary key %s in table %q", r[t.pkCol], t.Name)
+		}
+		t.pk[k] = len(t.rows)
+	}
+	t.rows = append(t.rows, r)
+	t.markDirty()
+	return nil
+}
+
+// DataBytes approximates the stored size of the table in bytes (used by
+// the allocation cost models).
+func (t *Table) DataBytes() int64 {
+	var per int64
+	for _, c := range t.Cols {
+		switch c.Type {
+		case KindText:
+			per += 24
+		default:
+			per += 8
+		}
+	}
+	return per * int64(len(t.rows))
+}
+
+// Engine is an embedded single-node database instance. It is safe for
+// concurrent use: reads take a shared lock, writes an exclusive lock
+// (one writer at a time, mirroring the serial update application of the
+// CDBS processing model).
+type Engine struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// New returns an empty engine.
+func New() *Engine {
+	return &Engine{tables: make(map[string]*Table)}
+}
+
+// Result is the outcome of executing a statement.
+type Result struct {
+	// Columns are the output column names of a SELECT.
+	Columns []string
+	// Rows are the result rows of a SELECT.
+	Rows []Row
+	// Affected is the number of rows written by INSERT/UPDATE/DELETE.
+	Affected int
+	// Scanned counts the rows examined while executing; the cluster
+	// layer uses it as the work measure of a request.
+	Scanned int64
+}
+
+// Exec parses and executes one SQL statement.
+func (e *Engine) Exec(sql string) (*Result, error) {
+	st, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return e.ExecStmt(st)
+}
+
+// ExecStmt executes a parsed statement (allowing callers to parse once
+// and execute on many backends, as the cluster controller does).
+func (e *Engine) ExecStmt(st Statement) (*Result, error) {
+	switch s := st.(type) {
+	case *SelectStmt:
+		e.mu.RLock()
+		defer e.mu.RUnlock()
+		return e.execSelect(s)
+	case *InsertStmt:
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		return e.execInsert(s)
+	case *UpdateStmt:
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		return e.execUpdate(s)
+	case *DeleteStmt:
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		return e.execDelete(s)
+	case *CreateTableStmt:
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if _, dup := e.tables[s.Table]; dup {
+			return nil, fmt.Errorf("sqlmini: table %q already exists", s.Table)
+		}
+		t, err := newTable(s.Table, s.Columns)
+		if err != nil {
+			return nil, err
+		}
+		e.tables[s.Table] = t
+		return &Result{}, nil
+	case *DropTableStmt:
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if _, ok := e.tables[s.Table]; !ok {
+			return nil, fmt.Errorf("sqlmini: unknown table %q", s.Table)
+		}
+		delete(e.tables, s.Table)
+		return &Result{}, nil
+	}
+	return nil, fmt.Errorf("sqlmini: unsupported statement %T", st)
+}
+
+// Table returns the named table for bulk operations, or nil.
+func (e *Engine) Table(name string) *Table {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.tables[name]
+}
+
+// Tables returns the table names in sorted order.
+func (e *Engine) Tables() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, 0, len(e.tables))
+	for n := range e.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CreateTable creates a table directly (bulk-load path).
+func (e *Engine) CreateTable(name string, cols []Column) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.tables[name]; dup {
+		return fmt.Errorf("sqlmini: table %q already exists", name)
+	}
+	t, err := newTable(name, cols)
+	if err != nil {
+		return err
+	}
+	e.tables[name] = t
+	return nil
+}
+
+// BulkInsert appends rows without going through SQL (the cluster's
+// data-loading path). Rows are validated and indexed like SQL inserts.
+func (e *Engine) BulkInsert(table string, rows []Row) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.tables[table]
+	if !ok {
+		return fmt.Errorf("sqlmini: unknown table %q", table)
+	}
+	for _, r := range rows {
+		cp := make(Row, len(r))
+		copy(cp, r)
+		if err := t.appendRow(cp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DataBytes approximates the total stored bytes across all tables.
+func (e *Engine) DataBytes() int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	var total int64
+	for _, t := range e.tables {
+		total += t.DataBytes()
+	}
+	return total
+}

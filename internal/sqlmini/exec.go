@@ -1,0 +1,1137 @@
+package sqlmini
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// binder resolves column references against the joined row layout of a
+// query: a flat slice of slots, one per (table alias, column).
+type binder struct {
+	slots []slot
+}
+
+type slot struct {
+	alias string // table alias (or name)
+	table *Table
+	col   int
+	base  int // index of the slot in the joined row
+}
+
+func (b *binder) addTable(alias string, t *Table) {
+	base := len(b.slots)
+	for i := range t.Cols {
+		b.slots = append(b.slots, slot{alias: alias, table: t, col: i, base: base + i})
+	}
+}
+
+// resolve returns the joined-row index of a column reference.
+func (b *binder) resolve(r *ColRef) (int, error) {
+	found := -1
+	for _, s := range b.slots {
+		if s.table.Cols[s.col].Name != r.Column {
+			continue
+		}
+		if r.Table != "" && s.alias != r.Table {
+			continue
+		}
+		if found >= 0 {
+			return 0, fmt.Errorf("sqlmini: ambiguous column %q", r.Column)
+		}
+		found = s.base
+	}
+	if found < 0 {
+		name := r.Column
+		if r.Table != "" {
+			name = r.Table + "." + r.Column
+		}
+		return 0, fmt.Errorf("sqlmini: unknown column %q", name)
+	}
+	return found, nil
+}
+
+// evalCtx carries the current joined row and, in aggregate mode, the
+// accumulated aggregate values keyed by expression identity.
+type evalCtx struct {
+	row  Row
+	aggs map[*Agg]Value
+}
+
+// eval evaluates an expression; ColRefs must have been rewritten to
+// boundCol by bind.
+func eval(e Expr, ctx *evalCtx) (Value, error) {
+	switch x := e.(type) {
+	case *Lit:
+		return x.V, nil
+	case *boundCol:
+		return ctx.row[x.idx], nil
+	case *ColRef:
+		return Null, fmt.Errorf("sqlmini: unbound column %q", x.Column)
+	case *Agg:
+		if ctx.aggs == nil {
+			return Null, fmt.Errorf("sqlmini: aggregate %s outside aggregation", x.Func)
+		}
+		v, ok := ctx.aggs[x]
+		if !ok {
+			return Null, fmt.Errorf("sqlmini: aggregate %s not computed", x.Func)
+		}
+		return v, nil
+	case *UnOp:
+		v, err := eval(x.E, ctx)
+		if err != nil {
+			return Null, err
+		}
+		switch x.Op {
+		case "NOT":
+			if v.IsNull() {
+				return Null, nil
+			}
+			return Bool(!v.Truth()), nil
+		case "-":
+			switch v.K {
+			case KindInt:
+				return Int(-v.I), nil
+			case KindFloat:
+				return Float(-v.F), nil
+			case KindNull:
+				return Null, nil
+			}
+			return Null, fmt.Errorf("sqlmini: cannot negate %s", v.K)
+		}
+		return Null, fmt.Errorf("sqlmini: unknown unary op %q", x.Op)
+	case *BinOp:
+		return evalBin(x, ctx)
+	case *Between:
+		v, err := eval(x.E, ctx)
+		if err != nil {
+			return Null, err
+		}
+		lo, err := eval(x.Lo, ctx)
+		if err != nil {
+			return Null, err
+		}
+		hi, err := eval(x.Hi, ctx)
+		if err != nil {
+			return Null, err
+		}
+		if v.IsNull() || lo.IsNull() || hi.IsNull() {
+			return Null, nil
+		}
+		in := Compare(v, lo) >= 0 && Compare(v, hi) <= 0
+		if x.Negate {
+			in = !in
+		}
+		return Bool(in), nil
+	case *InList:
+		v, err := eval(x.E, ctx)
+		if err != nil {
+			return Null, err
+		}
+		if v.IsNull() {
+			return Null, nil
+		}
+		found := false
+		for _, le := range x.List {
+			lv, err := eval(le, ctx)
+			if err != nil {
+				return Null, err
+			}
+			if !lv.IsNull() && Compare(v, lv) == 0 {
+				found = true
+				break
+			}
+		}
+		if x.Negate {
+			found = !found
+		}
+		return Bool(found), nil
+	case *IsNull:
+		v, err := eval(x.E, ctx)
+		if err != nil {
+			return Null, err
+		}
+		isNull := v.IsNull()
+		if x.Negate {
+			isNull = !isNull
+		}
+		return Bool(isNull), nil
+	}
+	return Null, fmt.Errorf("sqlmini: unknown expression %T", e)
+}
+
+func evalBin(x *BinOp, ctx *evalCtx) (Value, error) {
+	l, err := eval(x.L, ctx)
+	if err != nil {
+		return Null, err
+	}
+	// Short-circuit logic ops (SQL three-valued logic, simplified:
+	// NULL treated as false for AND/OR outcomes where it matters).
+	switch x.Op {
+	case "AND":
+		if !l.IsNull() && !l.Truth() {
+			return Bool(false), nil
+		}
+		r, err := eval(x.R, ctx)
+		if err != nil {
+			return Null, err
+		}
+		return Bool(l.Truth() && r.Truth()), nil
+	case "OR":
+		if !l.IsNull() && l.Truth() {
+			return Bool(true), nil
+		}
+		r, err := eval(x.R, ctx)
+		if err != nil {
+			return Null, err
+		}
+		return Bool(l.Truth() || r.Truth()), nil
+	}
+	r, err := eval(x.R, ctx)
+	if err != nil {
+		return Null, err
+	}
+	switch x.Op {
+	case "=", "<>", "<", "<=", ">", ">=":
+		if l.IsNull() || r.IsNull() {
+			return Null, nil
+		}
+		c := Compare(l, r)
+		switch x.Op {
+		case "=":
+			return Bool(c == 0), nil
+		case "<>":
+			return Bool(c != 0), nil
+		case "<":
+			return Bool(c < 0), nil
+		case "<=":
+			return Bool(c <= 0), nil
+		case ">":
+			return Bool(c > 0), nil
+		default:
+			return Bool(c >= 0), nil
+		}
+	case "LIKE":
+		if l.K != KindText || r.K != KindText {
+			return Null, nil
+		}
+		return Bool(likeMatch(l.S, r.S)), nil
+	case "+", "-", "*", "/":
+		if l.IsNull() || r.IsNull() {
+			return Null, nil
+		}
+		lf, lok := l.AsFloat()
+		rf, rok := r.AsFloat()
+		if !lok || !rok {
+			return Null, fmt.Errorf("sqlmini: arithmetic on non-numeric values")
+		}
+		bothInt := l.K == KindInt && r.K == KindInt
+		switch x.Op {
+		case "+":
+			if bothInt {
+				return Int(l.I + r.I), nil
+			}
+			return Float(lf + rf), nil
+		case "-":
+			if bothInt {
+				return Int(l.I - r.I), nil
+			}
+			return Float(lf - rf), nil
+		case "*":
+			if bothInt {
+				return Int(l.I * r.I), nil
+			}
+			return Float(lf * rf), nil
+		default:
+			if rf == 0 {
+				return Null, nil
+			}
+			return Float(lf / rf), nil
+		}
+	}
+	return Null, fmt.Errorf("sqlmini: unknown operator %q", x.Op)
+}
+
+// likeMatch implements SQL LIKE with % (any run) and _ (any one char).
+func likeMatch(s, pattern string) bool {
+	// Dynamic programming over pattern and string positions.
+	return likeRec(s, pattern)
+}
+
+func likeRec(s, p string) bool {
+	if p == "" {
+		return s == ""
+	}
+	switch p[0] {
+	case '%':
+		for i := 0; i <= len(s); i++ {
+			if likeRec(s[i:], p[1:]) {
+				return true
+			}
+		}
+		return false
+	case '_':
+		return s != "" && likeRec(s[1:], p[1:])
+	default:
+		return s != "" && s[0] == p[0] && likeRec(s[1:], p[1:])
+	}
+}
+
+// boundCol replaces ColRef after binding.
+type boundCol struct {
+	idx  int
+	name string
+}
+
+func (*boundCol) isExpr() {}
+
+// bind rewrites an expression tree, resolving every ColRef through the
+// binder. It returns a new tree; the input is not modified.
+func bind(e Expr, b *binder) (Expr, error) {
+	switch x := e.(type) {
+	case nil:
+		return nil, nil
+	case *Lit:
+		return x, nil
+	case *boundCol:
+		return x, nil
+	case *ColRef:
+		idx, err := b.resolve(x)
+		if err != nil {
+			return nil, err
+		}
+		return &boundCol{idx: idx, name: x.Column}, nil
+	case *UnOp:
+		inner, err := bind(x.E, b)
+		if err != nil {
+			return nil, err
+		}
+		return &UnOp{Op: x.Op, E: inner}, nil
+	case *BinOp:
+		l, err := bind(x.L, b)
+		if err != nil {
+			return nil, err
+		}
+		r, err := bind(x.R, b)
+		if err != nil {
+			return nil, err
+		}
+		return &BinOp{Op: x.Op, L: l, R: r}, nil
+	case *Between:
+		ee, err := bind(x.E, b)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := bind(x.Lo, b)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := bind(x.Hi, b)
+		if err != nil {
+			return nil, err
+		}
+		return &Between{E: ee, Lo: lo, Hi: hi, Negate: x.Negate}, nil
+	case *InList:
+		ee, err := bind(x.E, b)
+		if err != nil {
+			return nil, err
+		}
+		list := make([]Expr, len(x.List))
+		for i, le := range x.List {
+			bl, err := bind(le, b)
+			if err != nil {
+				return nil, err
+			}
+			list[i] = bl
+		}
+		return &InList{E: ee, List: list, Negate: x.Negate}, nil
+	case *IsNull:
+		ee, err := bind(x.E, b)
+		if err != nil {
+			return nil, err
+		}
+		return &IsNull{E: ee, Negate: x.Negate}, nil
+	case *Agg:
+		if x.E == nil {
+			return x, nil
+		}
+		ee, err := bind(x.E, b)
+		if err != nil {
+			return nil, err
+		}
+		return &Agg{Func: x.Func, E: ee, Distinct: x.Distinct}, nil
+	}
+	return nil, fmt.Errorf("sqlmini: cannot bind %T", e)
+}
+
+// collectAggs gathers the aggregate nodes of a bound expression tree.
+func collectAggs(e Expr, out *[]*Agg) {
+	switch x := e.(type) {
+	case *Agg:
+		*out = append(*out, x)
+	case *UnOp:
+		collectAggs(x.E, out)
+	case *BinOp:
+		collectAggs(x.L, out)
+		collectAggs(x.R, out)
+	case *Between:
+		collectAggs(x.E, out)
+		collectAggs(x.Lo, out)
+		collectAggs(x.Hi, out)
+	case *InList:
+		collectAggs(x.E, out)
+		for _, le := range x.List {
+			collectAggs(le, out)
+		}
+	case *IsNull:
+		collectAggs(x.E, out)
+	}
+}
+
+// execSelect runs a SELECT. Caller holds the read lock.
+func (e *Engine) execSelect(st *SelectStmt) (*Result, error) {
+	base, ok := e.tables[st.Table]
+	if !ok {
+		return nil, fmt.Errorf("sqlmini: unknown table %q", st.Table)
+	}
+	b := &binder{}
+	alias := st.Alias
+	if alias == "" {
+		alias = st.Table
+	}
+	b.addTable(alias, base)
+
+	res := &Result{}
+
+	// Build the joined row set table by table.
+	rows := make([]Row, 0, len(base.rows))
+	// Fast path: WHERE pk = literal on a single table.
+	if len(st.Joins) == 0 && base.pkCol >= 0 {
+		if v, ok := pkLookup(st.Where, base, alias); ok {
+			if idx, hit := base.pk[v.key()]; hit {
+				rows = append(rows, base.rows[idx])
+			}
+			res.Scanned++
+			return e.finishSelect(st, b, rows, res)
+		}
+	}
+	// Fast path: WHERE col = literal on a secondary-indexed column.
+	if len(st.Joins) == 0 {
+		if col, v, ok := eqLookup(st.Where, base, alias); ok {
+			if matches, indexed := base.lookupIndex(col, v); indexed {
+				for _, ri := range matches {
+					rows = append(rows, base.rows[ri])
+				}
+				res.Scanned += int64(len(matches))
+				return e.finishSelect(st, b, rows, res)
+			}
+		}
+	}
+	for _, r := range base.rows {
+		rows = append(rows, r)
+	}
+	res.Scanned += int64(len(base.rows))
+
+	for _, j := range st.Joins {
+		jt, ok := e.tables[j.Table]
+		if !ok {
+			return nil, fmt.Errorf("sqlmini: unknown table %q", j.Table)
+		}
+		jAlias := j.Alias
+		if jAlias == "" {
+			jAlias = j.Table
+		}
+		leftWidth := len(b.slots)
+		b.addTable(jAlias, jt)
+
+		// Try a hash join on an equi-condition col(left) = col(right).
+		lIdx, rIdx, eq := equiJoinCols(j.On, b, leftWidth)
+		joined := make([]Row, 0, len(rows))
+		if eq {
+			// Build hash table on the smaller, probe with rows.
+			ht := make(map[string][]Row, len(jt.rows))
+			for _, rr := range jt.rows {
+				k := rr[rIdx-leftWidth].key()
+				ht[k] = append(ht[k], rr)
+			}
+			res.Scanned += int64(len(jt.rows))
+			for _, lr := range rows {
+				for _, rr := range ht[lr[lIdx].key()] {
+					nr := make(Row, 0, leftWidth+len(rr))
+					nr = append(nr, lr...)
+					nr = append(nr, rr...)
+					joined = append(joined, nr)
+				}
+			}
+		} else {
+			on, err := bind(j.On, b)
+			if err != nil {
+				return nil, err
+			}
+			ctx := &evalCtx{}
+			for _, lr := range rows {
+				for _, rr := range jt.rows {
+					nr := make(Row, 0, leftWidth+len(rr))
+					nr = append(nr, lr...)
+					nr = append(nr, rr...)
+					ctx.row = nr
+					v, err := eval(on, ctx)
+					if err != nil {
+						return nil, err
+					}
+					res.Scanned++
+					if v.Truth() {
+						joined = append(joined, nr)
+					}
+				}
+			}
+		}
+		rows = joined
+	}
+	return e.finishSelect(st, b, rows, res)
+}
+
+// eqLookup detects "col = literal" (optionally table-qualified) in a
+// WHERE clause consisting of exactly that condition, returning the
+// column index and literal.
+func eqLookup(where Expr, t *Table, alias string) (int, Value, bool) {
+	bo, ok := where.(*BinOp)
+	if !ok || bo.Op != "=" {
+		return 0, Null, false
+	}
+	c, ok := bo.L.(*ColRef)
+	lit, lok := bo.R.(*Lit)
+	if !ok || !lok {
+		c, ok = bo.R.(*ColRef)
+		lit, lok = bo.L.(*Lit)
+		if !ok || !lok {
+			return 0, Null, false
+		}
+	}
+	if c.Table != "" && c.Table != alias {
+		return 0, Null, false
+	}
+	ci := t.ColumnIndex(c.Column)
+	if ci < 0 {
+		return 0, Null, false
+	}
+	return ci, lit.V, true
+}
+
+// pkLookup detects "pk = literal" (optionally table-qualified) in a
+// WHERE clause that consists of exactly that condition.
+func pkLookup(where Expr, t *Table, alias string) (Value, bool) {
+	bo, ok := where.(*BinOp)
+	if !ok || bo.Op != "=" {
+		return Null, false
+	}
+	cr, lit := bo.L, bo.R
+	c, ok := cr.(*ColRef)
+	if !ok {
+		c, ok = lit.(*ColRef)
+		if !ok {
+			return Null, false
+		}
+		cr, lit = lit, cr
+		_ = cr
+	}
+	l, ok := lit.(*Lit)
+	if !ok {
+		return Null, false
+	}
+	if c.Table != "" && c.Table != alias {
+		return Null, false
+	}
+	if t.pkCol < 0 || t.Cols[t.pkCol].Name != c.Column {
+		return Null, false
+	}
+	return l.V, true
+}
+
+// equiJoinCols detects a single equi-join condition "left.col =
+// right.col" where one side binds to the already-joined tables (slot <
+// leftWidth) and the other to the newly joined table. It returns the
+// two joined-row indices (left first) and whether the pattern matched.
+func equiJoinCols(on Expr, b *binder, leftWidth int) (int, int, bool) {
+	bo, ok := on.(*BinOp)
+	if !ok || bo.Op != "=" {
+		return 0, 0, false
+	}
+	lc, ok := bo.L.(*ColRef)
+	if !ok {
+		return 0, 0, false
+	}
+	rc, ok := bo.R.(*ColRef)
+	if !ok {
+		return 0, 0, false
+	}
+	li, err := b.resolve(lc)
+	if err != nil {
+		return 0, 0, false
+	}
+	ri, err := b.resolve(rc)
+	if err != nil {
+		return 0, 0, false
+	}
+	if li < leftWidth && ri >= leftWidth {
+		return li, ri, true
+	}
+	if ri < leftWidth && li >= leftWidth {
+		return ri, li, true
+	}
+	return 0, 0, false
+}
+
+// finishSelect applies WHERE, grouping, HAVING, ordering, projection,
+// DISTINCT and LIMIT to the joined rows.
+func (e *Engine) finishSelect(st *SelectStmt, b *binder, rows []Row, res *Result) (*Result, error) {
+	// WHERE.
+	if st.Where != nil {
+		w, err := bind(st.Where, b)
+		if err != nil {
+			return nil, err
+		}
+		ctx := &evalCtx{}
+		kept := rows[:0:len(rows)]
+		for _, r := range rows {
+			ctx.row = r
+			v, err := eval(w, ctx)
+			if err != nil {
+				return nil, err
+			}
+			if v.Truth() {
+				kept = append(kept, r)
+			}
+		}
+		rows = kept
+	}
+
+	// Expand SELECT * and bind output expressions.
+	var outExprs []Expr
+	var outNames []string
+	for _, it := range st.Items {
+		if it.Star {
+			for _, s := range b.slots {
+				outExprs = append(outExprs, &boundCol{idx: s.base, name: s.table.Cols[s.col].Name})
+				outNames = append(outNames, s.table.Cols[s.col].Name)
+			}
+			continue
+		}
+		be, err := bind(it.Expr, b)
+		if err != nil {
+			return nil, err
+		}
+		outExprs = append(outExprs, be)
+		name := it.Alias
+		if name == "" {
+			if bc, ok := be.(*boundCol); ok {
+				name = bc.name
+			} else {
+				name = fmt.Sprintf("col%d", len(outNames)+1)
+			}
+		}
+		outNames = append(outNames, name)
+	}
+	res.Columns = outNames
+
+	// Aggregate mode?
+	var aggs []*Agg
+	for _, oe := range outExprs {
+		collectAggs(oe, &aggs)
+	}
+	var having Expr
+	if st.Having != nil {
+		h, err := bind(st.Having, b)
+		if err != nil {
+			return nil, err
+		}
+		having = h
+		collectAggs(having, &aggs)
+	}
+	groupMode := len(aggs) > 0 || len(st.GroupBy) > 0
+
+	var outRows []Row
+	var orderInputs []Row // input (or group sample) row per output row
+	if groupMode {
+		var groupExprs []Expr
+		for _, g := range st.GroupBy {
+			bg, err := bind(g, b)
+			if err != nil {
+				return nil, err
+			}
+			groupExprs = append(groupExprs, bg)
+		}
+		groups, order, err := groupRows(rows, groupExprs, aggs)
+		if err != nil {
+			return nil, err
+		}
+		for _, key := range order {
+			g := groups[key]
+			ctx := &evalCtx{row: g.sample, aggs: g.aggValues()}
+			if having != nil {
+				hv, err := eval(having, ctx)
+				if err != nil {
+					return nil, err
+				}
+				if !hv.Truth() {
+					continue
+				}
+			}
+			or := make(Row, len(outExprs))
+			for i, oe := range outExprs {
+				v, err := eval(oe, ctx)
+				if err != nil {
+					return nil, err
+				}
+				or[i] = v
+			}
+			outRows = append(outRows, or)
+			orderInputs = append(orderInputs, g.sample)
+		}
+	} else {
+		ctx := &evalCtx{}
+		for _, r := range rows {
+			ctx.row = r
+			or := make(Row, len(outExprs))
+			for i, oe := range outExprs {
+				v, err := eval(oe, ctx)
+				if err != nil {
+					return nil, err
+				}
+				or[i] = v
+			}
+			outRows = append(outRows, or)
+			orderInputs = append(orderInputs, r)
+		}
+	}
+
+	// DISTINCT.
+	if st.Distinct {
+		seen := make(map[string]bool, len(outRows))
+		kept := outRows[:0]
+		keptIn := orderInputs[:0]
+		for i, r := range outRows {
+			var sb strings.Builder
+			for _, v := range r {
+				sb.WriteString(v.key())
+				sb.WriteByte('|')
+			}
+			k := sb.String()
+			if !seen[k] {
+				seen[k] = true
+				kept = append(kept, r)
+				keptIn = append(keptIn, orderInputs[i])
+			}
+		}
+		outRows = kept
+		orderInputs = keptIn
+	}
+
+	// ORDER BY: each item is either an output column (by alias or name)
+	// or an expression over the input row — for aggregated queries the
+	// group's sample row, which is well-defined for grouped columns.
+	if len(st.OrderBy) > 0 {
+		type keyed struct {
+			row  Row
+			keys []Value
+		}
+		idxOf := func(name string) int {
+			for i, n := range outNames {
+				if n == name {
+					return i
+				}
+			}
+			return -1
+		}
+		// Pre-bind order expressions that are not output columns.
+		bound := make([]Expr, len(st.OrderBy))
+		outIdx := make([]int, len(st.OrderBy))
+		for oi, ob := range st.OrderBy {
+			outIdx[oi] = -1
+			if cr, ok := ob.Expr.(*ColRef); ok && cr.Table == "" {
+				if j := idxOf(cr.Column); j >= 0 {
+					outIdx[oi] = j
+					continue
+				}
+			}
+			be, err := bind(ob.Expr, b)
+			if err != nil {
+				return nil, fmt.Errorf("sqlmini: ORDER BY: %w", err)
+			}
+			var hasAgg []*Agg
+			collectAggs(be, &hasAgg)
+			if len(hasAgg) > 0 {
+				return nil, fmt.Errorf("sqlmini: ORDER BY aggregate must be a named output column")
+			}
+			bound[oi] = be
+		}
+		ks := make([]keyed, len(outRows))
+		ctx := &evalCtx{}
+		for i, r := range outRows {
+			ks[i] = keyed{row: r, keys: make([]Value, len(st.OrderBy))}
+			for oi := range st.OrderBy {
+				if j := outIdx[oi]; j >= 0 {
+					ks[i].keys[oi] = r[j]
+					continue
+				}
+				ctx.row = orderInputs[i]
+				v, err := eval(bound[oi], ctx)
+				if err != nil {
+					return nil, err
+				}
+				ks[i].keys[oi] = v
+			}
+		}
+		sort.SliceStable(ks, func(i, j int) bool {
+			for oi, ob := range st.OrderBy {
+				c := Compare(ks[i].keys[oi], ks[j].keys[oi])
+				if c != 0 {
+					if ob.Desc {
+						return c > 0
+					}
+					return c < 0
+				}
+			}
+			return false
+		})
+		for i := range ks {
+			outRows[i] = ks[i].row
+		}
+	}
+
+	if st.Limit >= 0 && len(outRows) > st.Limit {
+		outRows = outRows[:st.Limit]
+	}
+	res.Rows = outRows
+	return res, nil
+}
+
+// group accumulates aggregate state for one group.
+type group struct {
+	sample Row
+	aggs   []*Agg
+	count  []int64
+	sum    []float64
+	min    []Value
+	max    []Value
+	sawInt []bool
+	seen   []map[string]bool // per aggregate, for DISTINCT
+}
+
+func newGroup(sample Row, aggs []*Agg) *group {
+	g := &group{
+		sample: sample,
+		aggs:   aggs,
+		count:  make([]int64, len(aggs)),
+		sum:    make([]float64, len(aggs)),
+		min:    make([]Value, len(aggs)),
+		max:    make([]Value, len(aggs)),
+		sawInt: make([]bool, len(aggs)),
+	}
+	g.seen = make([]map[string]bool, len(aggs))
+	for i := range g.min {
+		g.min[i] = Null
+		g.max[i] = Null
+		g.sawInt[i] = true
+		if aggs[i].Distinct {
+			g.seen[i] = make(map[string]bool)
+		}
+	}
+	return g
+}
+
+func (g *group) add(ctx *evalCtx) error {
+	for i, a := range g.aggs {
+		if a.E == nil { // COUNT(*)
+			g.count[i]++
+			continue
+		}
+		v, err := eval(a.E, ctx)
+		if err != nil {
+			return err
+		}
+		if v.IsNull() {
+			continue
+		}
+		if a.Distinct {
+			k := v.key()
+			if g.seen[i][k] {
+				continue
+			}
+			g.seen[i][k] = true
+		}
+		g.count[i]++
+		if f, ok := v.AsFloat(); ok {
+			g.sum[i] += f
+			if v.K != KindInt {
+				g.sawInt[i] = false
+			}
+		} else {
+			g.sawInt[i] = false
+		}
+		if g.min[i].IsNull() || Compare(v, g.min[i]) < 0 {
+			g.min[i] = v
+		}
+		if g.max[i].IsNull() || Compare(v, g.max[i]) > 0 {
+			g.max[i] = v
+		}
+	}
+	return nil
+}
+
+func (g *group) aggValues() map[*Agg]Value {
+	out := make(map[*Agg]Value, len(g.aggs))
+	for i, a := range g.aggs {
+		switch a.Func {
+		case "COUNT":
+			out[a] = Int(g.count[i])
+		case "SUM":
+			if g.count[i] == 0 {
+				out[a] = Null
+			} else if g.sawInt[i] {
+				out[a] = Int(int64(g.sum[i]))
+			} else {
+				out[a] = Float(g.sum[i])
+			}
+		case "AVG":
+			if g.count[i] == 0 {
+				out[a] = Null
+			} else {
+				out[a] = Float(g.sum[i] / float64(g.count[i]))
+			}
+		case "MIN":
+			out[a] = g.min[i]
+		case "MAX":
+			out[a] = g.max[i]
+		}
+	}
+	return out
+}
+
+// groupRows partitions rows by the group expressions and accumulates the
+// aggregates, preserving first-seen group order.
+func groupRows(rows []Row, groupExprs []Expr, aggs []*Agg) (map[string]*group, []string, error) {
+	groups := make(map[string]*group)
+	var order []string
+	ctx := &evalCtx{}
+	for _, r := range rows {
+		ctx.row = r
+		var sb strings.Builder
+		for _, ge := range groupExprs {
+			v, err := eval(ge, ctx)
+			if err != nil {
+				return nil, nil, err
+			}
+			sb.WriteString(v.key())
+			sb.WriteByte('|')
+		}
+		k := sb.String()
+		g, ok := groups[k]
+		if !ok {
+			g = newGroup(r, aggs)
+			groups[k] = g
+			order = append(order, k)
+		}
+		if err := g.add(ctx); err != nil {
+			return nil, nil, err
+		}
+	}
+	// A global aggregation over zero rows still yields one group.
+	if len(groupExprs) == 0 && len(rows) == 0 {
+		g := newGroup(nil, aggs)
+		groups[""] = g
+		order = append(order, "")
+	}
+	return groups, order, nil
+}
+
+// execInsert runs an INSERT. Caller holds the write lock.
+func (e *Engine) execInsert(st *InsertStmt) (*Result, error) {
+	t, ok := e.tables[st.Table]
+	if !ok {
+		return nil, fmt.Errorf("sqlmini: unknown table %q", st.Table)
+	}
+	colIdx := make([]int, 0, len(st.Columns))
+	if len(st.Columns) == 0 {
+		for i := range t.Cols {
+			colIdx = append(colIdx, i)
+		}
+	} else {
+		for _, c := range st.Columns {
+			i := t.ColumnIndex(c)
+			if i < 0 {
+				return nil, fmt.Errorf("sqlmini: unknown column %q in table %q", c, st.Table)
+			}
+			colIdx = append(colIdx, i)
+		}
+	}
+	ctx := &evalCtx{}
+	res := &Result{}
+	for _, exprs := range st.Rows {
+		if len(exprs) != len(colIdx) {
+			return nil, fmt.Errorf("sqlmini: INSERT expects %d values, got %d", len(colIdx), len(exprs))
+		}
+		row := make(Row, len(t.Cols))
+		for i := range row {
+			row[i] = Null
+		}
+		for i, ex := range exprs {
+			be, err := bind(ex, &binder{}) // no columns available in VALUES
+			if err != nil {
+				return nil, err
+			}
+			v, err := eval(be, ctx)
+			if err != nil {
+				return nil, err
+			}
+			row[colIdx[i]] = v
+		}
+		if err := t.appendRow(row); err != nil {
+			return nil, err
+		}
+		res.Affected++
+	}
+	return res, nil
+}
+
+// execUpdate runs an UPDATE. Caller holds the write lock.
+func (e *Engine) execUpdate(st *UpdateStmt) (*Result, error) {
+	t, ok := e.tables[st.Table]
+	if !ok {
+		return nil, fmt.Errorf("sqlmini: unknown table %q", st.Table)
+	}
+	b := &binder{}
+	b.addTable(st.Table, t)
+	var where Expr
+	var err error
+	if st.Where != nil {
+		where, err = bind(st.Where, b)
+		if err != nil {
+			return nil, err
+		}
+	}
+	type setOp struct {
+		col  int
+		expr Expr
+	}
+	sets := make([]setOp, len(st.Set))
+	for i, s := range st.Set {
+		ci := t.ColumnIndex(s.Column)
+		if ci < 0 {
+			return nil, fmt.Errorf("sqlmini: unknown column %q in table %q", s.Column, st.Table)
+		}
+		be, err := bind(s.Expr, b)
+		if err != nil {
+			return nil, err
+		}
+		sets[i] = setOp{ci, be}
+	}
+
+	res := &Result{}
+	ctx := &evalCtx{}
+
+	apply := func(idx int) error {
+		ctx.row = t.rows[idx]
+		for _, s := range sets {
+			v, err := eval(s.expr, ctx)
+			if err != nil {
+				return err
+			}
+			cv, err := coerce(v, t.Cols[s.col].Type)
+			if err != nil {
+				return err
+			}
+			if s.col == t.pkCol {
+				old := t.rows[idx][s.col].key()
+				nk := cv.key()
+				if nk != old {
+					if _, dup := t.pk[nk]; dup {
+						return fmt.Errorf("sqlmini: duplicate primary key %s", cv)
+					}
+					delete(t.pk, old)
+					t.pk[nk] = idx
+				}
+			}
+			t.rows[idx][s.col] = cv
+		}
+		t.markDirty()
+		res.Affected++
+		return nil
+	}
+
+	// Fast path: WHERE pk = literal.
+	if v, ok := pkLookup(st.Where, t, st.Table); ok {
+		res.Scanned++
+		if idx, hit := t.pk[v.key()]; hit {
+			if err := apply(idx); err != nil {
+				return nil, err
+			}
+		}
+		return res, nil
+	}
+
+	for idx := range t.rows {
+		res.Scanned++
+		if where != nil {
+			ctx.row = t.rows[idx]
+			v, err := eval(where, ctx)
+			if err != nil {
+				return nil, err
+			}
+			if !v.Truth() {
+				continue
+			}
+		}
+		if err := apply(idx); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// execDelete runs a DELETE. Caller holds the write lock.
+func (e *Engine) execDelete(st *DeleteStmt) (*Result, error) {
+	t, ok := e.tables[st.Table]
+	if !ok {
+		return nil, fmt.Errorf("sqlmini: unknown table %q", st.Table)
+	}
+	b := &binder{}
+	b.addTable(st.Table, t)
+	var where Expr
+	var err error
+	if st.Where != nil {
+		where, err = bind(st.Where, b)
+		if err != nil {
+			return nil, err
+		}
+	}
+	res := &Result{}
+	ctx := &evalCtx{}
+	kept := t.rows[:0]
+	for _, r := range t.rows {
+		res.Scanned++
+		del := true
+		if where != nil {
+			ctx.row = r
+			v, err := eval(where, ctx)
+			if err != nil {
+				return nil, err
+			}
+			del = v.Truth()
+		}
+		if del {
+			res.Affected++
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	t.rows = kept
+	if t.pkCol >= 0 {
+		t.pk = make(map[string]int, len(t.rows))
+		for i, r := range t.rows {
+			t.pk[r[t.pkCol].key()] = i
+		}
+	}
+	t.markDirty()
+	return res, nil
+}

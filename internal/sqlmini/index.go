@@ -1,0 +1,97 @@
+package sqlmini
+
+import (
+	"fmt"
+	"sync"
+)
+
+// secondaryIndex is a hash index over one column, rebuilt lazily: any
+// write to the table marks it dirty and the next indexed lookup
+// rebuilds it. This favors the CDBS read patterns (long read phases
+// between reallocation-driven reloads) without complicating the write
+// path. The index's own mutex serializes lazy rebuilds among
+// concurrent readers (who hold only the engine's shared lock).
+type secondaryIndex struct {
+	mu      sync.Mutex
+	col     int
+	buckets map[string][]int // value key -> row indices
+	dirty   bool
+}
+
+// CreateIndex builds a secondary hash index on table.column. Point
+// lookups (WHERE column = literal) on the table then avoid full scans.
+// Indexing the primary key is redundant (it always has one) and is
+// rejected, as is indexing the same column twice.
+func (e *Engine) CreateIndex(table, column string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.tables[table]
+	if !ok {
+		return fmt.Errorf("sqlmini: unknown table %q", table)
+	}
+	ci := t.ColumnIndex(column)
+	if ci < 0 {
+		return fmt.Errorf("sqlmini: unknown column %q in table %q", column, table)
+	}
+	if ci == t.pkCol {
+		return fmt.Errorf("sqlmini: column %q is the primary key (already indexed)", column)
+	}
+	for _, idx := range t.indexes {
+		if idx.col == ci {
+			return fmt.Errorf("sqlmini: column %q already indexed", column)
+		}
+	}
+	t.indexes = append(t.indexes, &secondaryIndex{col: ci, dirty: true})
+	return nil
+}
+
+// Indexes returns the secondary-indexed column names of a table.
+func (e *Engine) Indexes(table string) []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	t, ok := e.tables[table]
+	if !ok {
+		return nil
+	}
+	out := make([]string, 0, len(t.indexes))
+	for _, idx := range t.indexes {
+		out = append(out, t.Cols[idx.col].Name)
+	}
+	return out
+}
+
+// markDirty flags every secondary index of the table for rebuild.
+// Callers hold the engine write lock.
+func (t *Table) markDirty() {
+	for _, idx := range t.indexes {
+		idx.mu.Lock()
+		idx.dirty = true
+		idx.mu.Unlock()
+	}
+}
+
+// lookupIndex returns the matching row indices for column = v via a
+// secondary index, rebuilding it if stale. The boolean reports whether
+// an index on that column exists. Callers hold at least the engine
+// read lock (so the rows are stable); the index mutex serializes the
+// rebuild among concurrent readers.
+func (t *Table) lookupIndex(col int, v Value) ([]int, bool) {
+	for _, idx := range t.indexes {
+		if idx.col != col {
+			continue
+		}
+		idx.mu.Lock()
+		if idx.dirty {
+			idx.buckets = make(map[string][]int, len(t.rows))
+			for i, r := range t.rows {
+				k := r[col].key()
+				idx.buckets[k] = append(idx.buckets[k], i)
+			}
+			idx.dirty = false
+		}
+		rows := idx.buckets[v.key()]
+		idx.mu.Unlock()
+		return rows, true
+	}
+	return nil, false
+}

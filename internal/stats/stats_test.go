@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummary(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	// Population variance is 4; sample variance is 32/7.
+	if math.Abs(s.Var()-32.0/7) > 1e-12 {
+		t.Fatalf("Var = %v", s.Var())
+	}
+	if math.Abs(s.Stddev()-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Fatalf("Stddev = %v", s.Stddev())
+	}
+}
+
+func TestSummaryEmptyAndSingle(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Var() != 0 {
+		t.Fatal("empty summary not zero")
+	}
+	s.Add(3)
+	if s.Var() != 0 || s.Min() != 3 || s.Max() != 3 {
+		t.Fatal("single-observation summary wrong")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 1) != 5 {
+		t.Fatal("extremes wrong")
+	}
+	if Percentile(xs, 0.5) != 3 {
+		t.Fatalf("median = %v", Percentile(xs, 0.5))
+	}
+	if got := Percentile(xs, 0.25); got != 2 {
+		t.Fatalf("p25 = %v", got)
+	}
+	if got := Percentile([]float64{1, 2}, 0.5); got != 1.5 {
+		t.Fatalf("interpolated median = %v", got)
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Fatal("empty percentile not 0")
+	}
+	// Input must not be modified.
+	unsorted := []float64{3, 1, 2}
+	Percentile(unsorted, 0.5)
+	if unsorted[0] != 3 {
+		t.Fatal("input slice was sorted in place")
+	}
+}
+
+func TestPercentilePropertyWithinRange(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+		}
+		p := rng.Float64()
+		v := Percentile(xs, p)
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		return v >= sorted[0]-1e-12 && v <= sorted[n-1]+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeviationFromBalance(t *testing.T) {
+	if d := DeviationFromBalance([]float64{1, 1, 1, 1}); d != 0 {
+		t.Fatalf("balanced deviation = %v", d)
+	}
+	// One idle node out of 4 with others at x: avg = 3x/4, idle deviates
+	// by avg/avg = 1.
+	if d := DeviationFromBalance([]float64{1, 1, 1, 0}); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("idle-node deviation = %v, want 1", d)
+	}
+	if DeviationFromBalance(nil) != 0 || DeviationFromBalance([]float64{0, 0}) != 0 {
+		t.Fatal("degenerate inputs not 0")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram()
+	h.Add(1, 2)
+	h.Add(3, 1)
+	h.Add(1, 1)
+	if h.Get(1) != 3 || h.Get(3) != 1 || h.Get(2) != 0 {
+		t.Fatal("counts wrong")
+	}
+	if b := h.Buckets(); len(b) != 2 || b[0] != 1 || b[1] != 3 {
+		t.Fatalf("Buckets = %v", b)
+	}
+	h2 := NewHistogram()
+	h2.Add(2, 4)
+	h.Merge(h2)
+	if h.Get(2) != 4 {
+		t.Fatal("merge wrong")
+	}
+	h.Scale(0.5)
+	if h.Get(1) != 1.5 || h.Get(2) != 2 {
+		t.Fatal("scale wrong")
+	}
+}

@@ -1,0 +1,282 @@
+package tpch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qcpa/internal/classify"
+	"qcpa/internal/core"
+	"qcpa/internal/sqlmini"
+)
+
+func TestSchemaShape(t *testing.T) {
+	s := Schema()
+	if len(s) != 8 {
+		t.Fatalf("tables = %d, want 8", len(s))
+	}
+	// 61 genuine TPC-H columns + 2 synthetic keys.
+	total := 0
+	for _, cols := range s {
+		total += len(cols)
+	}
+	if total != 63 {
+		t.Fatalf("columns = %d, want 63", total)
+	}
+	if len(s["lineitem"]) != 17 || len(s["orders"]) != 9 {
+		t.Fatalf("lineitem/orders column counts wrong: %d/%d", len(s["lineitem"]), len(s["orders"]))
+	}
+}
+
+func TestRowCounts(t *testing.T) {
+	r1 := RowCounts(1)
+	if r1["lineitem"] != 6000000 || r1["region"] != 5 {
+		t.Fatalf("SF1 counts wrong: %v", r1)
+	}
+	r10 := RowCounts(10)
+	if r10["customer"] != 1500000 {
+		t.Fatalf("SF10 customer = %d", r10["customer"])
+	}
+}
+
+// TestAllQueriesExecute loads a small instance and runs every query.
+func TestAllQueriesExecute(t *testing.T) {
+	e := sqlmini.New()
+	if err := Load(e, nil, map[string]int64{
+		"supplier": 50, "customer": 100, "part": 80, "partsupp": 160, "orders": 200, "lineitem": 600,
+	}, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range Queries() {
+		res, err := e.Exec(q.Journal)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		if res.Scanned == 0 {
+			t.Fatalf("%s scanned nothing", q.Name)
+		}
+	}
+	// Sanity: q1 aggregates over most of lineitem.
+	r, err := e.Exec(Queries()[0].Journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) == 0 {
+		t.Fatal("q1 returned no groups")
+	}
+}
+
+func TestQueriesAnalyzeToPaperTableSets(t *testing.T) {
+	schema := Schema()
+	wantTables := map[string][]string{
+		"q1":  {"lineitem"},
+		"q2":  {"nation", "part", "partsupp", "region", "supplier"},
+		"q3":  {"customer", "lineitem", "orders"},
+		"q6":  {"lineitem"},
+		"q9":  {"lineitem", "nation", "part", "partsupp", "supplier"},
+		"q13": {"customer", "orders"},
+		"q18": {"customer", "lineitem", "orders"},
+	}
+	for _, q := range Queries() {
+		info, err := sqlmini.Analyze(q.Journal, schema)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		if info.Write {
+			t.Fatalf("%s marked as write", q.Name)
+		}
+		if want, ok := wantTables[q.Name]; ok {
+			if len(info.Tables) != len(want) {
+				t.Fatalf("%s tables = %v, want %v", q.Name, info.Tables, want)
+			}
+			for i := range want {
+				if info.Tables[i] != want[i] {
+					t.Fatalf("%s tables = %v, want %v", q.Name, info.Tables, want)
+				}
+			}
+		}
+	}
+}
+
+func TestNineteenQueries(t *testing.T) {
+	qs := Queries()
+	if len(qs) != 19 {
+		t.Fatalf("queries = %d, want 19 (TPC-H minus 17, 20, 21)", len(qs))
+	}
+	seen := map[string]bool{}
+	for _, q := range qs {
+		seen[q.Name] = true
+	}
+	for _, omitted := range []string{"q17", "q20", "q21"} {
+		if seen[omitted] {
+			t.Fatalf("%s must be omitted per Section 4.1", omitted)
+		}
+	}
+}
+
+// TestClassification: table-based classification of the TPC-H journal
+// yields fewer classes than column-based, lineitem dominates, and the
+// greedy allocation works at 1-10 backends.
+func TestClassification(t *testing.T) {
+	mix, err := Mix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	journal := mix.Journal(10000)
+	if len(journal) != 19 {
+		t.Fatalf("journal entries = %d", len(journal))
+	}
+	schema := Schema()
+	rows := RowCounts(1)
+
+	tb, err := classify.Classify(journal, schema, classify.Options{Strategy: classify.TableBased, RowCounts: rows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := classify.Classify(journal, schema, classify.Options{Strategy: classify.ColumnBased, RowCounts: rows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cb.Classification.Classes()) < len(tb.Classification.Classes()) {
+		t.Fatalf("column-based classes (%d) fewer than table-based (%d)",
+			len(cb.Classification.Classes()), len(tb.Classification.Classes()))
+	}
+	// The data-warehouse property of Section 4.1: the two fact tables
+	// (lineitem, orders) hold most of the data.
+	factSize := 0.0
+	for _, f := range []core.FragmentID{"lineitem", "orders"} {
+		fr, ok := tb.Classification.Fragment(f)
+		if !ok {
+			t.Fatalf("fragment %s missing", f)
+		}
+		factSize += fr.Size
+	}
+	if share := factSize / tb.Classification.TotalSize(); share < 0.75 {
+		t.Fatalf("fact tables hold %.0f%% of data, want >= 75%% (paper: ~80%%)", share*100)
+	}
+	for _, n := range []int{1, 2, 5, 10} {
+		for _, res := range []*classify.Result{tb, cb} {
+			a, err := core.Greedy(res.Classification, core.UniformBackends(n))
+			if err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+			if err := a.Validate(); err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+			// Read-only: theoretical speedup is always linear.
+			if math.Abs(a.Speedup()-float64(n)) > 1e-6 {
+				t.Fatalf("n=%d: speedup %v", n, a.Speedup())
+			}
+		}
+	}
+}
+
+// TestColumnReplicationBelowTableReplication: Figure 4(c)'s core
+// finding — column-based allocation replicates far less data.
+func TestColumnReplicationBelowTableReplication(t *testing.T) {
+	mix, _ := Mix()
+	journal := mix.Journal(10000)
+	schema := Schema()
+	rows := RowCounts(1)
+	n := 10
+	tb, _ := classify.Classify(journal, schema, classify.Options{Strategy: classify.TableBased, RowCounts: rows})
+	cb, _ := classify.Classify(journal, schema, classify.Options{Strategy: classify.ColumnBased, RowCounts: rows})
+	at, err := core.Greedy(tb.Classification, core.UniformBackends(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac, err := core.Greedy(cb.Classification, core.UniformBackends(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Normalize to bytes of the full database.
+	tDeg := at.TotalDataSize() / tb.Classification.TotalSize()
+	cDeg := ac.TotalDataSize() / cb.Classification.TotalSize()
+	if cDeg >= tDeg {
+		t.Fatalf("column degree %.2f not below table degree %.2f", cDeg, tDeg)
+	}
+	if cDeg > 6 {
+		t.Fatalf("column degree %.2f too high (paper: 3.5 at 10 backends)", cDeg)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	e := sqlmini.New()
+	if err := Load(e, []string{"missing"}, nil, 1); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+}
+
+func TestLoadSubset(t *testing.T) {
+	e := sqlmini.New()
+	if err := Load(e, []string{"nation", "region"}, nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	if e.Table("nation") == nil || e.Table("lineitem") != nil {
+		t.Fatal("subset load wrong")
+	}
+	if e.Table("nation").NumRows() != 25 {
+		t.Fatalf("nation rows = %d", e.Table("nation").NumRows())
+	}
+}
+
+func TestLoadDeterministic(t *testing.T) {
+	e1, e2 := sqlmini.New(), sqlmini.New()
+	rows := map[string]int64{"supplier": 20, "customer": 30, "part": 20, "partsupp": 40, "orders": 50, "lineitem": 100}
+	if err := Load(e1, nil, rows, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(e2, nil, rows, 7); err != nil {
+		t.Fatal(err)
+	}
+	r1, err := e1.Exec(`SELECT SUM(l_extendedprice) FROM lineitem`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := e2.Exec(`SELECT SUM(l_extendedprice) FROM lineitem`)
+	if r1.Rows[0][0] != r2.Rows[0][0] {
+		t.Fatal("same seed produced different data")
+	}
+}
+
+// TestGeneratedInstancesExecuteAndKeepClass: qgen-style parameter
+// variation must produce executable SQL whose analysis yields exactly
+// the canonical template's table set (parameter changes never move a
+// query between classes).
+func TestGeneratedInstancesExecuteAndKeepClass(t *testing.T) {
+	e := sqlmini.New()
+	if err := Load(e, nil, map[string]int64{
+		"supplier": 30, "customer": 60, "part": 50, "partsupp": 100, "orders": 120, "lineitem": 360,
+	}, 3); err != nil {
+		t.Fatal(err)
+	}
+	schema := Schema()
+	rng := rand.New(rand.NewSource(9))
+	for _, q := range Queries() {
+		if q.Gen == nil {
+			continue
+		}
+		canonical, err := sqlmini.Analyze(q.Journal, schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			sql := q.Gen(rng)
+			if _, err := e.Exec(sql); err != nil {
+				t.Fatalf("%s instance %q: %v", q.Name, sql, err)
+			}
+			info, err := sqlmini.Analyze(sql, schema)
+			if err != nil {
+				t.Fatalf("%s instance: %v", q.Name, err)
+			}
+			if len(info.Tables) != len(canonical.Tables) {
+				t.Fatalf("%s instance changed table set: %v vs %v", q.Name, info.Tables, canonical.Tables)
+			}
+			for j := range info.Tables {
+				if info.Tables[j] != canonical.Tables[j] {
+					t.Fatalf("%s instance changed table set: %v vs %v", q.Name, info.Tables, canonical.Tables)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package trace
+
+import "sort"
+
+// DetectSegments implements Section 5's automatic segmentation: the
+// query history is scanned with a one-hour sliding window and the
+// class-mix variance before and after each bucket is compared; the
+// buckets where the mix shifts most become segment boundaries. maxSegs
+// caps the number of segments (the paper derives 4 for this trace).
+//
+// The distance at bucket b is the L1 difference between the normalized
+// class-mix vectors of the hour before and the hour after b. Boundaries
+// are the highest-distance local maxima at least two hours apart.
+func DetectSegments(maxSegs int) []Segment {
+	if maxSegs < 1 {
+		maxSegs = 1
+	}
+	const window = 6  // one hour of 10-minute buckets
+	const minGap = 12 // boundaries at least two hours apart
+	classes := ClassNames()
+
+	// Normalized class mix of one bucket window [start, start+window).
+	mix := func(start int) []float64 {
+		v := make([]float64, len(classes))
+		total := 0.0
+		for i := 0; i < window; i++ {
+			b := ((start+i)%Buckets + Buckets) % Buckets
+			for ci, c := range classes {
+				r := Rate(c, b)
+				v[ci] += r
+				total += r
+			}
+		}
+		if total > 0 {
+			for i := range v {
+				v[i] /= total
+			}
+		}
+		return v
+	}
+
+	dist := make([]float64, Buckets)
+	for b := 0; b < Buckets; b++ {
+		before := mix(b - window)
+		after := mix(b)
+		d := 0.0
+		for i := range before {
+			diff := before[i] - after[i]
+			if diff < 0 {
+				diff = -diff
+			}
+			d += diff
+		}
+		dist[b] = d
+	}
+
+	// Local maxima, strongest first.
+	type peak struct {
+		bucket int
+		d      float64
+	}
+	var peaks []peak
+	for b := 0; b < Buckets; b++ {
+		prev := dist[(b-1+Buckets)%Buckets]
+		next := dist[(b+1)%Buckets]
+		if dist[b] >= prev && dist[b] > next {
+			peaks = append(peaks, peak{b, dist[b]})
+		}
+	}
+	sort.Slice(peaks, func(i, j int) bool { return peaks[i].d > peaks[j].d })
+
+	var boundaries []int
+	for _, p := range peaks {
+		if len(boundaries) == maxSegs {
+			break
+		}
+		ok := true
+		for _, x := range boundaries {
+			gap := p.bucket - x
+			if gap < 0 {
+				gap = -gap
+			}
+			if gap > Buckets/2 {
+				gap = Buckets - gap
+			}
+			if gap < minGap {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			boundaries = append(boundaries, p.bucket)
+		}
+	}
+	if len(boundaries) == 0 {
+		return []Segment{{Name: "all", Lo: 0, Hi: Buckets}}
+	}
+	sort.Ints(boundaries)
+
+	segs := make([]Segment, len(boundaries))
+	for i := range boundaries {
+		lo := boundaries[i]
+		hi := boundaries[(i+1)%len(boundaries)]
+		segs[i] = Segment{Name: segName(i), Lo: lo, Hi: hi}
+	}
+	return segs
+}
+
+func segName(i int) string {
+	names := []string{"seg1", "seg2", "seg3", "seg4", "seg5", "seg6"}
+	if i < len(names) {
+		return names[i]
+	}
+	return "seg"
+}

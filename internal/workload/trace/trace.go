@@ -1,0 +1,215 @@
+// Package trace synthesizes the 24-hour e-learning workload trace of
+// Section 5 (Figures "Number of Active Servers", "Average Response
+// Time" and Figure 6). The paper could only use statistics of the real
+// trace (backend accesses of a Web-based e-learning tool, October 20,
+// 2009) due to privacy restrictions; this package generates a
+// parametric trace with the same structure:
+//
+//   - five query classes A-E whose mix shifts over the day;
+//   - class B dominates at night (3 am - 8 am) and is weakest during
+//     the day, while the other classes follow a diurnal curve peaking
+//     around midday (Figure 6);
+//   - the total rate rises from a nightly trough to roughly 4,500
+//     requests per 10 minutes (the paper scales the trace by 40× to a
+//     peak of ~250 queries/second for the autoscaling experiment).
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"qcpa/internal/core"
+)
+
+// Buckets is the number of 10-minute buckets in a day.
+const Buckets = 144
+
+// ClassNames lists the five trace classes.
+func ClassNames() []string { return []string{"A", "B", "C", "D", "E"} }
+
+// Rate returns the request rate of a class in requests per 10-minute
+// bucket at the given bucket index (0 = midnight), for the original
+// (unscaled) trace.
+func Rate(class string, bucket int) float64 {
+	h := float64(bucket%Buckets) / 6 // hour of day, fractional
+	// Diurnal base: trough ~4 am, broad peak 10 am - 4 pm.
+	day := 0.12 + 0.88*math.Exp(-sq(circDist(h, 13)/4.5))
+	// Nocturnal shape for class B: peak ~5 am.
+	night := 0.15 + 0.85*math.Exp(-sq(circDist(h, 5)/2.5))
+	switch class {
+	case "A":
+		return 520 * day
+	case "B":
+		return 420 * night
+	case "C":
+		return 380 * day * (0.9 + 0.1*math.Sin(h/24*2*math.Pi))
+	case "D":
+		return 300 * (0.12 + 0.88*math.Exp(-sq(circDist(h, 11)/4)))
+	case "E":
+		return 240 * (0.12 + 0.88*math.Exp(-sq(circDist(h, 16)/4)))
+	}
+	return 0
+}
+
+func sq(x float64) float64 { return x * x }
+
+// circDist is the circular distance between two hours of day.
+func circDist(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if d > 12 {
+		d = 24 - d
+	}
+	return d
+}
+
+// TotalRate returns the summed rate of all classes in a bucket.
+func TotalRate(bucket int) float64 {
+	t := 0.0
+	for _, c := range ClassNames() {
+		t += Rate(c, bucket)
+	}
+	return t
+}
+
+// Segment is a window of the day, in buckets (Lo inclusive, Hi
+// exclusive; Lo > Hi wraps past midnight).
+type Segment struct {
+	Name   string
+	Lo, Hi int
+}
+
+// Segments returns the four windows the paper derives with its one-hour
+// sliding-window variance comparison: 3:00-8:30, 8:30-10:30,
+// 10:30-22:30, 22:30-3:00.
+func Segments() []Segment {
+	return []Segment{
+		{"night", 18, 51},    // 3:00 - 8:30
+		{"morning", 51, 63},  // 8:30 - 10:30
+		{"day", 63, 135},     // 10:30 - 22:30
+		{"evening", 135, 18}, // 22:30 - 3:00 (wraps)
+	}
+}
+
+// contains reports whether the segment covers a bucket.
+func (s Segment) contains(b int) bool {
+	if s.Lo <= s.Hi {
+		return b >= s.Lo && b < s.Hi
+	}
+	return b >= s.Lo || b < s.Hi
+}
+
+// classTables maps each class to the data it touches: six tables of an
+// e-learning backend (courses, lessons, users, sessions, results,
+// forums). Classes overlap on shared tables, which is what makes the
+// per-segment allocations differ in shape.
+var classTables = map[string][]core.FragmentID{
+	"A": {"courses", "lessons"},
+	"B": {"results", "users"},
+	"C": {"sessions", "users"},
+	"D": {"forums"},
+	"E": {"courses", "forums"},
+}
+
+// tableSizes gives relative fragment sizes.
+var tableSizes = map[core.FragmentID]float64{
+	"courses": 2, "lessons": 6, "users": 3, "sessions": 4, "results": 5, "forums": 3,
+}
+
+// classCost is the per-request cost of each class (relative execution
+// time; class B's nightly batch lookups are heavier).
+var classCost = map[string]float64{"A": 1, "B": 2, "C": 1, "D": 0.8, "E": 1.2}
+
+// ClassCost returns the per-request cost of a class.
+func ClassCost(class string) float64 { return classCost[class] }
+
+// Classification builds the weighted classification of the trace over a
+// set of buckets (weight per Eq. 4: rate × cost, normalized). An update
+// class "U" over the sessions table models the tool's session logging
+// with 8% of every segment's weight.
+func Classification(buckets []int) (*core.Classification, error) {
+	cls := core.NewClassification()
+	for id, size := range tableSizes {
+		cls.AddFragment(core.Fragment{ID: id, Size: size})
+	}
+	weights := make(map[string]float64)
+	total := 0.0
+	for _, c := range ClassNames() {
+		for _, b := range buckets {
+			weights[c] += Rate(c, b) * classCost[c]
+		}
+		total += weights[c]
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("trace: no weight in buckets %v", buckets)
+	}
+	const updateShare = 0.08
+	for _, c := range ClassNames() {
+		w := weights[c] / total * (1 - updateShare)
+		if err := cls.AddClass(core.NewClass(c, core.Read, w, classTables[c]...)); err != nil {
+			return nil, err
+		}
+	}
+	if err := cls.AddClass(core.NewClass("U", core.Update, updateShare, "sessions")); err != nil {
+		return nil, err
+	}
+	return cls, nil
+}
+
+// SegmentBuckets returns the bucket indices of a segment.
+func SegmentBuckets(s Segment) []int {
+	var out []int
+	for b := 0; b < Buckets; b++ {
+		if s.contains(b) {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// AllBuckets returns every bucket of the day.
+func AllBuckets() []int {
+	out := make([]int, Buckets)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// TimedRequest is one request with its arrival time in seconds from
+// midnight.
+type TimedRequest struct {
+	Class   string
+	Write   bool
+	Cost    float64
+	Arrival float64
+}
+
+// Requests generates the scaled request stream of the day: each class's
+// per-bucket rate is multiplied by scale and arrivals are spread
+// uniformly with jitter inside the bucket. The update class U arrives
+// at updateShare of the total rate. The stream is sorted by arrival
+// time.
+func Requests(scale float64, seed int64) []TimedRequest {
+	rng := rand.New(rand.NewSource(seed))
+	var out []TimedRequest
+	add := func(class string, write bool, cost, rate float64, bucket int) {
+		n := int(rate*scale + 0.5)
+		for i := 0; i < n; i++ {
+			at := float64(bucket)*600 + rng.Float64()*600
+			out = append(out, TimedRequest{Class: class, Write: write, Cost: cost, Arrival: at})
+		}
+	}
+	for b := 0; b < Buckets; b++ {
+		totalB := 0.0
+		for _, c := range ClassNames() {
+			r := Rate(c, b)
+			add(c, false, classCost[c], r, b)
+			totalB += r
+		}
+		add("U", true, 0.5, totalB*0.087, b) // ~8% of weight
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Arrival < out[j].Arrival })
+	return out
+}

@@ -1,0 +1,232 @@
+package trace
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"qcpa/internal/core"
+)
+
+// TestFigure6Shape: class B dominates at night and is weak at midday;
+// the other classes peak during the day.
+func TestFigure6Shape(t *testing.T) {
+	night := 5 * 6 // 5:00
+	noon := 13 * 6 // 13:00
+	if Rate("B", night) <= Rate("A", night) {
+		t.Fatalf("at night B (%.0f) must dominate A (%.0f)", Rate("B", night), Rate("A", night))
+	}
+	if Rate("B", noon) >= Rate("B", night)/2 {
+		t.Fatalf("B at noon (%.0f) must be far below its night rate (%.0f)", Rate("B", noon), Rate("B", night))
+	}
+	if Rate("A", noon) <= Rate("A", night) {
+		t.Fatalf("A must peak during the day")
+	}
+	for _, c := range ClassNames() {
+		for b := 0; b < Buckets; b++ {
+			if Rate(c, b) < 0 {
+				t.Fatalf("negative rate for %s at %d", c, b)
+			}
+		}
+	}
+	if Rate("nope", 0) != 0 {
+		t.Fatal("unknown class must have zero rate")
+	}
+}
+
+// TestDiurnalTotal: the total rate roughly triples from trough to peak
+// and the peak lands in working hours.
+func TestDiurnalTotal(t *testing.T) {
+	minB, maxB := 0, 0
+	for b := 1; b < Buckets; b++ {
+		if TotalRate(b) < TotalRate(minB) {
+			minB = b
+		}
+		if TotalRate(b) > TotalRate(maxB) {
+			maxB = b
+		}
+	}
+	if TotalRate(maxB) < 2*TotalRate(minB) {
+		t.Fatalf("peak/trough = %.2f, want >= 2", TotalRate(maxB)/TotalRate(minB))
+	}
+	if h := maxB / 6; h < 9 || h > 17 {
+		t.Fatalf("peak at hour %d, want working hours", h)
+	}
+}
+
+func TestSegmentsCoverDayOnce(t *testing.T) {
+	segs := Segments()
+	if len(segs) != 4 {
+		t.Fatalf("segments = %d, want 4 (Section 5)", len(segs))
+	}
+	cover := make([]int, Buckets)
+	for _, s := range segs {
+		for _, b := range SegmentBuckets(s) {
+			cover[b]++
+		}
+	}
+	for b, c := range cover {
+		if c != 1 {
+			t.Fatalf("bucket %d covered %d times", b, c)
+		}
+	}
+}
+
+func TestClassificationPerSegment(t *testing.T) {
+	for _, s := range Segments() {
+		cls, err := Classification(SegmentBuckets(s))
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if err := cls.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if len(cls.Classes()) != 6 {
+			t.Fatalf("%s: classes = %d, want 6 (A-E + U)", s.Name, len(cls.Classes()))
+		}
+		a, err := core.Greedy(cls, core.UniformBackends(4))
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+	}
+	// Night segment: B must be the heaviest class.
+	night, _ := Classification(SegmentBuckets(Segments()[0]))
+	var heaviest *core.Class
+	for _, c := range night.Reads() {
+		if heaviest == nil || c.Weight > heaviest.Weight {
+			heaviest = c
+		}
+	}
+	if heaviest.Name != "B" {
+		t.Fatalf("night segment heaviest read = %s, want B", heaviest.Name)
+	}
+	// Day segment: A heaviest.
+	day, _ := Classification(SegmentBuckets(Segments()[2]))
+	heaviest = nil
+	for _, c := range day.Reads() {
+		if heaviest == nil || c.Weight > heaviest.Weight {
+			heaviest = c
+		}
+	}
+	if heaviest.Name == "B" {
+		t.Fatal("day segment heaviest read must not be B")
+	}
+}
+
+func TestClassificationErrors(t *testing.T) {
+	if _, err := Classification(nil); err == nil {
+		t.Fatal("empty bucket set accepted")
+	}
+}
+
+func TestRequestsStream(t *testing.T) {
+	reqs := Requests(0.02, 1)
+	if len(reqs) == 0 {
+		t.Fatal("no requests")
+	}
+	if !sort.SliceIsSorted(reqs, func(i, j int) bool { return reqs[i].Arrival < reqs[j].Arrival }) {
+		t.Fatal("stream not sorted by arrival")
+	}
+	writes := 0
+	for _, r := range reqs {
+		if r.Arrival < 0 || r.Arrival >= 86400 {
+			t.Fatalf("arrival %v outside the day", r.Arrival)
+		}
+		if r.Cost <= 0 {
+			t.Fatal("non-positive cost")
+		}
+		if r.Write {
+			writes++
+			if r.Class != "U" {
+				t.Fatalf("write with class %s", r.Class)
+			}
+		}
+	}
+	if writes == 0 {
+		t.Fatal("no update requests in stream")
+	}
+	// Scaled stream roughly matches the rate integral.
+	var expect float64
+	for b := 0; b < Buckets; b++ {
+		expect += TotalRate(b) * 1.087
+	}
+	got := float64(len(reqs))
+	if math.Abs(got-expect*0.02)/(expect*0.02) > 0.1 {
+		t.Fatalf("stream size %v, expected ~%v", got, expect*0.02)
+	}
+}
+
+func TestClassCost(t *testing.T) {
+	if ClassCost("B") <= ClassCost("A") {
+		t.Fatal("class B must be costlier (nightly batch lookups)")
+	}
+}
+
+// TestDetectSegments: automatic sliding-window segmentation finds
+// boundaries near the known class-mix transitions — in particular one
+// in the early morning where class B hands over to the diurnal classes
+// (the paper's 8:30 boundary) and one late at night (22:30-ish).
+func TestDetectSegments(t *testing.T) {
+	segs := DetectSegments(4)
+	if len(segs) < 2 || len(segs) > 4 {
+		t.Fatalf("segments = %d, want 2-4", len(segs))
+	}
+	// Segments must partition the day exactly once.
+	cover := make([]int, Buckets)
+	for _, s := range segs {
+		for _, b := range SegmentBuckets(s) {
+			cover[b]++
+		}
+	}
+	for b, c := range cover {
+		if c != 1 {
+			t.Fatalf("bucket %d covered %d times", b, c)
+		}
+	}
+	// A boundary in the morning handover window (6:00-11:00) and one in
+	// the evening (20:00-2:00).
+	morning, evening := false, false
+	for _, s := range segs {
+		h := float64(s.Lo) / 6
+		if h >= 6 && h <= 11 {
+			morning = true
+		}
+		if h >= 20 || h <= 2 {
+			evening = true
+		}
+	}
+	if !morning || !evening {
+		var los []int
+		for _, s := range segs {
+			los = append(los, s.Lo)
+		}
+		t.Fatalf("boundaries %v (buckets) miss the morning/evening transitions", los)
+	}
+	// Every detected segment yields a valid classification and
+	// allocation.
+	for _, s := range segs {
+		cls, err := Classification(SegmentBuckets(s))
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		a, err := core.Greedy(cls, core.UniformBackends(3))
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestDetectSegmentsDegenerate(t *testing.T) {
+	if segs := DetectSegments(0); len(segs) < 1 {
+		t.Fatal("no segments for maxSegs=0")
+	}
+	if segs := DetectSegments(1); len(segs) != 1 {
+		t.Fatalf("maxSegs=1 gave %d segments", len(segs))
+	}
+}

@@ -1,0 +1,137 @@
+// Package workload defines the request and template types shared by the
+// benchmark workload generators (tpch, tpcapp, trace) and the consumers
+// that execute them (the cluster runtime and the discrete-event
+// simulator).
+package workload
+
+import (
+	"errors"
+	"math/rand"
+
+	"qcpa/internal/classify"
+)
+
+// Request is one executable query with routing metadata.
+type Request struct {
+	// SQL is the concrete statement (executable on sqlmini); may be
+	// empty for trace-only workloads that drive the simulator.
+	SQL string
+	// Class is the query class the request belongs to (the scheduler's
+	// routing key).
+	Class string
+	// Write marks data-modifying requests (ROWA routing).
+	Write bool
+	// Cost is the request's abstract service demand on a reference
+	// backend (the journal's execution time, Eq. 4's weight source).
+	Cost float64
+}
+
+// Template describes one distinguishable query of a workload: its
+// canonical SQL (the journal entry), a generator for concrete
+// parameterized instances, its relative frequency, and its
+// per-execution cost.
+type Template struct {
+	// Name labels the template (e.g. "q1", "newProducts").
+	Name string
+	// Journal is the canonical SQL used for classification.
+	Journal string
+	// Gen produces a concrete instance; nil means Journal is executed
+	// verbatim.
+	Gen func(rng *rand.Rand) string
+	// Freq is the relative frequency (occurrence count share).
+	Freq float64
+	// Cost is the per-execution cost (relative execution time).
+	Cost float64
+	// Write marks updates.
+	Write bool
+}
+
+// Mix is a weighted sampler over templates.
+type Mix struct {
+	templates []Template
+	cum       []float64
+	total     float64
+	classOf   map[string]string // template name -> class (set by Bind)
+}
+
+// NewMix builds a sampler. Frequencies must be positive.
+func NewMix(templates []Template) (*Mix, error) {
+	if len(templates) == 0 {
+		return nil, errors.New("workload: no templates")
+	}
+	m := &Mix{templates: templates}
+	for _, t := range templates {
+		if t.Freq <= 0 || t.Cost <= 0 {
+			return nil, errors.New("workload: template " + t.Name + " needs positive Freq and Cost")
+		}
+		m.total += t.Freq
+		m.cum = append(m.cum, m.total)
+	}
+	return m, nil
+}
+
+// Templates returns the templates of the mix.
+func (m *Mix) Templates() []Template { return m.templates }
+
+// Journal renders the mix as classification input: one entry per
+// template with Count proportional to frequency (out of total requests)
+// and the template cost.
+func (m *Mix) Journal(total int) []classify.Entry {
+	entries := make([]classify.Entry, 0, len(m.templates))
+	for _, t := range m.templates {
+		count := int(float64(total)*t.Freq/m.total + 0.5)
+		if count < 1 {
+			count = 1
+		}
+		entries = append(entries, classify.Entry{SQL: t.Journal, Count: count, Cost: t.Cost})
+	}
+	return entries
+}
+
+// Bind attaches a classification result so sampled requests carry their
+// class names.
+func (m *Mix) Bind(res *classify.Result) {
+	m.classOf = make(map[string]string, len(m.templates))
+	for _, t := range m.templates {
+		m.classOf[t.Name] = res.ClassOf[t.Journal]
+	}
+}
+
+// Next samples one request.
+func (m *Mix) Next(rng *rand.Rand) Request {
+	x := rng.Float64() * m.total
+	idx := len(m.templates) - 1
+	for i, c := range m.cum {
+		if x <= c {
+			idx = i
+			break
+		}
+	}
+	t := m.templates[idx]
+	sql := t.Journal
+	if t.Gen != nil {
+		sql = t.Gen(rng)
+	}
+	class := ""
+	if m.classOf != nil {
+		class = m.classOf[t.Name]
+	}
+	return Request{SQL: sql, Class: class, Write: t.Write, Cost: t.Cost}
+}
+
+// WeightShare returns the fraction of the total workload weight
+// (freq × cost) produced by the templates accepted by keep.
+func (m *Mix) WeightShare(keep func(Template) bool) float64 {
+	total, sel := 0.0, 0.0
+	for _, t := range m.templates {
+		w := t.Freq * t.Cost
+		total += w
+		if keep(t) {
+			sel += w
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return sel / total
+}

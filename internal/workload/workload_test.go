@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qcpa/internal/classify"
+)
+
+func testTemplates() []Template {
+	return []Template{
+		{Name: "a", Journal: "SELECT 1", Freq: 3, Cost: 1},
+		{Name: "b", Journal: "SELECT 2", Freq: 1, Cost: 9, Write: true},
+	}
+}
+
+func TestNewMixErrors(t *testing.T) {
+	if _, err := NewMix(nil); err == nil {
+		t.Error("empty template list accepted")
+	}
+	if _, err := NewMix([]Template{{Name: "x", Freq: 0, Cost: 1}}); err == nil {
+		t.Error("zero frequency accepted")
+	}
+	if _, err := NewMix([]Template{{Name: "x", Freq: 1, Cost: 0}}); err == nil {
+		t.Error("zero cost accepted")
+	}
+}
+
+func TestMixSamplingFollowsFrequencies(t *testing.T) {
+	m, err := NewMix(testTemplates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	counts := map[string]int{}
+	n := 20000
+	for i := 0; i < n; i++ {
+		r := m.Next(rng)
+		counts[r.SQL]++
+		if r.SQL == "SELECT 2" && !r.Write {
+			t.Fatal("write flag lost")
+		}
+	}
+	frac := float64(counts["SELECT 1"]) / float64(n)
+	if math.Abs(frac-0.75) > 0.02 {
+		t.Fatalf("template a sampled %.3f, want ~0.75", frac)
+	}
+}
+
+func TestMixJournal(t *testing.T) {
+	m, _ := NewMix(testTemplates())
+	j := m.Journal(1000)
+	if len(j) != 2 {
+		t.Fatalf("entries = %d", len(j))
+	}
+	if j[0].Count != 750 || j[1].Count != 250 {
+		t.Fatalf("counts = %d/%d, want 750/250", j[0].Count, j[1].Count)
+	}
+	if j[1].Cost != 9 {
+		t.Fatalf("cost = %v", j[1].Cost)
+	}
+	// Tiny totals still give every template at least one occurrence.
+	j = m.Journal(1)
+	for _, e := range j {
+		if e.Count < 1 {
+			t.Fatal("zero count in journal")
+		}
+	}
+}
+
+func TestMixWeightShare(t *testing.T) {
+	m, _ := NewMix(testTemplates())
+	// Weights: a = 3, b = 9 -> writes 75%.
+	w := m.WeightShare(func(tm Template) bool { return tm.Write })
+	if math.Abs(w-0.75) > 1e-12 {
+		t.Fatalf("write weight share = %v, want 0.75", w)
+	}
+}
+
+func TestMixBind(t *testing.T) {
+	m, _ := NewMix(testTemplates())
+	res := &classify.Result{ClassOf: map[string]string{"SELECT 1": "Q1", "SELECT 2": "U1"}}
+	m.Bind(res)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 20; i++ {
+		r := m.Next(rng)
+		if r.Class == "" {
+			t.Fatal("unbound class after Bind")
+		}
+	}
+}
+
+func TestMixGen(t *testing.T) {
+	m, _ := NewMix([]Template{{
+		Name: "g", Journal: "SELECT 0", Freq: 1, Cost: 1,
+		Gen: func(rng *rand.Rand) string { return "SELECT 42" },
+	}})
+	rng := rand.New(rand.NewSource(3))
+	if got := m.Next(rng).SQL; got != "SELECT 42" {
+		t.Fatalf("Gen not used: %q", got)
+	}
+}

@@ -11,6 +11,7 @@
 //	qcpa-server -connect 127.0.0.1:7070 -sql "SELECT i_title FROM item WHERE i_id = 3"
 //	qcpa-server -connect 127.0.0.1:7070 -write -sql "UPDATE item SET i_stock = 5 WHERE i_id = 3"
 //	qcpa-server -connect 127.0.0.1:7070 -cmd stats
+//	qcpa-server -connect 127.0.0.1:7070 -cmd metrics
 package main
 
 import (
@@ -19,10 +20,12 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"time"
 
 	"qcpa"
 	"qcpa/internal/cluster"
 	"qcpa/internal/core"
+	"qcpa/internal/runtime"
 	"qcpa/internal/server"
 	"qcpa/internal/sqlmini"
 	"qcpa/internal/workload/tpcapp"
@@ -35,9 +38,11 @@ func main() {
 		sql      = flag.String("sql", "", "statement to execute (client mode)")
 		class    = flag.String("class", "", "query class hint (client mode)")
 		write    = flag.Bool("write", false, "route as update (client mode)")
-		cmd      = flag.String("cmd", "", "protocol command: history | stats (client mode)")
+		cmd      = flag.String("cmd", "", "protocol command: history | stats | metrics (client mode)")
 		backends = flag.Int("backends", 3, "number of backends (server mode)")
 		strategy = flag.String("strategy", "table", "classification granularity: table | column")
+		policy   = flag.String("policy", "least-pending", "read scheduling policy: least-pending | random | round-robin (server mode)")
+		timeout  = flag.Duration("timeout", 0, "per-request timeout, 0 = none (server mode)")
 	)
 	flag.Parse()
 
@@ -45,7 +50,7 @@ func main() {
 	case *connect != "":
 		runClient(*connect, *sql, *class, *cmd, *write)
 	case *listen != "":
-		runServer(*listen, *backends, *strategy)
+		runServer(*listen, *backends, *strategy, *policy, *timeout)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -57,7 +62,11 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func runServer(addr string, n int, strategy string) {
+func runServer(addr string, n int, strategy, policy string, timeout time.Duration) {
+	kind, err := runtime.ParseKind(policy)
+	if err != nil {
+		fatal(err)
+	}
 	mix, err := tpcapp.Mix(1)
 	if err != nil {
 		fatal(err)
@@ -79,7 +88,7 @@ func runServer(addr string, n int, strategy string) {
 	if err != nil {
 		fatal(err)
 	}
-	c, err := cluster.New(cluster.Config{Backends: core.UniformBackends(n)})
+	c, err := cluster.New(cluster.Config{Backends: core.UniformBackends(n), Policy: kind, Timeout: timeout})
 	if err != nil {
 		fatal(err)
 	}
@@ -98,7 +107,7 @@ func runServer(addr string, n int, strategy string) {
 		fatal(err)
 	}
 	srv := server.Serve(ln, c)
-	fmt.Printf("qcpa-server: serving %d backends on %s\n", n, srv.Addr())
+	fmt.Printf("qcpa-server: serving %d backends on %s (policy %s)\n", n, srv.Addr(), kind)
 	fmt.Printf("allocation:\n%s\n", alloc)
 
 	sig := make(chan os.Signal, 1)
@@ -127,6 +136,16 @@ func runClient(addr, sql, class, cmd string, write bool) {
 		fatal(err)
 	}
 	switch {
+	case resp.Metrics != nil:
+		m := resp.Metrics
+		fmt.Printf("policy %s\n", m.Policy)
+		fmt.Printf("%-6s %8s %8s %7s %8s %12s %12s\n", "node", "reads", "writes", "errors", "pending", "read-p95(us)", "write-p95(us)")
+		for _, b := range m.Backends {
+			fmt.Printf("%-6s %8d %8d %7d %8d %12d %12d\n",
+				b.Name, b.Reads, b.Writes, b.Errors, b.Pending, b.ReadLatency.P95US, b.WriteLatency.P95US)
+		}
+		fmt.Printf("ROWA fan-out: %d writes, mean width %.2f, max width %d\n",
+			m.Fanout.Writes, m.Fanout.MeanWidth, m.Fanout.MaxWidth)
 	case resp.History != nil:
 		for _, h := range resp.History {
 			fmt.Printf("%6d x %8.3fms  %s\n", h.Count, h.Cost, h.SQL)

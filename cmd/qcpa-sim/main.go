@@ -17,6 +17,7 @@ import (
 	"qcpa/internal/autoscale"
 	"qcpa/internal/cluster"
 	"qcpa/internal/core"
+	"qcpa/internal/runtime"
 	"qcpa/internal/sqlmini"
 	"qcpa/internal/workload"
 	"qcpa/internal/workload/tpcapp"
@@ -44,8 +45,13 @@ func main() {
 		requests := fs.Int("requests", 2000, "requests to execute")
 		workers := fs.Int("workers", 8, "concurrent clients")
 		seed := fs.Int64("seed", 7, "RNG seed")
+		policy := fs.String("policy", "least-pending", "read scheduling policy: least-pending | random | round-robin")
 		_ = fs.Parse(os.Args[2:])
-		runCluster(*backends, *requests, *workers, *seed)
+		kind, err := runtime.ParseKind(*policy)
+		if err != nil {
+			fatal(err)
+		}
+		runCluster(*backends, *requests, *workers, *seed, kind)
 	case "elastic":
 		requests := fs.Int("requests", 1500, "requests per phase")
 		seed := fs.Int64("seed", 7, "RNG seed")
@@ -78,7 +84,7 @@ func runAutoscale(opts autoscale.Options) {
 		s.MinNodes, s.PeakNodes, s.NodeBuckets, s.AvgLatency*1000, s.MaxLatency*1000, s.MovedBytes)
 }
 
-func runCluster(n, requests, workers int, seed int64) {
+func runCluster(n, requests, workers int, seed int64, policy runtime.Kind) {
 	mix, err := tpcapp.Mix(1)
 	if err != nil {
 		fatal(err)
@@ -95,7 +101,7 @@ func runCluster(n, requests, workers int, seed int64) {
 		fatal(err)
 	}
 	fmt.Printf("allocation:\n%s\n\n", alloc)
-	c, err := cluster.New(cluster.Config{Backends: core.UniformBackends(n)})
+	c, err := cluster.New(cluster.Config{Backends: core.UniformBackends(n), Policy: policy, PolicySeed: seed})
 	if err != nil {
 		fatal(err)
 	}
@@ -115,10 +121,14 @@ func runCluster(n, requests, workers int, seed int64) {
 	}
 	fmt.Printf("%d requests (%d errors) at %.0f req/s, avg latency %v\n",
 		stats.Completed, stats.Errors, stats.Throughput, stats.AvgLatency)
-	fmt.Println("reads per backend:")
-	for b, cnt := range stats.PerBackend {
-		fmt.Printf("  %s: %d\n", b, cnt)
+	m := c.Metrics()
+	fmt.Printf("runtime metrics (policy %s):\n", m.Policy)
+	for _, b := range m.Backends {
+		fmt.Printf("  %s: %d reads (p95 %dus), %d writes (p95 %dus), %d errors\n",
+			b.Name, b.Reads, b.ReadLatency.P95US, b.Writes, b.WriteLatency.P95US, b.Errors)
 	}
+	fmt.Printf("  ROWA fan-out: %d writes, mean width %.2f, max %d\n",
+		m.Fanout.Writes, m.Fanout.MeanWidth, m.Fanout.MaxWidth)
 }
 
 // runElastic demonstrates Section 5's elasticity on the real runtime:

@@ -72,6 +72,16 @@ func main() {
 	fmt.Printf("\nran %d requests (%d errors) at %.0f req/s, avg latency %v\n",
 		stats.Completed, stats.Errors, stats.Throughput, stats.AvgLatency)
 
+	// The runtime layer's per-backend metrics (also served over TCP as
+	// {"cmd":"metrics"} by internal/server).
+	m := c.Metrics()
+	fmt.Printf("runtime metrics (policy %s):\n", m.Policy)
+	for _, b := range m.Backends {
+		fmt.Printf("  %s: %d reads (p95 %dus), %d ROWA applies (p95 %dus)\n",
+			b.Name, b.Reads, b.ReadLatency.P95US, b.Writes, b.WriteLatency.P95US)
+	}
+	fmt.Printf("  ROWA fan-out: mean width %.2f over %d updates\n", m.Fanout.MeanWidth, m.Fanout.Writes)
+
 	// 4. ROWA consistency check: replicas of order_line agree.
 	counts := map[int]int64{}
 	for i := 0; i < backends; i++ {

@@ -15,8 +15,10 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"strings"
 	"sync"
@@ -25,6 +27,8 @@ import (
 
 	"qcpa/internal/classify"
 	"qcpa/internal/core"
+	"qcpa/internal/runtime"
+	"qcpa/internal/runtime/metrics"
 	"qcpa/internal/sqlmini"
 	"qcpa/internal/workload"
 )
@@ -53,15 +57,34 @@ type Config struct {
 	// ReadWorkers is the number of concurrent read connections per
 	// backend (default 2), mirroring the prototype's connection pools.
 	ReadWorkers int
+	// Policy selects the read-scheduling policy (default LeastPending,
+	// the paper's strategy). The implementations are shared with the
+	// simulator via internal/runtime.
+	Policy runtime.Kind
+	// PolicySeed seeds the randomized policies (default 1).
+	PolicySeed int64
+	// Timeout, when positive, bounds every request: Execute derives a
+	// per-request context.WithTimeout from it. A request that exceeds
+	// the deadline returns context.DeadlineExceeded (an abandoned ROWA
+	// write still completes on the replicas — see executeWrite).
+	Timeout time.Duration
+	// FanoutWorkers bounds the worker pool that enqueues one ROWA
+	// update onto its replicas concurrently (default min(8, backends)).
+	FanoutWorkers int
+	// JournalCap bounds the distinguishable statements kept in the
+	// query journal (default 8192); the least-frequent eighth is
+	// evicted when the cap is reached.
+	JournalCap int
 }
 
-// backend is one node: an engine, its table set, and an ordered update
-// applier.
+// backend is one node: an engine, its table set, its runtime metrics
+// (whose pending gauge is also the scheduling input), and an ordered
+// update applier.
 type backend struct {
 	name     string
 	engine   *sqlmini.Engine
 	tables   map[string]bool
-	pending  atomic.Int64
+	metrics  *metrics.Backend
 	updateCh chan *updateJob
 	wg       sync.WaitGroup
 	readSem  chan struct{}
@@ -78,6 +101,10 @@ type updateJob struct {
 type Cluster struct {
 	cfg      Config
 	backends []*backend
+
+	policy  runtime.Policy
+	rng     *rand.Rand // concurrency-safe (runtime.NewLockedRand)
+	metrics *metrics.Registry
 
 	mu         sync.Mutex // guards alloc, classFrags, journal
 	alloc      *core.Allocation
@@ -107,24 +134,44 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.ReadWorkers <= 0 {
 		cfg.ReadWorkers = 2
 	}
+	if cfg.FanoutWorkers <= 0 {
+		cfg.FanoutWorkers = len(cfg.Backends)
+		if cfg.FanoutWorkers > 8 {
+			cfg.FanoutWorkers = 8
+		}
+	}
+	if cfg.JournalCap <= 0 {
+		cfg.JournalCap = 8192
+	}
 	c := &Cluster{
 		cfg:       cfg,
+		policy:    cfg.Policy.New(),
+		rng:       runtime.NewLockedRand(cfg.PolicySeed),
+		metrics:   metrics.NewRegistry(),
 		journal:   make(map[string]*journalLine),
 		stmtCache: make(map[string]sqlmini.Statement),
 	}
 	for _, b := range cfg.Backends {
-		be := &backend{
-			name:     b.Name,
-			engine:   sqlmini.New(),
-			tables:   make(map[string]bool),
-			updateCh: make(chan *updateJob, 1024),
-			readSem:  make(chan struct{}, cfg.ReadWorkers),
-		}
-		be.wg.Add(1)
-		go be.applyUpdates()
+		be := c.newBackend(b.Name)
 		c.backends = append(c.backends, be)
 	}
 	return c, nil
+}
+
+// newBackend creates one node with its applier running (shared by New
+// and the elastic scale-out path).
+func (c *Cluster) newBackend(name string) *backend {
+	be := &backend{
+		name:     name,
+		engine:   sqlmini.New(),
+		tables:   make(map[string]bool),
+		metrics:  metrics.NewBackend(),
+		updateCh: make(chan *updateJob, 1024),
+		readSem:  make(chan struct{}, c.cfg.ReadWorkers),
+	}
+	be.wg.Add(1)
+	go be.applyUpdates()
+	return be
 }
 
 // applyUpdates drains the backend's update queue in FIFO order — the
@@ -133,11 +180,13 @@ func New(cfg Config) (*Cluster, error) {
 func (b *backend) applyUpdates() {
 	defer b.wg.Done()
 	for job := range b.updateCh {
+		start := time.Now()
 		r, err := b.engine.ExecStmt(job.stmt)
 		if err == nil {
 			job.affected = r.Affected
 		}
-		b.pending.Add(-1)
+		b.metrics.DecPending()
+		b.metrics.ObserveWrite(time.Since(start), err != nil)
 		job.done <- err
 	}
 }
@@ -163,8 +212,6 @@ func (c *Cluster) Install(alloc *core.Allocation, load Loader) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	start := time.Now()
-	_ = start
 	var wg sync.WaitGroup
 	errs := make([]error, len(c.backends))
 	for i, b := range c.backends {
@@ -183,11 +230,15 @@ func (c *Cluster) Install(alloc *core.Allocation, load Loader) error {
 			b.engine = sqlmini.New() // wipe
 			b.tables = tables
 			if len(list) > 0 {
-				errs[i] = load(b.engine, list)
+				if err := load(b.engine, list); err != nil {
+					errs[i] = fmt.Errorf("cluster: install backend %s: %w", b.name, err)
+				}
 			}
 		}(b, list, tables, i)
 	}
 	wg.Wait()
+	// Report the first failing backend (by backend order) with its
+	// identity, rather than an anonymous loader error.
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -245,13 +296,26 @@ type Result struct {
 	Affected int
 }
 
-// Execute routes and executes one request synchronously. Reads run on
-// the least-pending eligible backend; writes run on every backend
-// holding their data, in global order, and return when all replicas
-// applied them.
+// Execute routes and executes one request synchronously with the
+// cluster's default timeout. Reads run on the backend chosen by the
+// configured scheduling policy (least-pending by default); writes run
+// on every backend holding their data, in global order, and return
+// when all replicas applied them.
 func (c *Cluster) Execute(req workload.Request) (*Result, error) {
+	return c.ExecuteContext(context.Background(), req)
+}
+
+// ExecuteContext is Execute under a caller-supplied context: the
+// request is abandoned when ctx is canceled or times out. Config.
+// Timeout, when set, is layered on top as a per-request deadline.
+func (c *Cluster) ExecuteContext(ctx context.Context, req workload.Request) (*Result, error) {
 	if c.stopped.Load() {
 		return nil, errors.New("cluster: closed")
+	}
+	if c.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.cfg.Timeout)
+		defer cancel()
 	}
 	stmt, err := c.parse(req.SQL)
 	if err != nil {
@@ -279,9 +343,9 @@ func (c *Cluster) Execute(req workload.Request) (*Result, error) {
 	start := time.Now()
 	var res *Result
 	if req.Write {
-		res, err = c.executeWrite(stmt, req.SQL, tables)
+		res, err = c.executeWrite(ctx, stmt, req.SQL, tables)
 	} else {
-		res, err = c.executeRead(stmt, tables)
+		res, err = c.executeRead(ctx, stmt, tables)
 	}
 	if err != nil {
 		return nil, err
@@ -291,31 +355,37 @@ func (c *Cluster) Execute(req workload.Request) (*Result, error) {
 	return res, nil
 }
 
-func (c *Cluster) executeRead(stmt sqlmini.Statement, tables []string) (*Result, error) {
+// pickRead applies the configured scheduling policy to the eligible
+// backends, using the metrics pending gauges as the pending counts.
+func (c *Cluster) pickRead(elig []*backend) *backend {
+	pos := c.policy.Pick(len(elig), func(i int) int { return int(elig[i].metrics.Pending()) }, c.rng)
+	return elig[pos]
+}
+
+func (c *Cluster) executeRead(ctx context.Context, stmt sqlmini.Statement, tables []string) (*Result, error) {
 	elig := c.eligible(tables)
 	if len(elig) == 0 {
 		return nil, fmt.Errorf("cluster: no backend holds tables %v", tables)
 	}
-	// Least pending request first (Section 2).
-	best := elig[0]
-	bestPending := best.pending.Load()
-	for _, b := range elig[1:] {
-		if p := b.pending.Load(); p < bestPending {
-			best, bestPending = b, p
-		}
+	best := c.pickRead(elig)
+	best.metrics.IncPending()
+	defer best.metrics.DecPending()
+	select {
+	case best.readSem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
 	}
-	best.pending.Add(1)
-	best.readSem <- struct{}{}
-	r, err := best.engine.ExecStmt(stmt)
+	start := time.Now()
+	r, err := best.engine.ExecStmtContext(ctx, stmt)
 	<-best.readSem
-	best.pending.Add(-1)
+	best.metrics.ObserveRead(time.Since(start), err != nil)
 	if err != nil {
 		return nil, err
 	}
 	return &Result{Backend: best.name, Rows: len(r.Rows), Scanned: r.Scanned, Columns: r.Columns, Data: r.Rows}, nil
 }
 
-func (c *Cluster) executeWrite(stmt sqlmini.Statement, sql string, tables []string) (*Result, error) {
+func (c *Cluster) executeWrite(ctx context.Context, stmt sqlmini.Statement, sql string, tables []string) (*Result, error) {
 	// Targets: every backend holding ANY of the referenced tables (it
 	// must hold all of them if the allocation is valid).
 	var targets []*backend
@@ -330,20 +400,58 @@ func (c *Cluster) executeWrite(stmt sqlmini.Statement, sql string, tables []stri
 	if len(targets) == 0 {
 		return nil, fmt.Errorf("cluster: no backend holds tables %v for update", tables)
 	}
+	c.metrics.ObserveFanout(len(targets))
 	jobs := make([]*updateJob, len(targets))
-	// The dispatch lock fixes the global order: conflicting updates are
-	// enqueued to every common backend in the same sequence.
-	c.dispatchMu.Lock()
-	for i, b := range targets {
+	for i := range targets {
 		jobs[i] = &updateJob{stmt: stmt, sql: sql, done: make(chan error, 1)}
-		b.pending.Add(1)
-		b.updateCh <- jobs[i]
+	}
+	// The dispatch lock fixes the global order: it is held until every
+	// replica has this update in its queue, so conflicting updates are
+	// enqueued to every common backend in the same sequence. Within one
+	// update the enqueues fan out through a bounded worker pool — a
+	// replica with a full queue delays only its own enqueue instead of
+	// serializing the whole fan-out.
+	c.dispatchMu.Lock()
+	if workers := c.cfg.FanoutWorkers; workers > 1 && len(targets) > 1 {
+		if workers > len(targets) {
+			workers = len(targets)
+		}
+		var next atomic.Int64
+		var ewg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			ewg.Add(1)
+			go func() {
+				defer ewg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(targets) {
+						return
+					}
+					targets[i].metrics.IncPending()
+					targets[i].updateCh <- jobs[i]
+				}
+			}()
+		}
+		ewg.Wait()
+	} else {
+		for i, b := range targets {
+			b.metrics.IncPending()
+			b.updateCh <- jobs[i]
+		}
 	}
 	c.dispatchMu.Unlock()
 	var firstErr error
-	for _, j := range jobs {
-		if err := <-j.done; err != nil && firstErr == nil {
-			firstErr = err
+	for i, j := range jobs {
+		select {
+		case err := <-j.done:
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("cluster: backend %s: %w", targets[i].name, err)
+			}
+		case <-ctx.Done():
+			// The update is already enqueued everywhere in global order;
+			// the replicas finish applying it (staying consistent), the
+			// caller just stops waiting.
+			return nil, ctx.Err()
 		}
 	}
 	if firstErr != nil {
@@ -377,17 +485,49 @@ func (c *Cluster) parse(sql string) (sqlmini.Statement, error) {
 	return stmt, nil
 }
 
-// record appends to the query history (Figure 3's journal).
+// record appends to the query history (Figure 3's journal). The
+// journal is bounded by Config.JournalCap distinguishable statements:
+// admitting a new statement at the cap first evicts the least-frequent
+// eighth of the journal, so long-running servers under an unbounded
+// stream of distinct texts (generated point lookups) keep the hot
+// classification input without growing without limit.
 func (c *Cluster) record(sql string, d time.Duration) {
 	c.journalMu.Lock()
 	line, ok := c.journal[sql]
 	if !ok {
+		if len(c.journal) >= c.cfg.JournalCap {
+			c.evictJournalLocked()
+		}
 		line = &journalLine{}
 		c.journal[sql] = line
 	}
 	line.count++
 	line.total += d
 	c.journalMu.Unlock()
+}
+
+// evictJournalLocked drops roughly the least-frequent eighth of the
+// journal (at least one entry). Called with journalMu held.
+func (c *Cluster) evictJournalLocked() {
+	counts := make([]int, 0, len(c.journal))
+	for _, line := range c.journal {
+		counts = append(counts, line.count)
+	}
+	sort.Ints(counts)
+	quota := len(counts) / 8
+	if quota < 1 {
+		quota = 1
+	}
+	threshold := counts[quota-1]
+	for sql, line := range c.journal {
+		if quota == 0 {
+			break
+		}
+		if line.count <= threshold {
+			delete(c.journal, sql)
+			quota--
+		}
+	}
 }
 
 // History returns the recorded journal as classification input: one
@@ -413,6 +553,17 @@ func (c *Cluster) ResetHistory() {
 	c.journalMu.Lock()
 	c.journal = make(map[string]*journalLine)
 	c.journalMu.Unlock()
+}
+
+// Metrics snapshots the runtime layer's per-backend counters, pending
+// gauges, latency histograms, and the ROWA fan-out series (the
+// {"cmd":"metrics"} payload of internal/server).
+func (c *Cluster) Metrics() *metrics.Snapshot {
+	snap := &metrics.Snapshot{Policy: c.policy.Name(), Fanout: c.metrics.Fanout()}
+	for _, b := range c.backends {
+		snap.Backends = append(snap.Backends, b.metrics.Snapshot(b.name))
+	}
+	return snap
 }
 
 // NumBackends returns the number of backends.

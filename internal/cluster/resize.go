@@ -6,7 +6,6 @@ import (
 
 	"qcpa/internal/core"
 	"qcpa/internal/matching"
-	"qcpa/internal/sqlmini"
 )
 
 // Resize changes the cluster to the backend count of newAlloc — the
@@ -46,16 +45,7 @@ func (c *Cluster) Resize(newAlloc *core.Allocation, load Loader) (*MigrationRepo
 		if i := len(c.backends); i < nNew {
 			name = newAlloc.Backends()[i].Name
 		}
-		be := &backend{
-			name:     name,
-			engine:   sqlmini.New(),
-			tables:   make(map[string]bool),
-			updateCh: make(chan *updateJob, 1024),
-			readSem:  make(chan struct{}, c.cfg.ReadWorkers),
-		}
-		be.wg.Add(1)
-		go be.applyUpdates()
-		c.backends = append(c.backends, be)
+		c.backends = append(c.backends, c.newBackend(name))
 	}
 
 	// Desired tables per physical backend (decommissioned ones want

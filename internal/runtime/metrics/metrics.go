@@ -1,0 +1,146 @@
+// Package metrics is the runtime layer's observability sub-layer:
+// per-backend request counters, pending-request gauges, and latency
+// histograms, plus controller-level series (ROWA fan-out width). The
+// cluster controller feeds it on every request and exports snapshots
+// through the server's {"cmd":"metrics"} wire command.
+//
+// All write paths are lock-free (atomic counters and stats.ExpHistogram
+// buckets), so recording on the hot request path costs a handful of
+// atomic adds. Snapshots are read concurrently with updates and are
+// only approximately consistent across counters — fine for monitoring.
+package metrics
+
+import (
+	"sync/atomic"
+	"time"
+
+	"qcpa/internal/stats"
+)
+
+// Backend aggregates the runtime counters of one backend. The pending
+// gauge doubles as the scheduling input of the least-pending policy:
+// the controller reads it through runtime.Policy's pending function.
+type Backend struct {
+	reads    atomic.Int64
+	writes   atomic.Int64
+	errors   atomic.Int64
+	pending  atomic.Int64
+	readLat  stats.ExpHistogram // microseconds
+	writeLat stats.ExpHistogram // microseconds
+}
+
+// NewBackend returns a zeroed per-backend metrics block.
+func NewBackend() *Backend { return &Backend{} }
+
+// IncPending notes a request queued or in flight on this backend.
+func (b *Backend) IncPending() { b.pending.Add(1) }
+
+// DecPending notes a request leaving the backend.
+func (b *Backend) DecPending() { b.pending.Add(-1) }
+
+// Pending returns the current pending-request gauge.
+func (b *Backend) Pending() int64 { return b.pending.Load() }
+
+// ObserveRead records one completed read and its service latency.
+func (b *Backend) ObserveRead(d time.Duration, failed bool) {
+	b.reads.Add(1)
+	if failed {
+		b.errors.Add(1)
+	}
+	b.readLat.Observe(d.Microseconds())
+}
+
+// ObserveWrite records one applied update (one replica) and its apply
+// latency.
+func (b *Backend) ObserveWrite(d time.Duration, failed bool) {
+	b.writes.Add(1)
+	if failed {
+		b.errors.Add(1)
+	}
+	b.writeLat.Observe(d.Microseconds())
+}
+
+// Snapshot captures the backend's counters under the given display
+// name (backend names can change across elastic resizes, so the caller
+// supplies the current one).
+func (b *Backend) Snapshot(name string) BackendSnapshot {
+	return BackendSnapshot{
+		Name:         name,
+		Reads:        b.reads.Load(),
+		Writes:       b.writes.Load(),
+		Errors:       b.errors.Load(),
+		Pending:      b.pending.Load(),
+		ReadLatency:  latencySnapshot(&b.readLat),
+		WriteLatency: latencySnapshot(&b.writeLat),
+	}
+}
+
+// Registry holds the controller-level metrics that are not tied to one
+// backend: today, the ROWA fan-out width histogram.
+type Registry struct {
+	fanout stats.ExpHistogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// ObserveFanout records the replica count one ROWA update fanned out to.
+func (r *Registry) ObserveFanout(width int) { r.fanout.Observe(int64(width)) }
+
+// Fanout captures the fan-out series.
+func (r *Registry) Fanout() FanoutSnapshot {
+	return FanoutSnapshot{
+		Writes:    r.fanout.Count(),
+		MeanWidth: r.fanout.Mean(),
+		MaxWidth:  r.fanout.Max(),
+	}
+}
+
+// LatencySnapshot is the wire form of a latency histogram, in
+// microseconds. Percentiles are upper-bound estimates from
+// power-of-two buckets (exact within 2x).
+type LatencySnapshot struct {
+	Count  int64   `json:"count"`
+	MeanUS float64 `json:"mean_us"`
+	P50US  int64   `json:"p50_us"`
+	P95US  int64   `json:"p95_us"`
+	P99US  int64   `json:"p99_us"`
+	MaxUS  int64   `json:"max_us"`
+}
+
+func latencySnapshot(h *stats.ExpHistogram) LatencySnapshot {
+	return LatencySnapshot{
+		Count:  h.Count(),
+		MeanUS: h.Mean(),
+		P50US:  h.Quantile(0.50),
+		P95US:  h.Quantile(0.95),
+		P99US:  h.Quantile(0.99),
+		MaxUS:  h.Max(),
+	}
+}
+
+// BackendSnapshot is the wire form of one backend's counters.
+type BackendSnapshot struct {
+	Name         string          `json:"name"`
+	Reads        int64           `json:"reads"`
+	Writes       int64           `json:"writes"`
+	Errors       int64           `json:"errors"`
+	Pending      int64           `json:"pending"`
+	ReadLatency  LatencySnapshot `json:"read_latency"`
+	WriteLatency LatencySnapshot `json:"write_latency"`
+}
+
+// FanoutSnapshot summarizes ROWA fan-out widths.
+type FanoutSnapshot struct {
+	Writes    int64   `json:"writes"`
+	MeanWidth float64 `json:"mean_width"`
+	MaxWidth  int64   `json:"max_width"`
+}
+
+// Snapshot is the full metrics export: one entry per backend plus the
+// controller-level fan-out series.
+type Snapshot struct {
+	Policy   string            `json:"policy,omitempty"`
+	Backends []BackendSnapshot `json:"backends"`
+	Fanout   FanoutSnapshot    `json:"rowa_fanout"`
+}

@@ -1,0 +1,68 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBackendCountersAndGauge(t *testing.T) {
+	b := NewBackend()
+	b.IncPending()
+	b.IncPending()
+	b.DecPending()
+	if got := b.Pending(); got != 1 {
+		t.Fatalf("pending = %d, want 1", got)
+	}
+	b.ObserveRead(2*time.Millisecond, false)
+	b.ObserveRead(4*time.Millisecond, true)
+	b.ObserveWrite(1*time.Millisecond, false)
+	s := b.Snapshot("B1")
+	if s.Name != "B1" || s.Reads != 2 || s.Writes != 1 || s.Errors != 1 || s.Pending != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.ReadLatency.Count != 2 || s.ReadLatency.MaxUS < 4000 {
+		t.Fatalf("read latency = %+v", s.ReadLatency)
+	}
+	if s.ReadLatency.P50US <= 0 || s.ReadLatency.P99US < s.ReadLatency.P50US {
+		t.Fatalf("percentiles inconsistent: %+v", s.ReadLatency)
+	}
+	if s.WriteLatency.Count != 1 {
+		t.Fatalf("write latency = %+v", s.WriteLatency)
+	}
+}
+
+func TestRegistryFanout(t *testing.T) {
+	r := NewRegistry()
+	r.ObserveFanout(2)
+	r.ObserveFanout(3)
+	r.ObserveFanout(1)
+	f := r.Fanout()
+	if f.Writes != 3 || f.MaxWidth != 3 {
+		t.Fatalf("fanout = %+v", f)
+	}
+	if f.MeanWidth != 2 {
+		t.Fatalf("mean width = %v, want 2", f.MeanWidth)
+	}
+}
+
+func TestConcurrentObserves(t *testing.T) {
+	b := NewBackend()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				b.IncPending()
+				b.ObserveRead(time.Microsecond*time.Duration(i), false)
+				b.DecPending()
+			}
+		}()
+	}
+	wg.Wait()
+	s := b.Snapshot("x")
+	if s.Reads != 4000 || s.Pending != 0 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}

@@ -1,0 +1,134 @@
+package runtime
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func pendingOf(counts ...int) func(int) int {
+	return func(i int) int { return counts[i] }
+}
+
+func TestLeastPendingPicksMinimum(t *testing.T) {
+	p := LeastPending.New()
+	if got := p.Pick(4, pendingOf(3, 1, 2, 5), nil); got != 1 {
+		t.Fatalf("pick = %d, want 1", got)
+	}
+}
+
+func TestLeastPendingTieBreaksFirst(t *testing.T) {
+	p := LeastPending.New()
+	for i := 0; i < 5; i++ {
+		if got := p.Pick(3, pendingOf(2, 2, 2), nil); got != 0 {
+			t.Fatalf("tie pick = %d, want 0 (first eligible)", got)
+		}
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	p := RoundRobin.New()
+	var got []int
+	for i := 0; i < 6; i++ {
+		got = append(got, p.Pick(3, pendingOf(0, 0, 0), nil))
+	}
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sequence = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRoundRobinConcurrentCoverage(t *testing.T) {
+	p := RoundRobin.New()
+	const n, picks = 4, 400
+	counts := make([]int, n)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < picks/8; i++ {
+				b := p.Pick(n, pendingOf(0, 0, 0, 0), nil)
+				mu.Lock()
+				counts[b]++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	for b, c := range counts {
+		if c != picks/n {
+			t.Fatalf("backend %d got %d picks, want %d (counts %v)", b, c, picks/n, counts)
+		}
+	}
+}
+
+func TestRandomEligibleStaysInRangeAndSpreads(t *testing.T) {
+	p := RandomEligible.New()
+	rng := rand.New(rand.NewSource(1))
+	seen := map[int]int{}
+	for i := 0; i < 300; i++ {
+		b := p.Pick(3, pendingOf(0, 0, 0), rng)
+		if b < 0 || b >= 3 {
+			t.Fatalf("pick %d out of range", b)
+		}
+		seen[b]++
+	}
+	if len(seen) != 3 {
+		t.Fatalf("random policy never hit all backends: %v", seen)
+	}
+}
+
+func TestRandomEligibleNilRNGFallsBack(t *testing.T) {
+	if got := RandomEligible.New().Pick(3, pendingOf(0, 0, 0), nil); got != 0 {
+		t.Fatalf("nil-rng pick = %d, want 0", got)
+	}
+}
+
+func TestParseKindRoundTrip(t *testing.T) {
+	for _, k := range Kinds() {
+		got, err := ParseKind(k.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != k {
+			t.Fatalf("ParseKind(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	for in, want := range map[string]Kind{"lp": LeastPending, "rnd": RandomEligible, "rr": RoundRobin, "": LeastPending} {
+		got, err := ParseKind(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseKind(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestKindNewDefaultsOutOfRange(t *testing.T) {
+	if name := Kind(99).New().Name(); name != "least-pending" {
+		t.Fatalf("out-of-range kind = %s", name)
+	}
+}
+
+func TestNewLockedRandConcurrent(t *testing.T) {
+	rng := NewLockedRand(7)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if v := rng.Intn(10); v < 0 || v >= 10 {
+					t.Errorf("out of range: %d", v)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

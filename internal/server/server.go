@@ -15,11 +15,24 @@
 //
 // A request with "cmd": "history" returns the controller's recorded
 // query journal instead (the input to reallocation); "cmd": "stats"
-// returns per-backend table sets.
+// returns per-backend table sets; "cmd": "metrics" returns the runtime
+// layer's counters — per backend: reads, writes, errors, the pending
+// gauge, and read/write latency histograms (count/mean/p50/p95/p99/max
+// in microseconds) — plus the active scheduling policy and the ROWA
+// fan-out width series:
+//
+//	{"ok": true, "metrics": {"policy": "least-pending",
+//	 "backends": [{"name": "B1", "reads": 12, "writes": 3, "errors": 0,
+//	               "pending": 0, "read_latency": {...}, "write_latency": {...}}, ...],
+//	 "rowa_fanout": {"writes": 3, "mean_width": 2, "max_width": 2}}}
+//
+// Query execution runs under the server's base context (canceled on
+// Close) plus the cluster's configured per-request timeout.
 package server
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -27,13 +40,14 @@ import (
 	"sync"
 
 	"qcpa/internal/cluster"
+	"qcpa/internal/runtime/metrics"
 	"qcpa/internal/sqlmini"
 	"qcpa/internal/workload"
 )
 
 // Request is one client message.
 type Request struct {
-	Cmd   string `json:"cmd,omitempty"` // "", "history", "stats"
+	Cmd   string `json:"cmd,omitempty"` // "", "history", "stats", "metrics"
 	SQL   string `json:"sql,omitempty"`
 	Class string `json:"class,omitempty"`
 	Write bool   `json:"write,omitempty"`
@@ -48,30 +62,35 @@ type HistoryEntry struct {
 
 // Response is one server message.
 type Response struct {
-	OK         bool            `json:"ok"`
-	Error      string          `json:"error,omitempty"`
-	Backend    string          `json:"backend,omitempty"`
-	Columns    []string        `json:"columns,omitempty"`
-	Rows       [][]interface{} `json:"rows,omitempty"`
-	Affected   int             `json:"affected,omitempty"`
-	DurationUS int64           `json:"duration_us,omitempty"`
-	History    []HistoryEntry  `json:"history,omitempty"`
-	Tables     [][]string      `json:"tables,omitempty"`
+	OK         bool              `json:"ok"`
+	Error      string            `json:"error,omitempty"`
+	Backend    string            `json:"backend,omitempty"`
+	Columns    []string          `json:"columns,omitempty"`
+	Rows       [][]interface{}   `json:"rows,omitempty"`
+	Affected   int               `json:"affected,omitempty"`
+	DurationUS int64             `json:"duration_us,omitempty"`
+	History    []HistoryEntry    `json:"history,omitempty"`
+	Tables     [][]string        `json:"tables,omitempty"`
+	Metrics    *metrics.Snapshot `json:"metrics,omitempty"`
 }
 
 // Server serves a cluster over a listener.
 type Server struct {
 	cluster *cluster.Cluster
 	ln      net.Listener
+	baseCtx context.Context
+	cancel  context.CancelFunc
 	wg      sync.WaitGroup
 	mu      sync.Mutex
 	closed  bool
 }
 
 // Serve starts accepting connections on ln; it returns immediately.
-// Close stops the accept loop and waits for in-flight connections.
+// Close stops the accept loop, cancels in-flight queries, and waits
+// for their connections.
 func Serve(ln net.Listener, c *cluster.Cluster) *Server {
-	s := &Server{cluster: c, ln: ln}
+	baseCtx, cancel := context.WithCancel(context.Background())
+	s := &Server{cluster: c, ln: ln, baseCtx: baseCtx, cancel: cancel}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -89,6 +108,7 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	s.cancel()
 	err := s.ln.Close()
 	s.wg.Wait()
 	return err
@@ -137,7 +157,7 @@ func (s *Server) handle(conn net.Conn) {
 func (s *Server) execute(req Request) Response {
 	switch req.Cmd {
 	case "":
-		res, err := s.cluster.Execute(workload.Request{SQL: req.SQL, Class: req.Class, Write: req.Write})
+		res, err := s.cluster.ExecuteContext(s.baseCtx, workload.Request{SQL: req.SQL, Class: req.Class, Write: req.Write})
 		if err != nil {
 			return Response{Error: err.Error()}
 		}
@@ -168,6 +188,8 @@ func (s *Server) execute(req Request) Response {
 			tables = append(tables, s.cluster.Tables(i))
 		}
 		return Response{OK: true, Tables: tables}
+	case "metrics":
+		return Response{OK: true, Metrics: s.cluster.Metrics()}
 	}
 	return Response{Error: fmt.Sprintf("unknown cmd %q", req.Cmd)}
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"net"
 	"sync"
 	"testing"
@@ -166,6 +167,60 @@ func TestHistoryAndStatsCommands(t *testing.T) {
 	}
 	if len(resp.Tables) != 2 || len(resp.Tables[0]) != 2 || len(resp.Tables[1]) != 1 {
 		t.Fatalf("stats = %v", resp.Tables)
+	}
+}
+
+// TestMetricsCommand: after a mixed read/write workload, the metrics
+// command returns non-zero per-backend counters, the active policy,
+// and the ROWA fan-out series.
+func TestMetricsCommand(t *testing.T) {
+	_, _, addr := startServer(t)
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := client.Query(`SELECT b_v FROM b WHERE b_id = 1`, "QB"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := client.Exec(fmt.Sprintf(`UPDATE b SET b_v = %d WHERE b_id = 0`, i), "UB"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := client.Do(Request{Cmd: "metrics"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK || resp.Metrics == nil {
+		t.Fatalf("metrics response = %+v", resp)
+	}
+	m := resp.Metrics
+	if m.Policy != "least-pending" {
+		t.Fatalf("policy = %q", m.Policy)
+	}
+	if len(m.Backends) != 2 {
+		t.Fatalf("backends = %d", len(m.Backends))
+	}
+	var reads int64
+	for _, b := range m.Backends {
+		reads += b.Reads
+		// Both backends hold b: ROWA applied every update on each.
+		if b.Writes != 5 {
+			t.Fatalf("backend %s writes = %d, want 5", b.Name, b.Writes)
+		}
+		if b.WriteLatency.Count != 5 {
+			t.Fatalf("backend %s write latency count = %d", b.Name, b.WriteLatency.Count)
+		}
+		if b.Pending != 0 {
+			t.Fatalf("backend %s pending = %d after quiescence", b.Name, b.Pending)
+		}
+	}
+	if reads != 5 {
+		t.Fatalf("total reads = %d, want 5", reads)
+	}
+	if m.Fanout.Writes != 5 || m.Fanout.MaxWidth != 2 {
+		t.Fatalf("fanout = %+v", m.Fanout)
 	}
 }
 

@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"qcpa/internal/core"
+	"qcpa/internal/runtime"
+)
+
+// parityPendings are the pending-count scenarios shared (verbatim) with
+// internal/cluster's TestPolicyParityWithRuntime: both layers are
+// checked against the same runtime.Policy reference under the same
+// state, so a matching pick here and there means sim and cluster pick
+// the same backend.
+var parityPendings = [][]int{
+	{3, 1, 2, 5},
+	{2, 2, 2, 2},
+	{0, 4, 0, 1},
+}
+
+// TestPolicyParityWithRuntime: the simulator's pickRead must agree with
+// a direct runtime.Policy evaluation over the same pending counts, for
+// every policy kind.
+func TestPolicyParityWithRuntime(t *testing.T) {
+	cl := readOnlyCls()
+	a := core.FullReplication(cl, core.UniformBackends(4))
+	for _, kind := range runtime.Kinds() {
+		s, err := newSimulator(Options{Alloc: a, Policy: kind, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := kind.New()
+		refRNG := rand.New(rand.NewSource(9))
+		elig := s.eligible["C1"] // full replication: all 4 backends
+		if len(elig) != 4 {
+			t.Fatalf("eligible = %v", elig)
+		}
+		for _, pending := range parityPendings {
+			for b, n := range pending {
+				s.queues[b] = make([]job, n)
+				s.current[b] = nil
+			}
+			want := elig[ref.Pick(len(elig), func(i int) int { return pending[elig[i]] }, refRNG)]
+			if got := s.pickRead("C1"); got != want {
+				t.Fatalf("%s: sim picked %d, runtime reference picked %d (pending %v)",
+					kind, got, want, pending)
+			}
+		}
+	}
+}
+
+// TestPendingCountsInService: the in-service job counts as pending —
+// the paper's least-pending scheduling counts work in flight, not just
+// queued.
+func TestPendingCountsInService(t *testing.T) {
+	cl := readOnlyCls()
+	a := core.FullReplication(cl, core.UniformBackends(2))
+	s, err := newSimulator(Options{Alloc: a, Policy: LeastPending, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.current[0] = &job{}
+	if got := s.pendingAt(0); got != 1 {
+		t.Fatalf("pendingAt = %d, want 1 (in-service job)", got)
+	}
+	if got := s.pickRead("C1"); got != 1 {
+		t.Fatalf("picked busy backend %d over idle one", got)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"math/rand"
 
 	"qcpa/internal/core"
+	"qcpa/internal/runtime"
 )
 
 // Request is one unit of simulated work.
@@ -34,16 +35,20 @@ type Request struct {
 }
 
 // SchedulerPolicy selects how the controller picks a backend for reads.
-type SchedulerPolicy int
+// It aliases runtime.Kind: the simulator and the live cluster
+// (internal/cluster) share the policy implementations in
+// internal/runtime, so a policy evaluated here behaves identically on
+// the real runtime.
+type SchedulerPolicy = runtime.Kind
 
 const (
 	// LeastPending is the paper's least-pending-request-first strategy.
-	LeastPending SchedulerPolicy = iota
+	LeastPending = runtime.LeastPending
 	// RandomEligible picks a uniformly random eligible backend (an
 	// ablation baseline).
-	RandomEligible
+	RandomEligible = runtime.RandomEligible
 	// RoundRobin cycles through the eligible backends (ablation).
-	RoundRobin
+	RoundRobin = runtime.RoundRobin
 )
 
 // Options configure a simulation run.
@@ -133,7 +138,7 @@ type simulator struct {
 	dispatched    map[int]float64 // reqID -> dispatch time
 	latencies     []float64
 	busyTime      []float64
-	rrNext        int
+	policy        runtime.Policy
 	rng           *rand.Rand
 	completed     int
 	onComplete    func(reqID int)
@@ -162,6 +167,7 @@ func newSimulator(opts Options) (*simulator, error) {
 		seed = 1
 	}
 	s.rng = rand.New(rand.NewSource(seed))
+	s.policy = opts.Policy.New()
 
 	s.speeds = opts.Speeds
 	if s.speeds == nil {
@@ -224,29 +230,22 @@ func newSimulator(opts Options) (*simulator, error) {
 	return s, nil
 }
 
-// pickRead selects a backend for a read request.
+// pickRead selects a backend for a read request via the shared
+// runtime.Policy.
 func (s *simulator) pickRead(class string) int {
 	elig := s.eligible[class]
-	switch s.opts.Policy {
-	case RandomEligible:
-		return elig[s.rng.Intn(len(elig))]
-	case RoundRobin:
-		b := elig[s.rrNext%len(elig)]
-		s.rrNext++
-		return b
-	default: // LeastPending
-		best, bestLen := elig[0], 1<<30
-		for _, b := range elig {
-			l := len(s.queues[b])
-			if s.current[b] != nil {
-				l++
-			}
-			if l < bestLen {
-				best, bestLen = b, l
-			}
-		}
-		return best
+	pos := s.policy.Pick(len(elig), func(i int) int { return s.pendingAt(elig[i]) }, s.rng)
+	return elig[pos]
+}
+
+// pendingAt is the simulator's pending count: queued jobs plus the one
+// in service.
+func (s *simulator) pendingAt(b int) int {
+	n := len(s.queues[b])
+	if s.current[b] != nil {
+		n++
 	}
+	return n
 }
 
 // dispatch enqueues a request at the current simulated time.

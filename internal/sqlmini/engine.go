@@ -1,6 +1,7 @@
 package sqlmini
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -125,21 +126,40 @@ type Result struct {
 
 // Exec parses and executes one SQL statement.
 func (e *Engine) Exec(sql string) (*Result, error) {
+	return e.ExecContext(context.Background(), sql)
+}
+
+// ExecContext parses and executes one SQL statement under a context
+// (see ExecStmtContext for cancellation semantics).
+func (e *Engine) ExecContext(ctx context.Context, sql string) (*Result, error) {
 	st, err := Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return e.ExecStmt(st)
+	return e.ExecStmtContext(ctx, st)
 }
 
 // ExecStmt executes a parsed statement (allowing callers to parse once
 // and execute on many backends, as the cluster controller does).
 func (e *Engine) ExecStmt(st Statement) (*Result, error) {
+	return e.ExecStmtContext(context.Background(), st)
+}
+
+// ExecStmtContext executes a parsed statement under a context. Long
+// SELECT scans observe cancellation between row batches and return
+// ctx.Err(). Writes check the context only before starting: once an
+// update begins applying it runs to completion, because the cluster's
+// ROWA replicas apply updates in a fixed global order and a mid-write
+// abort on one replica would diverge the others.
+func (e *Engine) ExecStmtContext(ctx context.Context, st Statement) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	switch s := st.(type) {
 	case *SelectStmt:
 		e.mu.RLock()
 		defer e.mu.RUnlock()
-		return e.execSelect(s)
+		return e.execSelect(ctx, s)
 	case *InsertStmt:
 		e.mu.Lock()
 		defer e.mu.Unlock()

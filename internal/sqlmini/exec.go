@@ -1,6 +1,7 @@
 package sqlmini
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -388,8 +389,14 @@ func collectAggs(e Expr, out *[]*Agg) {
 	}
 }
 
+// cancelCheckRows is how many rows a scan processes between context
+// cancellation checks — frequent enough to bound overrun, rare enough
+// that ctx.Err() (an atomic load for most contexts) stays off the
+// per-row profile.
+const cancelCheckRows = 4096
+
 // execSelect runs a SELECT. Caller holds the read lock.
-func (e *Engine) execSelect(st *SelectStmt) (*Result, error) {
+func (e *Engine) execSelect(ctx context.Context, st *SelectStmt) (*Result, error) {
 	base, ok := e.tables[st.Table]
 	if !ok {
 		return nil, fmt.Errorf("sqlmini: unknown table %q", st.Table)
@@ -412,7 +419,7 @@ func (e *Engine) execSelect(st *SelectStmt) (*Result, error) {
 				rows = append(rows, base.rows[idx])
 			}
 			res.Scanned++
-			return e.finishSelect(st, b, rows, res)
+			return e.finishSelect(ctx, st, b, rows, res)
 		}
 	}
 	// Fast path: WHERE col = literal on a secondary-indexed column.
@@ -423,7 +430,7 @@ func (e *Engine) execSelect(st *SelectStmt) (*Result, error) {
 					rows = append(rows, base.rows[ri])
 				}
 				res.Scanned += int64(len(matches))
-				return e.finishSelect(st, b, rows, res)
+				return e.finishSelect(ctx, st, b, rows, res)
 			}
 		}
 	}
@@ -468,14 +475,19 @@ func (e *Engine) execSelect(st *SelectStmt) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			ctx := &evalCtx{}
+			ec := &evalCtx{}
 			for _, lr := range rows {
 				for _, rr := range jt.rows {
+					if res.Scanned%cancelCheckRows == 0 {
+						if err := ctx.Err(); err != nil {
+							return nil, err
+						}
+					}
 					nr := make(Row, 0, leftWidth+len(rr))
 					nr = append(nr, lr...)
 					nr = append(nr, rr...)
-					ctx.row = nr
-					v, err := eval(on, ctx)
+					ec.row = nr
+					v, err := eval(on, ec)
 					if err != nil {
 						return nil, err
 					}
@@ -488,7 +500,7 @@ func (e *Engine) execSelect(st *SelectStmt) (*Result, error) {
 		}
 		rows = joined
 	}
-	return e.finishSelect(st, b, rows, res)
+	return e.finishSelect(ctx, st, b, rows, res)
 }
 
 // eqLookup detects "col = literal" (optionally table-qualified) in a
@@ -584,18 +596,23 @@ func equiJoinCols(on Expr, b *binder, leftWidth int) (int, int, bool) {
 
 // finishSelect applies WHERE, grouping, HAVING, ordering, projection,
 // DISTINCT and LIMIT to the joined rows.
-func (e *Engine) finishSelect(st *SelectStmt, b *binder, rows []Row, res *Result) (*Result, error) {
+func (e *Engine) finishSelect(ctx context.Context, st *SelectStmt, b *binder, rows []Row, res *Result) (*Result, error) {
 	// WHERE.
 	if st.Where != nil {
 		w, err := bind(st.Where, b)
 		if err != nil {
 			return nil, err
 		}
-		ctx := &evalCtx{}
+		ec := &evalCtx{}
 		kept := rows[:0:len(rows)]
-		for _, r := range rows {
-			ctx.row = r
-			v, err := eval(w, ctx)
+		for i, r := range rows {
+			if i%cancelCheckRows == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			ec.row = r
+			v, err := eval(w, ec)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestExpHistogramBasics(t *testing.T) {
+	var h ExpHistogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("zero value not empty")
+	}
+	for _, v := range []int64{0, 1, 2, 4, 100, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != 1000 {
+		t.Fatalf("max = %d", h.Max())
+	}
+	wantMean := float64(0+1+2+4+100+1000) / 6
+	if h.Mean() != wantMean {
+		t.Fatalf("mean = %v, want %v", h.Mean(), wantMean)
+	}
+}
+
+func TestExpHistogramQuantileBounds(t *testing.T) {
+	var h ExpHistogram
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i)
+	}
+	// Power-of-two buckets: the estimate is an upper bound within 2x of
+	// the true quantile and never above the max.
+	for _, tc := range []struct{ p, exact float64 }{{0.5, 500}, {0.95, 950}, {0.99, 990}} {
+		got := h.Quantile(tc.p)
+		if float64(got) < tc.exact {
+			t.Fatalf("q%.2f = %d, below exact %v", tc.p, got, tc.exact)
+		}
+		if float64(got) > 2*tc.exact {
+			t.Fatalf("q%.2f = %d, more than 2x exact %v", tc.p, got, tc.exact)
+		}
+	}
+	if h.Quantile(1) != 1000 {
+		t.Fatalf("q1 = %d, want max 1000", h.Quantile(1))
+	}
+	if h.Quantile(-1) != h.Quantile(0) {
+		t.Fatal("p clamping broken")
+	}
+}
+
+func TestExpHistogramNegativeClampsToZero(t *testing.T) {
+	var h ExpHistogram
+	h.Observe(-5)
+	if h.Count() != 1 || h.Max() != 0 || h.Quantile(1) != 0 {
+		t.Fatalf("negative observation mishandled: count=%d max=%d", h.Count(), h.Max())
+	}
+}
+
+func TestExpHistogramConcurrent(t *testing.T) {
+	var h ExpHistogram
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(int64(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != 7999 {
+		t.Fatalf("max = %d", h.Max())
+	}
+}

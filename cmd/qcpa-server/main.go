@@ -12,6 +12,9 @@
 //	qcpa-server -connect 127.0.0.1:7070 -write -sql "UPDATE item SET i_stock = 5 WHERE i_id = 3"
 //	qcpa-server -connect 127.0.0.1:7070 -cmd stats
 //	qcpa-server -connect 127.0.0.1:7070 -cmd metrics
+//	qcpa-server -connect 127.0.0.1:7070 -cmd health
+//	qcpa-server -connect 127.0.0.1:7070 -cmd fail -backend B2
+//	qcpa-server -connect 127.0.0.1:7070 -cmd recover -backend B2
 package main
 
 import (
@@ -38,19 +41,24 @@ func main() {
 		sql      = flag.String("sql", "", "statement to execute (client mode)")
 		class    = flag.String("class", "", "query class hint (client mode)")
 		write    = flag.Bool("write", false, "route as update (client mode)")
-		cmd      = flag.String("cmd", "", "protocol command: history | stats | metrics (client mode)")
+		cmd      = flag.String("cmd", "", "protocol command: history | stats | metrics | health | fail | recover (client mode)")
+		backend  = flag.String("backend", "", "target of -cmd fail/recover (client mode)")
 		backends = flag.Int("backends", 3, "number of backends (server mode)")
 		strategy = flag.String("strategy", "table", "classification granularity: table | column")
 		policy   = flag.String("policy", "least-pending", "read scheduling policy: least-pending | random | round-robin (server mode)")
 		timeout  = flag.Duration("timeout", 0, "per-request timeout, 0 = none (server mode)")
+		retries  = flag.Int("max-retries", 2, "read failover retries after the first attempt (server mode)")
+		backoff  = flag.Duration("backoff", 0, "base delay for full-jitter retry backoff, 0 = library default (server mode)")
+		redoCap  = flag.Int("redo-cap", 0, "per-backend redo-log cap before falling back to full resync, 0 = default (server mode)")
 	)
 	flag.Parse()
 
 	switch {
 	case *connect != "":
-		runClient(*connect, *sql, *class, *cmd, *write)
+		runClient(*connect, *sql, *class, *cmd, *backend, *write)
 	case *listen != "":
-		runServer(*listen, *backends, *strategy, *policy, *timeout)
+		runServer(*listen, *backends, *strategy, *policy,
+			cluster.Config{Timeout: *timeout, MaxRetries: *retries, Backoff: *backoff, RedoLogCap: *redoCap})
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -62,7 +70,7 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func runServer(addr string, n int, strategy, policy string, timeout time.Duration) {
+func runServer(addr string, n int, strategy, policy string, cfg cluster.Config) {
 	kind, err := runtime.ParseKind(policy)
 	if err != nil {
 		fatal(err)
@@ -88,7 +96,9 @@ func runServer(addr string, n int, strategy, policy string, timeout time.Duratio
 	if err != nil {
 		fatal(err)
 	}
-	c, err := cluster.New(cluster.Config{Backends: core.UniformBackends(n), Policy: kind, Timeout: timeout})
+	cfg.Backends = core.UniformBackends(n)
+	cfg.Policy = kind
+	c, err := cluster.New(cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -117,7 +127,7 @@ func runServer(addr string, n int, strategy, policy string, timeout time.Duratio
 	_ = srv.Close()
 }
 
-func runClient(addr, sql, class, cmd string, write bool) {
+func runClient(addr, sql, class, cmd, backend string, write bool) {
 	client, err := server.Dial(addr)
 	if err != nil {
 		fatal(err)
@@ -126,7 +136,7 @@ func runClient(addr, sql, class, cmd string, write bool) {
 	var resp *server.Response
 	switch {
 	case cmd != "":
-		resp, err = client.Do(server.Request{Cmd: cmd})
+		resp, err = client.Do(server.Request{Cmd: cmd, Backend: backend})
 	case write:
 		resp, err = client.Exec(sql, class)
 	default:
@@ -135,17 +145,45 @@ func runClient(addr, sql, class, cmd string, write bool) {
 	if err != nil {
 		fatal(err)
 	}
+	if resp.Error != "" {
+		fatal(fmt.Errorf("%s", resp.Error))
+	}
 	switch {
 	case resp.Metrics != nil:
 		m := resp.Metrics
 		fmt.Printf("policy %s\n", m.Policy)
-		fmt.Printf("%-6s %8s %8s %7s %8s %12s %12s\n", "node", "reads", "writes", "errors", "pending", "read-p95(us)", "write-p95(us)")
+		fmt.Printf("%-6s %-10s %8s %8s %7s %8s %10s %12s %12s\n",
+			"node", "state", "reads", "writes", "errors", "pending", "failovers", "read-p95(us)", "write-p95(us)")
 		for _, b := range m.Backends {
-			fmt.Printf("%-6s %8d %8d %7d %8d %12d %12d\n",
-				b.Name, b.Reads, b.Writes, b.Errors, b.Pending, b.ReadLatency.P95US, b.WriteLatency.P95US)
+			fmt.Printf("%-6s %-10s %8d %8d %7d %8d %10d %12d %12d\n",
+				b.Name, b.State, b.Reads, b.Writes, b.Errors, b.Pending, b.Failovers, b.ReadLatency.P95US, b.WriteLatency.P95US)
 		}
 		fmt.Printf("ROWA fan-out: %d writes, mean width %.2f, max width %d\n",
 			m.Fanout.Writes, m.Fanout.MeanWidth, m.Fanout.MaxWidth)
+		r := m.Reliability
+		fmt.Printf("reliability: %d retries, %d unavailable, %d redo appends, %d catch-ups (mean %.1fms, max %dms)\n",
+			r.Retries, r.Unavailable, r.RedoAppends, r.Catchups, r.MeanCatchupMS, r.MaxCatchupMS)
+	case resp.Health != nil:
+		h := resp.Health
+		fmt.Printf("%-6s %-11s %8s %9s %10s\n", "node", "state", "redo", "redo-lost", "down-ms")
+		for _, b := range h.Backends {
+			fmt.Printf("%-6s %-11s %8d %9v %10d\n", b.Name, b.State, b.RedoLen, b.RedoLost, b.DownForMS)
+		}
+		for _, cl := range h.Classes {
+			note := ""
+			if cl.Unavailable {
+				note = "  UNAVAILABLE"
+			}
+			fmt.Printf("class %-6s %d/%d replicas live%s\n", cl.Class, cl.Live, cl.Replicas, note)
+		}
+		for node, classes := range h.AtRisk {
+			fmt.Printf("at risk: losing %s takes down %v\n", node, classes)
+		}
+	case resp.CatchUp != nil:
+		cu := resp.CatchUp
+		fmt.Printf("recovered %s in %v: %d updates replayed, resynced %v, verified %v, skipped %v\n",
+			cu.Backend, time.Duration(cu.Duration).Round(time.Millisecond),
+			cu.Replayed, cu.Resynced, cu.Verified, cu.Skipped)
 	case resp.History != nil:
 		for _, h := range resp.History {
 			fmt.Printf("%6d x %8.3fms  %s\n", h.Count, h.Cost, h.SQL)
@@ -154,6 +192,8 @@ func runClient(addr, sql, class, cmd string, write bool) {
 		for i, ts := range resp.Tables {
 			fmt.Printf("backend %d: %v\n", i+1, ts)
 		}
+	case cmd == "fail":
+		fmt.Printf("backend %s taken out of service\n", resp.Backend)
 	default:
 		if len(resp.Columns) > 0 {
 			fmt.Println(resp.Columns)

@@ -2,6 +2,7 @@
 //
 //	qcpa-sim autoscale            # 24-hour trace with autonomic scaling
 //	qcpa-sim cluster              # real-engine cluster workload run
+//	qcpa-sim cluster -chaos       # same, with backends killed and revived mid-run
 //	qcpa-sim elastic              # real-engine scale-out/in with live data movement
 //	qcpa-sim autoscale -scale 40  # the paper's full 40x trace scale
 package main
@@ -12,6 +13,7 @@ import (
 	"math/rand"
 	"os"
 	"strings"
+	"time"
 
 	"qcpa"
 	"qcpa/internal/autoscale"
@@ -46,12 +48,16 @@ func main() {
 		workers := fs.Int("workers", 8, "concurrent clients")
 		seed := fs.Int64("seed", 7, "RNG seed")
 		policy := fs.String("policy", "least-pending", "read scheduling policy: least-pending | random | round-robin")
+		chaos := fs.Bool("chaos", false, "kill and revive backends mid-run (allocates 1-safe so reads stay available)")
+		chaosKills := fs.Int("chaos-kills", 3, "kill/recover cycles with -chaos")
+		chaosDown := fs.Duration("chaos-down", 150*time.Millisecond, "downtime per kill with -chaos")
 		_ = fs.Parse(os.Args[2:])
 		kind, err := runtime.ParseKind(*policy)
 		if err != nil {
 			fatal(err)
 		}
-		runCluster(*backends, *requests, *workers, *seed, kind)
+		runCluster(*backends, *requests, *workers, *seed, kind,
+			chaosOpts{enabled: *chaos, kills: *chaosKills, down: *chaosDown})
 	case "elastic":
 		requests := fs.Int("requests", 1500, "requests per phase")
 		seed := fs.Int64("seed", 7, "RNG seed")
@@ -84,7 +90,15 @@ func runAutoscale(opts autoscale.Options) {
 		s.MinNodes, s.PeakNodes, s.NodeBuckets, s.AvgLatency*1000, s.MaxLatency*1000, s.MovedBytes)
 }
 
-func runCluster(n, requests, workers int, seed int64, policy runtime.Kind) {
+// chaosOpts configures the optional fault-injection run of the
+// cluster subcommand.
+type chaosOpts struct {
+	enabled bool
+	kills   int
+	down    time.Duration
+}
+
+func runCluster(n, requests, workers int, seed int64, policy runtime.Kind, chaos chaosOpts) {
 	mix, err := tpcapp.Mix(1)
 	if err != nil {
 		fatal(err)
@@ -96,7 +110,13 @@ func runCluster(n, requests, workers int, seed int64, policy runtime.Kind) {
 		fatal(err)
 	}
 	mix.Bind(res)
-	alloc, err := qcpa.Allocate(res.Classification, qcpa.UniformBackends(n), qcpa.AllocateOptions{})
+	// Under chaos the allocation must be 1-safe: every fragment needs a
+	// second replica for reads to fail over to while its primary is down.
+	allocOpts := qcpa.AllocateOptions{}
+	if chaos.enabled {
+		allocOpts.KSafety = 1
+	}
+	alloc, err := qcpa.Allocate(res.Classification, qcpa.UniformBackends(n), allocOpts)
 	if err != nil {
 		fatal(err)
 	}
@@ -114,21 +134,47 @@ func runCluster(n, requests, workers int, seed int64, policy runtime.Kind) {
 	}); err != nil {
 		fatal(err)
 	}
+	var ch *cluster.Chaos
+	if chaos.enabled {
+		ch = cluster.NewChaos(c, cluster.ChaosConfig{Kills: chaos.kills, DownFor: chaos.down, Seed: seed})
+		ch.Start()
+	}
 	rng := rand.New(rand.NewSource(seed))
 	stats, err := c.Run(func() workload.Request { return mix.Next(rng) }, requests, workers)
+	if ch != nil {
+		rep := ch.Stop()
+		fmt.Printf("chaos: %d kills, %d recoveries\n", rep.Kills, rep.Recoveries)
+		for _, ev := range rep.Events {
+			if ev.Err != "" {
+				fmt.Printf("  %s: down %v, recovery FAILED: %s\n", ev.Backend, ev.Down.Round(time.Millisecond), ev.Err)
+				continue
+			}
+			cu := ev.CatchUp
+			fmt.Printf("  %s: down %v, caught up in %v (%d updates replayed, %d tables resynced, %d verified)\n",
+				ev.Backend, ev.Down.Round(time.Millisecond), cu.Duration.Round(time.Millisecond),
+				cu.Replayed, len(cu.Resynced), len(cu.Verified))
+		}
+	}
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("%d requests (%d errors) at %.0f req/s, avg latency %v\n",
 		stats.Completed, stats.Errors, stats.Throughput, stats.AvgLatency)
+	if stats.Errors > 0 {
+		fmt.Printf("  errors: %d timeouts, %d unavailable, %d backend; first: %s\n",
+			stats.Timeouts, stats.Unavailable, stats.BackendErrors, stats.FirstError)
+	}
 	m := c.Metrics()
 	fmt.Printf("runtime metrics (policy %s):\n", m.Policy)
 	for _, b := range m.Backends {
-		fmt.Printf("  %s: %d reads (p95 %dus), %d writes (p95 %dus), %d errors\n",
-			b.Name, b.Reads, b.ReadLatency.P95US, b.Writes, b.WriteLatency.P95US, b.Errors)
+		fmt.Printf("  %s [%s]: %d reads (p95 %dus), %d writes (p95 %dus), %d errors, %d failovers\n",
+			b.Name, b.State, b.Reads, b.ReadLatency.P95US, b.Writes, b.WriteLatency.P95US, b.Errors, b.Failovers)
 	}
 	fmt.Printf("  ROWA fan-out: %d writes, mean width %.2f, max %d\n",
 		m.Fanout.Writes, m.Fanout.MeanWidth, m.Fanout.MaxWidth)
+	r := m.Reliability
+	fmt.Printf("  reliability: %d retries, %d unavailable, %d redo appends, %d catch-ups (mean %.1fms, max %dms)\n",
+		r.Retries, r.Unavailable, r.RedoAppends, r.Catchups, r.MeanCatchupMS, r.MaxCatchupMS)
 }
 
 // runElastic demonstrates Section 5's elasticity on the real runtime:

@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"qcpa/internal/runtime"
+)
+
+// ChaosConfig tunes the chaos runner.
+type ChaosConfig struct {
+	// Kills is the number of kill/recover cycles (default 3).
+	Kills int
+	// DownFor is how long each victim stays Down before recovery
+	// (default 50ms).
+	DownFor time.Duration
+	// Pause separates consecutive cycles (default 10ms).
+	Pause time.Duration
+	// Seed fixes the victim selection sequence (default 1).
+	Seed int64
+}
+
+// ChaosEvent records one kill/recover cycle.
+type ChaosEvent struct {
+	// Backend is the victim's name.
+	Backend string `json:"backend"`
+	// Down is the observed downtime (Fail to recovered).
+	Down time.Duration `json:"down_ns"`
+	// CatchUp is the recovery report (nil when recovery failed).
+	CatchUp *CatchUpReport `json:"catch_up,omitempty"`
+	// Err is the recovery error, "" on success.
+	Err string `json:"err,omitempty"`
+}
+
+// ChaosReport summarizes a chaos run.
+type ChaosReport struct {
+	Kills      int          `json:"kills"`
+	Recoveries int          `json:"recoveries"`
+	Events     []ChaosEvent `json:"events"`
+}
+
+// Chaos kills and revives backends while a workload runs: each cycle
+// picks a random Up backend, Fails it (gracefully — the engine stays
+// alive, modeling a controller-side partition), lets it miss updates
+// for DownFor, then Recovers it and records the catch-up report. Run
+// it concurrently with Cluster.Run to measure error rates, failover
+// counts, and time-to-catch-up under failures; Stop waits for the
+// cycle loop and sweeps up any backend still Down.
+type Chaos struct {
+	c    *Cluster
+	cfg  ChaosConfig
+	rng  *rand.Rand
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+
+	mu     sync.Mutex
+	report ChaosReport
+}
+
+// NewChaos prepares a chaos runner over the cluster.
+func NewChaos(c *Cluster, cfg ChaosConfig) *Chaos {
+	if cfg.Kills <= 0 {
+		cfg.Kills = 3
+	}
+	if cfg.DownFor <= 0 {
+		cfg.DownFor = 50 * time.Millisecond
+	}
+	if cfg.Pause <= 0 {
+		cfg.Pause = 10 * time.Millisecond
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return &Chaos{
+		c:    c,
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+}
+
+// Start launches the kill/recover loop in the background.
+func (ch *Chaos) Start() { go ch.run() }
+
+func (ch *Chaos) run() {
+	defer close(ch.done)
+	for i := 0; i < ch.cfg.Kills; i++ {
+		select {
+		case <-ch.stop:
+			return
+		default:
+		}
+		var ups []*backend
+		for _, b := range ch.c.backends {
+			if b.health.State() == runtime.Up {
+				ups = append(ups, b)
+			}
+		}
+		if len(ups) == 0 {
+			if !ch.sleep(ch.cfg.Pause) {
+				return
+			}
+			continue
+		}
+		victim := ups[ch.rng.Intn(len(ups))]
+		if err := ch.c.Fail(victim.name); err != nil {
+			ch.record(ChaosEvent{Backend: victim.name, Err: err.Error()}, false)
+			continue
+		}
+		ch.mu.Lock()
+		ch.report.Kills++
+		ch.mu.Unlock()
+		downStart := time.Now()
+		interrupted := !ch.sleep(ch.cfg.DownFor)
+		ch.recover(victim, downStart)
+		if interrupted || !ch.sleep(ch.cfg.Pause) {
+			return
+		}
+	}
+}
+
+// sleep waits d or until Stop, reporting whether the full wait elapsed.
+func (ch *Chaos) sleep(d time.Duration) bool {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-ch.stop:
+		return false
+	}
+}
+
+func (ch *Chaos) recover(b *backend, downStart time.Time) {
+	rep, err := ch.c.Recover(b.name)
+	ev := ChaosEvent{Backend: b.name, Down: time.Since(downStart), CatchUp: rep}
+	if err != nil {
+		ev.Err = err.Error()
+	}
+	ch.record(ev, err == nil)
+}
+
+func (ch *Chaos) record(ev ChaosEvent, recovered bool) {
+	ch.mu.Lock()
+	if recovered {
+		ch.report.Recoveries++
+	}
+	ch.report.Events = append(ch.report.Events, ev)
+	ch.mu.Unlock()
+}
+
+// Stop ends the loop, waits for it, recovers any backend still Down
+// (a cycle interrupted mid-downtime, or a failed recovery), and
+// returns the accumulated report.
+func (ch *Chaos) Stop() *ChaosReport {
+	ch.once.Do(func() { close(ch.stop) })
+	<-ch.done
+	for _, b := range ch.c.backends {
+		if b.health.State() != runtime.Down {
+			continue
+		}
+		start := time.Now()
+		rep, err := ch.c.Recover(b.name)
+		ev := ChaosEvent{Backend: b.name, Down: time.Since(start), CatchUp: rep}
+		if err != nil {
+			ev.Err = err.Error()
+		}
+		ch.record(ev, err == nil)
+	}
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	rep := ch.report
+	return &rep
+}

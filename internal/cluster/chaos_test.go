@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"qcpa/internal/core"
+	"qcpa/internal/workload"
+)
+
+// TestChaosKillRecoverUnderLoad is the fault-tolerance acceptance
+// test: on a 1-safe allocation over 4 backends, a chaos runner kills
+// and revives backends while a mixed read/write workload runs. Every
+// request must succeed — reads fail over to live replicas, writes
+// divert to redo logs — and after the final recovery all replicas must
+// agree bit-for-bit on every table.
+func TestChaosKillRecoverUnderLoad(t *testing.T) {
+	c := fullSetup(t, 4, Config{Backends: core.UniformBackends(4), Backoff: time.Millisecond})
+	ch := NewChaos(c, ChaosConfig{Kills: 3, DownFor: 40 * time.Millisecond, Pause: 5 * time.Millisecond, Seed: 7})
+	ch.Start()
+
+	var (
+		wg        sync.WaitGroup
+		completed atomic.Int64
+		mu        sync.Mutex
+		failures  int
+		firstErr  error
+	)
+	deadline := time.Now().Add(300 * time.Millisecond)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for time.Now().Before(deadline) {
+				var req workload.Request
+				if rng.Float64() < 0.3 {
+					req = workload.Request{
+						SQL:   fmt.Sprintf(`UPDATE b SET b_v = b_v + %d WHERE b_id = %d`, 1+rng.Intn(5), rng.Intn(10)),
+						Class: "UB", Write: true,
+					}
+				} else {
+					req = workload.Request{SQL: `SELECT SUM(b_v) FROM b`, Class: "QB"}
+				}
+				if _, err := c.Execute(req); err != nil {
+					mu.Lock()
+					failures++
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				} else {
+					completed.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	rep := ch.Stop()
+
+	if failures > 0 {
+		t.Fatalf("%d of %d requests failed under chaos; first: %v", failures, failures+int(completed.Load()), firstErr)
+	}
+	if completed.Load() == 0 {
+		t.Fatal("workload executed nothing")
+	}
+	if rep.Kills == 0 {
+		t.Fatal("chaos never killed a backend")
+	}
+	if rep.Recoveries != len(rep.Events) {
+		t.Fatalf("kills = %d, recoveries = %d, events = %+v", rep.Kills, rep.Recoveries, rep.Events)
+	}
+	for _, ev := range rep.Events {
+		if ev.Err != "" {
+			t.Fatalf("recovery of %s failed: %s", ev.Backend, ev.Err)
+		}
+		if ev.CatchUp == nil {
+			t.Fatalf("event for %s carries no catch-up report", ev.Backend)
+		}
+	}
+	// Everyone back up with drained redo logs.
+	for _, bh := range c.Health().Backends {
+		if bh.State != "up" || bh.RedoLen != 0 || bh.RedoLost {
+			t.Fatalf("backend %s after chaos: %+v", bh.Name, bh)
+		}
+	}
+	// All four replicas agree on every table.
+	want, err := c.Backend(0).Checksums(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 4; i++ {
+		got, err := c.Backend(i).Checksums(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for tb, sum := range want {
+			if got[tb] != sum {
+				t.Fatalf("backend %d table %s diverged after chaos: %x vs %x", i, tb, got[tb], sum)
+			}
+		}
+	}
+	// Catch-up durations made it into the metrics.
+	snap := c.Metrics()
+	if snap.Reliability.Catchups != int64(rep.Recoveries) {
+		t.Fatalf("catchups = %d, recoveries = %d", snap.Reliability.Catchups, rep.Recoveries)
+	}
+}
+
+// TestChaosStopMidDowntime stops the runner while a victim is still
+// Down: Stop must recover it before returning.
+func TestChaosStopMidDowntime(t *testing.T) {
+	c := fullSetup(t, 3, Config{Backends: core.UniformBackends(3)})
+	ch := NewChaos(c, ChaosConfig{Kills: 1, DownFor: time.Hour, Seed: 2})
+	ch.Start()
+	// Wait until the kill landed.
+	for i := 0; ; i++ {
+		down := false
+		for _, bh := range c.Health().Backends {
+			if bh.State == "down" {
+				down = true
+			}
+		}
+		if down {
+			break
+		}
+		if i > 200 {
+			t.Fatal("chaos never killed a backend")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rep := ch.Stop()
+	if rep.Kills != 1 || rep.Recoveries != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	for _, bh := range c.Health().Backends {
+		if bh.State != "up" {
+			t.Fatalf("backend %s left %s by Stop", bh.Name, bh.State)
+		}
+	}
+	// Stop is idempotent.
+	rep2 := ch.Stop()
+	if rep2.Recoveries != rep.Recoveries {
+		t.Fatalf("second Stop changed the report: %+v", rep2)
+	}
+}

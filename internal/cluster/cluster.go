@@ -15,6 +15,7 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -75,11 +76,31 @@ type Config struct {
 	// query journal (default 8192); the least-frequent eighth is
 	// evicted when the cap is reached.
 	JournalCap int
+	// MaxRetries is the number of additional replicas a failing read
+	// may fail over to (default 2). Each retry picks a not-yet-tried
+	// live replica via the scheduling policy.
+	MaxRetries int
+	// Backoff is the base delay of the full-jitter exponential backoff
+	// between read retries (retry i waits uniform[0, Backoff·2^i],
+	// capped at 32×Backoff). Zero disables waiting, which keeps retries
+	// immediate — the pre-fault-tolerance behavior.
+	Backoff time.Duration
+	// RedoLogCap bounds the per-backend redo log of updates missed
+	// while Down (default 4096). Overflow marks the log lost: the
+	// backend then recovers by re-copying its tables from a live
+	// replica instead of replaying.
+	RedoLogCap int
 }
 
+// failThreshold is the number of consecutive read failures after which
+// a Degraded backend is demoted to Down automatically (reads stop
+// routing to it and its updates divert to the redo log).
+const failThreshold = 3
+
 // backend is one node: an engine, its table set, its runtime metrics
-// (whose pending gauge is also the scheduling input), and an ordered
-// update applier.
+// (whose pending gauge is also the scheduling input), an ordered
+// update applier, and its health state (see health.go for the state
+// machine and recovery path).
 type backend struct {
 	name     string
 	engine   *sqlmini.Engine
@@ -88,13 +109,55 @@ type backend struct {
 	updateCh chan *updateJob
 	wg       sync.WaitGroup
 	readSem  chan struct{}
+
+	health runtime.Health
+	// direct marks a CatchingUp backend whose redo log has drained:
+	// new updates enqueue directly again while checksum verification
+	// finishes. Flipped only under the cluster's dispatch lock.
+	direct atomic.Bool
+	// redo, redoLost, and downSince are guarded by Cluster.dispatchMu:
+	// redo appends must interleave with the global update order.
+	redo      []*updateJob
+	redoLost  bool
+	downSince time.Time
 }
 
+// acceptsWrites reports whether ROWA updates enqueue directly onto the
+// backend (as opposed to its redo log). Called under dispatchMu so the
+// decision is serialized with recovery's drain-and-flip.
+func (b *backend) acceptsWrites() bool {
+	switch b.health.State() {
+	case runtime.Up, runtime.Degraded:
+		return true
+	case runtime.CatchingUp:
+		return b.direct.Load()
+	}
+	return false
+}
+
+// updateJob is one queue entry for a backend's applier. Plain updates
+// carry a statement; recovery enqueues control jobs (checksum barriers,
+// snapshot sources, restores) through the same queue so they observe a
+// well-defined position in the global update order.
 type updateJob struct {
 	stmt     sqlmini.Statement
 	sql      string
 	affected int
 	done     chan error
+
+	// Control-job fields (at most one set; stmt is nil then).
+	checksum []string          // compute checksums of these tables
+	sums     map[string]uint64 // checksum result, valid after done
+	snapshot *snapshotWait     // serialize these tables at this queue position
+	restore  []*snapshotWait   // await and install these snapshots
+}
+
+// snapshotWait carries a table snapshot from a source backend's applier
+// to the recovering backend's restore job.
+type snapshotWait struct {
+	tables []string
+	buf    bytes.Buffer
+	done   chan error
 }
 
 // Cluster is the controller plus its backends.
@@ -143,6 +206,12 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.JournalCap <= 0 {
 		cfg.JournalCap = 8192
 	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 2
+	}
+	if cfg.RedoLogCap <= 0 {
+		cfg.RedoLogCap = 4096
+	}
 	c := &Cluster{
 		cfg:       cfg,
 		policy:    cfg.Policy.New(),
@@ -176,19 +245,65 @@ func (c *Cluster) newBackend(name string) *backend {
 
 // applyUpdates drains the backend's update queue in FIFO order — the
 // single applier guarantees that this backend applies updates in
-// exactly the order the controller enqueued them.
+// exactly the order the controller enqueued them. Besides plain
+// updates it serves recovery's control jobs: checksum barriers,
+// snapshot sources, and restores, which thereby observe an exact
+// position in the global update order (every update is either wholly
+// before or wholly after them on all replicas).
 func (b *backend) applyUpdates() {
 	defer b.wg.Done()
 	for job := range b.updateCh {
-		start := time.Now()
-		r, err := b.engine.ExecStmt(job.stmt)
-		if err == nil {
-			job.affected = r.Affected
+		switch {
+		case job.checksum != nil:
+			sums, err := b.engine.Checksums(job.checksum)
+			job.sums = sums
+			b.metrics.DecPending()
+			job.done <- err
+		case job.snapshot != nil:
+			err := b.engine.SnapshotTables(&job.snapshot.buf, job.snapshot.tables)
+			b.metrics.DecPending()
+			job.snapshot.done <- err
+			job.done <- err
+		case job.restore != nil:
+			err := b.applyRestore(job.restore)
+			b.metrics.DecPending()
+			job.done <- err
+		default:
+			start := time.Now()
+			r, err := b.engine.ExecStmt(job.stmt)
+			if err == nil {
+				job.affected = r.Affected
+			}
+			b.metrics.DecPending()
+			b.metrics.ObserveWrite(time.Since(start), err != nil)
+			job.done <- err
 		}
-		b.metrics.DecPending()
-		b.metrics.ObserveWrite(time.Since(start), err != nil)
-		job.done <- err
 	}
+}
+
+// applyRestore installs snapshots produced by source backends' barrier
+// jobs: it waits for each snapshot to be cut, drops the local copies,
+// and restores. Updates enqueued behind the restore then apply to the
+// fresh data, so the backend ends bit-identical to its sources.
+func (b *backend) applyRestore(waits []*snapshotWait) error {
+	for _, w := range waits {
+		if err := <-w.done; err != nil {
+			return fmt.Errorf("cluster: snapshot source: %w", err)
+		}
+	}
+	for _, w := range waits {
+		for _, table := range w.tables {
+			if b.engine.Table(table) != nil {
+				if _, err := b.engine.Exec("DROP TABLE " + table); err != nil {
+					return err
+				}
+			}
+		}
+		if err := b.engine.Restore(&w.buf); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Close shuts the backends down.
@@ -244,6 +359,18 @@ func (c *Cluster) Install(alloc *core.Allocation, load Loader) error {
 			return err
 		}
 	}
+	// A freshly installed allocation starts with every backend healthy:
+	// whatever was Down or mid-recovery has just been wiped and reloaded.
+	c.dispatchMu.Lock()
+	for _, b := range c.backends {
+		b.health.Set(runtime.Up)
+		b.health.ResetFailures()
+		b.direct.Store(false)
+		b.redo = nil
+		b.redoLost = false
+		b.downSince = time.Time{}
+	}
+	c.dispatchMu.Unlock()
 	c.alloc = alloc
 	c.classFrags = make(map[string][]string)
 	for _, cl := range alloc.Classification().Classes() {
@@ -343,9 +470,9 @@ func (c *Cluster) ExecuteContext(ctx context.Context, req workload.Request) (*Re
 	start := time.Now()
 	var res *Result
 	if req.Write {
-		res, err = c.executeWrite(ctx, stmt, req.SQL, tables)
+		res, err = c.executeWrite(ctx, stmt, req.SQL, req.Class, tables)
 	} else {
-		res, err = c.executeRead(ctx, stmt, tables)
+		res, err = c.executeRead(ctx, stmt, req.Class, tables)
 	}
 	if err != nil {
 		return nil, err
@@ -362,56 +489,148 @@ func (c *Cluster) pickRead(elig []*backend) *backend {
 	return elig[pos]
 }
 
-func (c *Cluster) executeRead(ctx context.Context, stmt sqlmini.Statement, tables []string) (*Result, error) {
+// readCandidates filters the eligible backends down to live replicas
+// not yet tried by this request, preferring Up over Degraded ones.
+func readCandidates(elig []*backend, tried map[*backend]bool) []*backend {
+	var up, degraded []*backend
+	for _, b := range elig {
+		if tried[b] {
+			continue
+		}
+		switch b.health.State() {
+		case runtime.Up:
+			up = append(up, b)
+		case runtime.Degraded:
+			degraded = append(degraded, b)
+		}
+	}
+	if len(up) > 0 {
+		return up
+	}
+	return degraded
+}
+
+// executeRead schedules a read onto a live replica and fails over on
+// error: up to Config.MaxRetries additional replicas are tried (never
+// the same one twice per request), with full-jitter exponential
+// backoff between attempts. A read whose every eligible replica is
+// Down — or has already failed this request — returns a typed
+// *runtime.UnavailableError naming the query class.
+func (c *Cluster) executeRead(ctx context.Context, stmt sqlmini.Statement, class string, tables []string) (*Result, error) {
 	elig := c.eligible(tables)
 	if len(elig) == 0 {
 		return nil, fmt.Errorf("cluster: no backend holds tables %v", tables)
 	}
-	best := c.pickRead(elig)
-	best.metrics.IncPending()
-	defer best.metrics.DecPending()
-	select {
-	case best.readSem <- struct{}{}:
-	case <-ctx.Done():
-		return nil, ctx.Err()
+	backoff := runtime.Backoff{Base: c.cfg.Backoff}
+	tried := make(map[*backend]bool, len(elig))
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+		cand := readCandidates(elig, tried)
+		if len(cand) == 0 {
+			break
+		}
+		if attempt > 0 {
+			c.metrics.ObserveRetry()
+			if d := backoff.Delay(attempt-1, c.rng); d > 0 {
+				timer := time.NewTimer(d)
+				select {
+				case <-timer.C:
+				case <-ctx.Done():
+					timer.Stop()
+					return nil, ctx.Err()
+				}
+			}
+		}
+		best := c.pickRead(cand)
+		best.metrics.IncPending()
+		select {
+		case best.readSem <- struct{}{}:
+		case <-ctx.Done():
+			best.metrics.DecPending()
+			return nil, ctx.Err()
+		}
+		start := time.Now()
+		r, err := best.engine.ExecStmtContext(ctx, stmt)
+		<-best.readSem
+		best.metrics.ObserveRead(time.Since(start), err != nil)
+		best.metrics.DecPending()
+		if err == nil {
+			best.health.NoteSuccess()
+			return &Result{Backend: best.name, Rows: len(r.Rows), Scanned: r.Scanned, Columns: r.Columns, Data: r.Rows}, nil
+		}
+		if ctx.Err() != nil {
+			// The caller's deadline expired; the backend is not to blame.
+			return nil, ctx.Err()
+		}
+		if !sqlmini.IsEngineFailure(err) {
+			// A statement error fails identically on every replica —
+			// surface it without burning retries or blaming the backend.
+			return nil, err
+		}
+		lastErr = err
+		tried[best] = true
+		best.metrics.ObserveFailover()
+		if _, wentDown := best.health.NoteFailure(failThreshold); wentDown {
+			c.noteAutoDown(best)
+		}
 	}
-	start := time.Now()
-	r, err := best.engine.ExecStmtContext(ctx, stmt)
-	<-best.readSem
-	best.metrics.ObserveRead(time.Since(start), err != nil)
-	if err != nil {
-		return nil, err
+	if lastErr != nil && len(readCandidates(elig, tried)) > 0 {
+		// Retries exhausted but live replicas remain: a genuine query
+		// error (it would fail anywhere), not unavailability.
+		return nil, lastErr
 	}
-	return &Result{Backend: best.name, Rows: len(r.Rows), Scanned: r.Scanned, Columns: r.Columns, Data: r.Rows}, nil
+	c.metrics.ObserveUnavailable()
+	return nil, &runtime.UnavailableError{Class: class, Tables: tables, Last: lastErr}
 }
 
-func (c *Cluster) executeWrite(ctx context.Context, stmt sqlmini.Statement, sql string, tables []string) (*Result, error) {
+func (c *Cluster) executeWrite(ctx context.Context, stmt sqlmini.Statement, sql, class string, tables []string) (*Result, error) {
 	// Targets: every backend holding ANY of the referenced tables (it
 	// must hold all of them if the allocation is valid).
-	var targets []*backend
+	var all []*backend
 	for _, b := range c.backends {
 		for _, t := range tables {
 			if b.tables[t] {
-				targets = append(targets, b)
+				all = append(all, b)
 				break
 			}
 		}
 	}
-	if len(targets) == 0 {
+	if len(all) == 0 {
 		return nil, fmt.Errorf("cluster: no backend holds tables %v for update", tables)
+	}
+	// The dispatch lock fixes the global order: it is held until every
+	// live replica has this update in its queue — and every Down (or
+	// still-replaying) replica has it in its redo log — so conflicting
+	// updates reach every common backend in the same sequence whether
+	// applied now or replayed later. Within one update the enqueues fan
+	// out through a bounded worker pool — a replica with a full queue
+	// delays only its own enqueue instead of serializing the whole
+	// fan-out.
+	c.dispatchMu.Lock()
+	var targets []*backend
+	for _, b := range all {
+		if b.acceptsWrites() {
+			targets = append(targets, b)
+		}
+	}
+	if len(targets) == 0 {
+		// No live replica may apply the update: reject it rather than
+		// logging it nowhere-but-redo (the redo invariant is that every
+		// logged update was applied on at least one live replica).
+		c.dispatchMu.Unlock()
+		c.metrics.ObserveUnavailable()
+		return nil, &runtime.UnavailableError{Class: class, Tables: tables}
+	}
+	for _, b := range all {
+		if !b.acceptsWrites() {
+			c.appendRedoLocked(b, stmt, sql)
+		}
 	}
 	c.metrics.ObserveFanout(len(targets))
 	jobs := make([]*updateJob, len(targets))
 	for i := range targets {
 		jobs[i] = &updateJob{stmt: stmt, sql: sql, done: make(chan error, 1)}
 	}
-	// The dispatch lock fixes the global order: it is held until every
-	// replica has this update in its queue, so conflicting updates are
-	// enqueued to every common backend in the same sequence. Within one
-	// update the enqueues fan out through a bounded worker pool — a
-	// replica with a full queue delays only its own enqueue instead of
-	// serializing the whole fan-out.
-	c.dispatchMu.Lock()
 	if workers := c.cfg.FanoutWorkers; workers > 1 && len(targets) > 1 {
 		if workers > len(targets) {
 			workers = len(targets)
@@ -441,11 +660,19 @@ func (c *Cluster) executeWrite(ctx context.Context, stmt sqlmini.Statement, sql 
 	}
 	c.dispatchMu.Unlock()
 	var firstErr error
+	failed := make([]bool, len(jobs))
+	errCount, affected := 0, -1
 	for i, j := range jobs {
 		select {
 		case err := <-j.done:
-			if err != nil && firstErr == nil {
-				firstErr = fmt.Errorf("cluster: backend %s: %w", targets[i].name, err)
+			if err != nil {
+				errCount++
+				failed[i] = true
+				if firstErr == nil {
+					firstErr = fmt.Errorf("cluster: backend %s: %w", targets[i].name, err)
+				}
+			} else if affected < 0 {
+				affected = j.affected
 			}
 		case <-ctx.Done():
 			// The update is already enqueued everywhere in global order;
@@ -454,10 +681,39 @@ func (c *Cluster) executeWrite(ctx context.Context, stmt sqlmini.Statement, sql 
 			return nil, ctx.Err()
 		}
 	}
-	if firstErr != nil {
+	if errCount == len(jobs) {
+		// Every live replica rejected the update identically (a
+		// statement error): the replicas still agree, surface it.
 		return nil, firstErr
 	}
-	return &Result{Backend: fmt.Sprintf("%d replicas", len(targets)), Affected: jobs[0].affected}, nil
+	if errCount > 0 {
+		// Partial failure: the erroring replicas missed an update the
+		// others applied — they have diverged. Quarantine them (Down
+		// with a lost redo log) so recovery re-copies their tables.
+		for i, bad := range failed {
+			if bad {
+				c.quarantine(targets[i])
+			}
+		}
+	}
+	return &Result{Backend: fmt.Sprintf("%d replicas", len(targets)), Affected: affected}, nil
+}
+
+// appendRedoLocked logs an update a non-writable backend missed.
+// Overflow beyond Config.RedoLogCap marks the log lost (and frees it):
+// the backend will recover by full table re-copy instead of replay.
+// Called with dispatchMu held — the log order IS the global order.
+func (c *Cluster) appendRedoLocked(b *backend, stmt sqlmini.Statement, sql string) {
+	if b.redoLost {
+		return
+	}
+	if len(b.redo) >= c.cfg.RedoLogCap {
+		b.redo = nil
+		b.redoLost = true
+		return
+	}
+	b.redo = append(b.redo, &updateJob{stmt: stmt, sql: sql})
+	c.metrics.ObserveRedoAppend()
 }
 
 // parse returns the cached parse of a statement — the prototype's
@@ -559,9 +815,15 @@ func (c *Cluster) ResetHistory() {
 // gauges, latency histograms, and the ROWA fan-out series (the
 // {"cmd":"metrics"} payload of internal/server).
 func (c *Cluster) Metrics() *metrics.Snapshot {
-	snap := &metrics.Snapshot{Policy: c.policy.Name(), Fanout: c.metrics.Fanout()}
+	snap := &metrics.Snapshot{
+		Policy:      c.policy.Name(),
+		Fanout:      c.metrics.Fanout(),
+		Reliability: c.metrics.Reliability(),
+	}
 	for _, b := range c.backends {
-		snap.Backends = append(snap.Backends, b.metrics.Snapshot(b.name))
+		bs := b.metrics.Snapshot(b.name)
+		bs.State = b.health.State().String()
+		snap.Backends = append(snap.Backends, bs)
 	}
 	return snap
 }
@@ -585,8 +847,20 @@ func (c *Cluster) Tables(i int) []string {
 
 // Stats summarizes a Run.
 type Stats struct {
-	Completed  int
-	Errors     int
+	Completed int
+	Errors    int
+	// Error breakdown: Timeouts are requests whose context expired,
+	// Unavailable are requests that found no live replica
+	// (runtime.ErrUnavailable), BackendErrors is everything else
+	// (statement errors, injected faults that exhausted retries).
+	// Timeouts + Unavailable + BackendErrors == Errors.
+	Timeouts      int
+	Unavailable   int
+	BackendErrors int
+	// FirstError is the message of the first error observed ("" when
+	// the run was clean) — enough to diagnose a failing run without
+	// logging every repetition.
+	FirstError string
 	Elapsed    time.Duration
 	Throughput float64 // requests per second
 	AvgLatency time.Duration
@@ -604,7 +878,7 @@ func (c *Cluster) Run(next func() workload.Request, n, concurrency int) (*Stats,
 		mu       sync.Mutex
 		totalLat time.Duration
 		perB     = make(map[string]int)
-		errs     int
+		st       Stats
 		done     int
 	)
 	var idx atomic.Int64
@@ -627,7 +901,18 @@ func (c *Cluster) Run(next func() workload.Request, n, concurrency int) (*Stats,
 				res, err := c.Execute(req)
 				mu.Lock()
 				if err != nil {
-					errs++
+					st.Errors++
+					switch {
+					case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+						st.Timeouts++
+					case errors.Is(err, runtime.ErrUnavailable):
+						st.Unavailable++
+					default:
+						st.BackendErrors++
+					}
+					if st.FirstError == "" {
+						st.FirstError = err.Error()
+					}
 				} else {
 					done++
 					totalLat += res.Duration
@@ -638,16 +923,12 @@ func (c *Cluster) Run(next func() workload.Request, n, concurrency int) (*Stats,
 		}()
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
-	st := &Stats{
-		Completed:  done,
-		Errors:     errs,
-		Elapsed:    elapsed,
-		PerBackend: perB,
-	}
+	st.Elapsed = time.Since(start)
+	st.Completed = done
+	st.PerBackend = perB
 	if done > 0 {
 		st.AvgLatency = totalLat / time.Duration(done)
-		st.Throughput = float64(done) / elapsed.Seconds()
+		st.Throughput = float64(done) / st.Elapsed.Seconds()
 	}
-	return st, nil
+	return &st, nil
 }

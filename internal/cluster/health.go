@@ -1,0 +1,403 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"qcpa/internal/runtime"
+)
+
+// This file is the cluster's fault-tolerance layer: the administrative
+// Fail/Recover transitions of the per-backend health state machine
+// (runtime.Health), the redo-log replay and snapshot-resync catch-up
+// paths, cross-replica checksum verification, and the k-safety-aware
+// availability report.
+//
+// Correctness of catch-up hinges on one invariant: every enqueue that
+// changes replica state — plain ROWA updates, redo appends, and the
+// control jobs below (checksum barriers, snapshot sources, restores) —
+// happens under Cluster.dispatchMu, and every backend drains its queue
+// with a single FIFO applier. Control jobs enqueued on several backends
+// under ONE dispatchMu hold therefore observe the same global-update
+// prefix on all of them: checksums cut this way are comparable even
+// while writes keep flowing.
+
+// findBackend resolves a backend by name.
+func (c *Cluster) findBackend(name string) (*backend, error) {
+	for _, b := range c.backends {
+		if b.name == name {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("cluster: unknown backend %q", name)
+}
+
+// Fail administratively takes a backend out of service: reads stop
+// routing to it and its ROWA updates divert to the redo log. The
+// engine itself stays alive — updates already in its queue finish
+// applying — modeling a controller-to-backend partition rather than a
+// process crash (crash the engine too with sqlmini.Fault.Crash).
+// Failing a Down backend is a no-op; failing one mid-recovery is
+// rejected.
+func (c *Cluster) Fail(name string) error {
+	b, err := c.findBackend(name)
+	if err != nil {
+		return err
+	}
+	c.dispatchMu.Lock()
+	defer c.dispatchMu.Unlock()
+	switch b.health.State() {
+	case runtime.Down:
+		return nil
+	case runtime.CatchingUp:
+		return fmt.Errorf("cluster: backend %s is catching up; wait for recovery to finish", name)
+	}
+	b.health.Set(runtime.Down)
+	b.direct.Store(false)
+	b.downSince = time.Now()
+	return nil
+}
+
+// noteAutoDown stamps the down time of a backend the read path demoted
+// (NoteFailure crossed the threshold); the state itself already
+// changed atomically inside runtime.Health.
+func (c *Cluster) noteAutoDown(b *backend) {
+	c.dispatchMu.Lock()
+	if b.downSince.IsZero() {
+		b.downSince = time.Now()
+	}
+	c.dispatchMu.Unlock()
+}
+
+// quarantine takes a diverged backend Down with its redo log marked
+// lost: it missed (or half-applied) an update the other replicas
+// agreed on, so replay cannot repair it — the next Recover re-copies
+// its tables from a live replica instead.
+func (c *Cluster) quarantine(b *backend) {
+	b.health.Set(runtime.Down)
+	b.direct.Store(false)
+	c.dispatchMu.Lock()
+	b.redo = nil
+	b.redoLost = true
+	if b.downSince.IsZero() {
+		b.downSince = time.Now()
+	}
+	c.dispatchMu.Unlock()
+}
+
+// CatchUpReport describes one completed recovery.
+type CatchUpReport struct {
+	// Backend is the recovered backend's name.
+	Backend string `json:"backend"`
+	// Replayed counts redo-log updates re-applied.
+	Replayed int `json:"replayed"`
+	// Resynced lists tables re-copied wholesale from a live replica
+	// (redo log lost or overflowed).
+	Resynced []string `json:"resynced,omitempty"`
+	// Verified lists tables whose checksums matched a live replica.
+	Verified []string `json:"verified,omitempty"`
+	// Skipped lists tables with no live replica to verify against.
+	Skipped []string `json:"skipped,omitempty"`
+	// Duration is the wall-clock catch-up time.
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// Recover brings a Down backend back: it replays the redo log (or
+// re-copies its tables from a live replica when the log was lost),
+// verifies cross-replica table checksums, and only then rejoins the
+// backend to the read-eligible set. Synchronous — returns when the
+// backend is Up again or the recovery failed (the backend is then Down
+// again with its log marked lost, so the next Recover re-copies).
+//
+// The engine must be answering again before Recover is called: a
+// backend crashed via sqlmini.Fault needs Revive first, or replay and
+// verification fail against the still-dead engine.
+func (c *Cluster) Recover(name string) (*CatchUpReport, error) {
+	b, err := c.findBackend(name)
+	if err != nil {
+		return nil, err
+	}
+	if !b.health.CompareAndSwap(runtime.Down, runtime.CatchingUp) {
+		return nil, fmt.Errorf("cluster: backend %s is %s, not down", name, b.health.State())
+	}
+	start := time.Now()
+	rep := &CatchUpReport{Backend: name}
+	if !c.replayRedo(b, rep) {
+		if err := c.resync(b, rep); err != nil {
+			c.quarantine(b)
+			return nil, fmt.Errorf("cluster: resync of backend %s: %w", name, err)
+		}
+	}
+	if err := c.verifyChecksums(b, rep); err != nil {
+		c.quarantine(b)
+		return nil, fmt.Errorf("cluster: backend %s failed verification: %w", name, err)
+	}
+	b.health.ResetFailures()
+	c.dispatchMu.Lock()
+	b.health.Set(runtime.Up)
+	b.direct.Store(false)
+	b.downSince = time.Time{}
+	c.dispatchMu.Unlock()
+	rep.Duration = time.Since(start)
+	c.metrics.ObserveCatchUp(rep.Duration)
+	return rep, nil
+}
+
+// replayRedo re-applies the backend's redo log in global order and
+// reports whether replay sufficed (false: the log was lost and the
+// caller must resync). Writes keep flowing during replay and append to
+// a fresh log; replay loops until it catches a drain with the dispatch
+// lock held, then flips the backend to direct mode — from that instant
+// new updates enqueue directly and no gap exists between the last
+// replayed and the first direct update.
+func (c *Cluster) replayRedo(b *backend, rep *CatchUpReport) bool {
+	for {
+		c.dispatchMu.Lock()
+		if b.redoLost {
+			c.dispatchMu.Unlock()
+			return false
+		}
+		batch := b.redo
+		b.redo = nil
+		if len(batch) == 0 {
+			// Drained: accept writes directly from here on.
+			b.direct.Store(true)
+			c.dispatchMu.Unlock()
+			return true
+		}
+		c.dispatchMu.Unlock()
+		for _, job := range batch {
+			job.done = make(chan error, 1)
+			b.metrics.IncPending()
+			b.updateCh <- job
+		}
+		for _, job := range batch {
+			// Individual replay errors are not fatal here: checksum
+			// verification is the arbiter of whether the replica
+			// converged.
+			<-job.done
+		}
+		rep.Replayed += len(batch)
+	}
+}
+
+// resync re-copies the backend's tables from live replicas: snapshot
+// barrier jobs on the sources and a restore job on the recovering
+// backend, all enqueued under one dispatch-lock hold, so the restored
+// state plus the updates queued behind it equals the sources' state.
+// Tables with no live holder are skipped (reported, not fatal — they
+// are unavailable for everyone anyway).
+func (c *Cluster) resync(b *backend, rep *CatchUpReport) error {
+	c.dispatchMu.Lock()
+	bySource := make(map[*backend][]string)
+	var skipped []string
+	for t := range b.tables {
+		src := c.liveHolderLocked(t, b)
+		if src == nil {
+			skipped = append(skipped, t)
+			continue
+		}
+		bySource[src] = append(bySource[src], t)
+	}
+	waits := make([]*snapshotWait, 0, len(bySource))
+	for src, tables := range bySource {
+		sort.Strings(tables)
+		w := &snapshotWait{tables: tables, done: make(chan error, 1)}
+		waits = append(waits, w)
+		src.metrics.IncPending()
+		src.updateCh <- &updateJob{snapshot: w, done: make(chan error, 1)}
+	}
+	restore := &updateJob{restore: waits, done: make(chan error, 1)}
+	b.metrics.IncPending()
+	b.updateCh <- restore
+	// From this enqueue on the backend is caught up "as of" this point
+	// in the global order: later updates queue behind the restore.
+	b.redo = nil
+	b.redoLost = false
+	b.direct.Store(true)
+	c.dispatchMu.Unlock()
+	if err := <-restore.done; err != nil {
+		return err
+	}
+	for _, w := range waits {
+		rep.Resynced = append(rep.Resynced, w.tables...)
+	}
+	sort.Strings(rep.Resynced)
+	sort.Strings(skipped)
+	rep.Skipped = append(rep.Skipped, skipped...)
+	return nil
+}
+
+// verifyChecksums compares the backend's table checksums against live
+// replicas. The checksum barrier jobs — one on the recovering backend,
+// one per source — are enqueued under a single dispatch-lock hold, so
+// each pair observes the same global-update prefix and must agree
+// bit-for-bit when the replica converged.
+func (c *Cluster) verifyChecksums(b *backend, rep *CatchUpReport) error {
+	c.dispatchMu.Lock()
+	bySource := make(map[*backend][]string)
+	var verifiable, skipped []string
+	for t := range b.tables {
+		src := c.liveHolderLocked(t, b)
+		if src == nil {
+			skipped = append(skipped, t)
+			continue
+		}
+		bySource[src] = append(bySource[src], t)
+		verifiable = append(verifiable, t)
+	}
+	if len(verifiable) == 0 {
+		c.dispatchMu.Unlock()
+		sort.Strings(skipped)
+		rep.Skipped = append(rep.Skipped, skipped...)
+		return nil
+	}
+	sort.Strings(verifiable)
+	own := &updateJob{checksum: verifiable, done: make(chan error, 1)}
+	b.metrics.IncPending()
+	b.updateCh <- own
+	srcJobs := make([]*updateJob, 0, len(bySource))
+	for src, tables := range bySource {
+		sort.Strings(tables)
+		j := &updateJob{checksum: tables, done: make(chan error, 1)}
+		srcJobs = append(srcJobs, j)
+		src.metrics.IncPending()
+		src.updateCh <- j
+	}
+	c.dispatchMu.Unlock()
+	err := <-own.done
+	want := make(map[string]uint64, len(verifiable))
+	for _, j := range srcJobs {
+		if jerr := <-j.done; jerr != nil && err == nil {
+			err = jerr
+		}
+		for t, sum := range j.sums {
+			want[t] = sum
+		}
+	}
+	if err != nil {
+		return err
+	}
+	for _, t := range verifiable {
+		if own.sums[t] != want[t] {
+			return fmt.Errorf("table %s checksum mismatch (%x, live replica has %x)", t, own.sums[t], want[t])
+		}
+	}
+	rep.Verified = verifiable
+	sort.Strings(skipped)
+	rep.Skipped = append(rep.Skipped, skipped...)
+	return nil
+}
+
+// liveHolderLocked returns a live replica of the table other than
+// exclude, preferring Up over Degraded, or nil when none exists.
+// Called with dispatchMu held so health states cannot flip under the
+// grouping decisions of resync/verifyChecksums (Fail and Recover's
+// final transition also hold dispatchMu).
+func (c *Cluster) liveHolderLocked(table string, exclude *backend) *backend {
+	var degraded *backend
+	for _, o := range c.backends {
+		if o == exclude || !o.tables[table] {
+			continue
+		}
+		switch o.health.State() {
+		case runtime.Up:
+			return o
+		case runtime.Degraded:
+			if degraded == nil {
+				degraded = o
+			}
+		}
+	}
+	return degraded
+}
+
+// BackendHealth is one backend's row in the health report.
+type BackendHealth struct {
+	Name  string `json:"name"`
+	State string `json:"state"`
+	// RedoLen is the number of missed updates waiting in the redo log.
+	RedoLen int `json:"redo_len"`
+	// RedoLost marks an overflowed (or divergence-invalidated) log:
+	// recovery will re-copy tables instead of replaying.
+	RedoLost bool `json:"redo_lost,omitempty"`
+	// DownForMS is how long the backend has been Down, 0 otherwise.
+	DownForMS int64 `json:"down_for_ms,omitempty"`
+}
+
+// ClassHealth reports one query class's replica availability.
+type ClassHealth struct {
+	Class string `json:"class"`
+	// Replicas is the number of backends holding all the class's
+	// tables; Live counts those currently read-eligible.
+	Replicas int `json:"replicas"`
+	Live     int `json:"live"`
+	// Unavailable marks a class with zero live replicas: its reads
+	// fail with ErrUnavailable right now.
+	Unavailable bool `json:"unavailable,omitempty"`
+}
+
+// HealthReport is the {"cmd":"health"} payload: per-backend states and
+// redo-log depths, per-class availability, and the k-safety AtRisk map —
+// for each backend that is some class's LAST live replica, the classes
+// that become unavailable if it dies.
+type HealthReport struct {
+	Backends []BackendHealth     `json:"backends"`
+	Classes  []ClassHealth       `json:"classes,omitempty"`
+	AtRisk   map[string][]string `json:"at_risk,omitempty"`
+}
+
+// Health builds the availability report.
+func (c *Cluster) Health() *HealthReport {
+	rep := &HealthReport{}
+	now := time.Now()
+	c.dispatchMu.Lock()
+	for _, b := range c.backends {
+		bh := BackendHealth{
+			Name:     b.name,
+			State:    b.health.State().String(),
+			RedoLen:  len(b.redo),
+			RedoLost: b.redoLost,
+		}
+		if !b.downSince.IsZero() {
+			bh.DownForMS = now.Sub(b.downSince).Milliseconds()
+		}
+		rep.Backends = append(rep.Backends, bh)
+	}
+	c.dispatchMu.Unlock()
+	c.mu.Lock()
+	classes := make([]string, 0, len(c.classFrags))
+	frags := make(map[string][]string, len(c.classFrags))
+	for cl, tables := range c.classFrags {
+		classes = append(classes, cl)
+		frags[cl] = tables
+	}
+	c.mu.Unlock()
+	sort.Strings(classes)
+	for _, cl := range classes {
+		elig := c.eligible(frags[cl])
+		live := 0
+		var last *backend
+		for _, b := range elig {
+			if b.health.State().ReadEligible() {
+				live++
+				last = b
+			}
+		}
+		rep.Classes = append(rep.Classes, ClassHealth{
+			Class:       cl,
+			Replicas:    len(elig),
+			Live:        live,
+			Unavailable: live == 0,
+		})
+		if live == 1 {
+			if rep.AtRisk == nil {
+				rep.AtRisk = make(map[string][]string)
+			}
+			// classes iterates sorted, so each AtRisk list is sorted.
+			rep.AtRisk[last.name] = append(rep.AtRisk[last.name], cl)
+		}
+	}
+	return rep
+}

@@ -1,0 +1,180 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// HealthState is the per-backend availability state machine shared by
+// the live cluster and the simulator's failure model:
+//
+//	Up ──read error──▶ Degraded ──repeated errors / Fail──▶ Down
+//	 ▲                    │                                   │
+//	 │                    └────────read success───────────────┤ Recover
+//	 └──redo log drained + checksums verified── CatchingUp ◀──┘
+//
+// Up and Degraded backends serve reads (Degraded only when no Up
+// replica is eligible) and apply ROWA updates directly. A Down backend
+// receives nothing; its missed updates accumulate in a bounded redo
+// log. A CatchingUp backend is replaying that log: it applies updates
+// again but stays out of the read-eligible set until the log is
+// drained and its table checksums match a live replica.
+type HealthState int32
+
+const (
+	// Up is the healthy steady state.
+	Up HealthState = iota
+	// Degraded marks a backend with recent errors: still usable, but
+	// reads prefer Up replicas.
+	Degraded
+	// Down marks a failed (or administratively failed) backend.
+	Down
+	// CatchingUp marks a recovering backend replaying missed updates.
+	CatchingUp
+)
+
+// String returns the state name used in reports and wire snapshots.
+func (s HealthState) String() string {
+	switch s {
+	case Up:
+		return "up"
+	case Degraded:
+		return "degraded"
+	case Down:
+		return "down"
+	case CatchingUp:
+		return "catching-up"
+	}
+	return fmt.Sprintf("state(%d)", int32(s))
+}
+
+// ReadEligible reports whether a backend in this state may serve reads.
+func (s HealthState) ReadEligible() bool { return s == Up || s == Degraded }
+
+// Health is an atomic holder of one backend's state plus its
+// consecutive-read-failure counter. The zero value is Up with no
+// failures. All methods are safe for concurrent use.
+type Health struct {
+	state    atomic.Int32
+	failures atomic.Int32
+}
+
+// State returns the current state.
+func (h *Health) State() HealthState { return HealthState(h.state.Load()) }
+
+// Set unconditionally stores a state.
+func (h *Health) Set(s HealthState) { h.state.Store(int32(s)) }
+
+// CompareAndSwap transitions from one specific state to another and
+// reports whether it happened.
+func (h *Health) CompareAndSwap(from, to HealthState) bool {
+	return h.state.CompareAndSwap(int32(from), int32(to))
+}
+
+// NoteSuccess records a successful read: the failure streak resets and
+// a Degraded backend is promoted back to Up. Down and CatchingUp are
+// never left implicitly — recovery owns those transitions.
+func (h *Health) NoteSuccess() {
+	h.failures.Store(0)
+	h.CompareAndSwap(Degraded, Up)
+}
+
+// NoteFailure records a failed read and returns the new consecutive
+// failure count. The first failure demotes Up to Degraded; when the
+// streak reaches threshold the backend is demoted to Down (the caller
+// learns this from the return value crossing the threshold).
+func (h *Health) NoteFailure(threshold int) (streak int, wentDown bool) {
+	n := int(h.failures.Add(1))
+	h.CompareAndSwap(Up, Degraded)
+	if threshold > 0 && n >= threshold {
+		if h.CompareAndSwap(Degraded, Down) {
+			return n, true
+		}
+	}
+	return n, false
+}
+
+// ResetFailures clears the consecutive failure streak (used when a
+// backend is administratively revived).
+func (h *Health) ResetFailures() { h.failures.Store(0) }
+
+// ErrUnavailable is the sentinel matched by errors.Is for reads (or
+// writes) that found no live replica. The concrete error is
+// *UnavailableError, which names the query class.
+var ErrUnavailable = errors.New("runtime: no live replica available")
+
+// UnavailableError reports a request whose every eligible replica was
+// Down (or had already failed the request). It unwraps to
+// ErrUnavailable and, when the failure was caused by replica errors
+// rather than pure unavailability, to the last such error.
+type UnavailableError struct {
+	// Class is the query class of the failed request ("" when the
+	// request was routed by table references alone).
+	Class string
+	// Tables are the tables the request needed.
+	Tables []string
+	// Last is the last per-replica error observed before giving up
+	// (nil when every replica was Down from the start).
+	Last error
+}
+
+// Error formats the failure with its class, tables, and last cause.
+func (e *UnavailableError) Error() string {
+	var b strings.Builder
+	b.WriteString("runtime: no live replica")
+	if e.Class != "" {
+		fmt.Fprintf(&b, " for class %s", e.Class)
+	}
+	if len(e.Tables) > 0 {
+		fmt.Fprintf(&b, " (tables %s)", strings.Join(e.Tables, ", "))
+	}
+	if e.Last != nil {
+		fmt.Fprintf(&b, ": last error: %v", e.Last)
+	}
+	return b.String()
+}
+
+// Is matches ErrUnavailable.
+func (e *UnavailableError) Is(target error) bool { return target == ErrUnavailable }
+
+// Unwrap exposes the last per-replica error to errors.Is/As chains.
+func (e *UnavailableError) Unwrap() error { return e.Last }
+
+// Backoff computes retry delays: full-jitter exponential backoff
+// (AWS-style), delay_i drawn uniformly from [0, min(Max, Base·2^i)].
+// The zero value disables waiting (Delay returns 0), which keeps
+// existing configurations behaving as before.
+type Backoff struct {
+	// Base is the cap of the first delay. Zero disables backoff.
+	Base time.Duration
+	// Max bounds the exponential growth (default 32×Base).
+	Max time.Duration
+}
+
+// Delay returns the delay before retry attempt (0-based). rng may be
+// nil, in which case the midpoint of the jitter window is used so
+// callers without a randomness source still back off deterministically.
+func (b Backoff) Delay(attempt int, rng *rand.Rand) time.Duration {
+	if b.Base <= 0 {
+		return 0
+	}
+	max := b.Max
+	if max <= 0 {
+		max = 32 * b.Base
+	}
+	window := b.Base
+	for i := 0; i < attempt && window < max; i++ {
+		window *= 2
+	}
+	if window > max {
+		window = max
+	}
+	if rng == nil {
+		return window / 2
+	}
+	return time.Duration(rng.Int63n(int64(window) + 1))
+}

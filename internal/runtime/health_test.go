@@ -1,0 +1,151 @@
+package runtime
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHealthStateStrings(t *testing.T) {
+	for s, want := range map[HealthState]string{
+		Up: "up", Degraded: "degraded", Down: "down", CatchingUp: "catching-up",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", s, got, want)
+		}
+	}
+	if !Up.ReadEligible() || !Degraded.ReadEligible() {
+		t.Error("Up/Degraded must be read-eligible")
+	}
+	if Down.ReadEligible() || CatchingUp.ReadEligible() {
+		t.Error("Down/CatchingUp must not be read-eligible")
+	}
+}
+
+func TestHealthTransitions(t *testing.T) {
+	var h Health
+	if h.State() != Up {
+		t.Fatalf("zero state = %v, want Up", h.State())
+	}
+	// First failure: Up -> Degraded.
+	if n, down := h.NoteFailure(3); n != 1 || down {
+		t.Fatalf("first failure: streak %d down %v", n, down)
+	}
+	if h.State() != Degraded {
+		t.Fatalf("state after one failure = %v", h.State())
+	}
+	// Success heals Degraded back to Up and resets the streak.
+	h.NoteSuccess()
+	if h.State() != Up {
+		t.Fatalf("state after success = %v", h.State())
+	}
+	// Threshold consecutive failures demote to Down exactly once.
+	var downs int
+	for i := 0; i < 5; i++ {
+		if _, down := h.NoteFailure(3); down {
+			downs++
+		}
+	}
+	if downs != 1 || h.State() != Down {
+		t.Fatalf("downs = %d, state = %v", downs, h.State())
+	}
+	// Success does not resurrect a Down backend — recovery owns that.
+	h.NoteSuccess()
+	if h.State() != Down {
+		t.Fatalf("NoteSuccess resurrected a Down backend: %v", h.State())
+	}
+	if !h.CompareAndSwap(Down, CatchingUp) {
+		t.Fatal("CAS Down->CatchingUp failed")
+	}
+	if h.CompareAndSwap(Down, Up) {
+		t.Fatal("CAS from stale state succeeded")
+	}
+}
+
+func TestHealthConcurrent(t *testing.T) {
+	var h Health
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.NoteFailure(10)
+				h.NoteSuccess()
+			}
+		}()
+	}
+	wg.Wait()
+	if s := h.State(); s != Up && s != Degraded && s != Down {
+		t.Fatalf("state = %v", s)
+	}
+}
+
+func TestUnavailableError(t *testing.T) {
+	cause := errors.New("backend exploded")
+	err := error(&UnavailableError{Class: "Q7", Tables: []string{"orders"}, Last: cause})
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatal("UnavailableError does not match ErrUnavailable")
+	}
+	if !errors.Is(err, cause) {
+		t.Fatal("UnavailableError does not unwrap its cause")
+	}
+	msg := err.Error()
+	for _, want := range []string{"Q7", "orders", "exploded"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+	bare := error(&UnavailableError{})
+	if !errors.Is(bare, ErrUnavailable) || bare.Error() == "" {
+		t.Fatal("bare UnavailableError malformed")
+	}
+}
+
+func TestBackoffDelay(t *testing.T) {
+	// Zero value: disabled.
+	var off Backoff
+	if d := off.Delay(3, nil); d != 0 {
+		t.Fatalf("zero backoff delay = %v", d)
+	}
+	b := Backoff{Base: time.Millisecond, Max: 8 * time.Millisecond}
+	// Deterministic midpoints without an rng: half of min(Max, Base·2^i).
+	for i, want := range []time.Duration{
+		time.Millisecond / 2, time.Millisecond, 2 * time.Millisecond,
+		4 * time.Millisecond, 4 * time.Millisecond, 4 * time.Millisecond,
+	} {
+		if d := b.Delay(i, nil); d != want {
+			t.Fatalf("Delay(%d) = %v, want %v", i, d, want)
+		}
+	}
+	// Jittered delays stay inside the window and vary.
+	rng := rand.New(rand.NewSource(1))
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 100; i++ {
+		d := b.Delay(2, rng)
+		if d < 0 || d > 4*time.Millisecond {
+			t.Fatalf("jittered delay %v outside [0, 4ms]", d)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 10 {
+		t.Fatalf("jitter produced only %d distinct delays", len(seen))
+	}
+	// Default Max kicks in at 32×Base.
+	b = Backoff{Base: time.Millisecond}
+	if d := b.Delay(20, nil); d != 16*time.Millisecond {
+		t.Fatalf("default-max delay = %v, want 16ms", d)
+	}
+}
+
+func TestBackoffLargeAttemptNoOverflow(t *testing.T) {
+	b := Backoff{Base: time.Second, Max: time.Minute}
+	for attempt := 0; attempt < 200; attempt++ {
+		if d := b.Delay(attempt, nil); d < 0 || d > time.Minute {
+			t.Fatalf("attempt %d: delay %v", attempt, d)
+		}
+	}
+}

@@ -21,12 +21,13 @@ import (
 // gauge doubles as the scheduling input of the least-pending policy:
 // the controller reads it through runtime.Policy's pending function.
 type Backend struct {
-	reads    atomic.Int64
-	writes   atomic.Int64
-	errors   atomic.Int64
-	pending  atomic.Int64
-	readLat  stats.ExpHistogram // microseconds
-	writeLat stats.ExpHistogram // microseconds
+	reads     atomic.Int64
+	writes    atomic.Int64
+	errors    atomic.Int64
+	pending   atomic.Int64
+	failovers atomic.Int64
+	readLat   stats.ExpHistogram // microseconds
+	writeLat  stats.ExpHistogram // microseconds
 }
 
 // NewBackend returns a zeroed per-backend metrics block.
@@ -60,9 +61,14 @@ func (b *Backend) ObserveWrite(d time.Duration, failed bool) {
 	b.writeLat.Observe(d.Microseconds())
 }
 
+// ObserveFailover records a read that failed (or found this backend
+// Down) and was routed away to another replica.
+func (b *Backend) ObserveFailover() { b.failovers.Add(1) }
+
 // Snapshot captures the backend's counters under the given display
 // name (backend names can change across elastic resizes, so the caller
-// supplies the current one).
+// supplies the current one). The health State is likewise owned by the
+// caller — the cluster fills it in after taking the snapshot.
 func (b *Backend) Snapshot(name string) BackendSnapshot {
 	return BackendSnapshot{
 		Name:         name,
@@ -70,15 +76,22 @@ func (b *Backend) Snapshot(name string) BackendSnapshot {
 		Writes:       b.writes.Load(),
 		Errors:       b.errors.Load(),
 		Pending:      b.pending.Load(),
+		Failovers:    b.failovers.Load(),
 		ReadLatency:  latencySnapshot(&b.readLat),
 		WriteLatency: latencySnapshot(&b.writeLat),
 	}
 }
 
 // Registry holds the controller-level metrics that are not tied to one
-// backend: today, the ROWA fan-out width histogram.
+// backend: the ROWA fan-out width histogram and the fault-tolerance
+// series (read retries, unavailable requests, redo-log appends, and
+// recovery catch-up times).
 type Registry struct {
-	fanout stats.ExpHistogram
+	fanout      stats.ExpHistogram
+	retries     atomic.Int64
+	unavailable atomic.Int64
+	redoAppends atomic.Int64
+	catchup     stats.ExpHistogram // milliseconds
 }
 
 // NewRegistry returns an empty registry.
@@ -87,12 +100,37 @@ func NewRegistry() *Registry { return &Registry{} }
 // ObserveFanout records the replica count one ROWA update fanned out to.
 func (r *Registry) ObserveFanout(width int) { r.fanout.Observe(int64(width)) }
 
+// ObserveRetry records one read retry (an attempt after the first).
+func (r *Registry) ObserveRetry() { r.retries.Add(1) }
+
+// ObserveUnavailable records a request that found no live replica.
+func (r *Registry) ObserveUnavailable() { r.unavailable.Add(1) }
+
+// ObserveRedoAppend records one update diverted to a Down backend's
+// redo log.
+func (r *Registry) ObserveRedoAppend() { r.redoAppends.Add(1) }
+
+// ObserveCatchUp records one completed recovery and its catch-up time.
+func (r *Registry) ObserveCatchUp(d time.Duration) { r.catchup.Observe(d.Milliseconds()) }
+
 // Fanout captures the fan-out series.
 func (r *Registry) Fanout() FanoutSnapshot {
 	return FanoutSnapshot{
 		Writes:    r.fanout.Count(),
 		MeanWidth: r.fanout.Mean(),
 		MaxWidth:  r.fanout.Max(),
+	}
+}
+
+// Reliability captures the fault-tolerance series.
+func (r *Registry) Reliability() ReliabilitySnapshot {
+	return ReliabilitySnapshot{
+		Retries:       r.retries.Load(),
+		Unavailable:   r.unavailable.Load(),
+		RedoAppends:   r.redoAppends.Load(),
+		Catchups:      r.catchup.Count(),
+		MeanCatchupMS: r.catchup.Mean(),
+		MaxCatchupMS:  r.catchup.Max(),
 	}
 }
 
@@ -122,10 +160,12 @@ func latencySnapshot(h *stats.ExpHistogram) LatencySnapshot {
 // BackendSnapshot is the wire form of one backend's counters.
 type BackendSnapshot struct {
 	Name         string          `json:"name"`
+	State        string          `json:"state,omitempty"`
 	Reads        int64           `json:"reads"`
 	Writes       int64           `json:"writes"`
 	Errors       int64           `json:"errors"`
 	Pending      int64           `json:"pending"`
+	Failovers    int64           `json:"failovers,omitempty"`
 	ReadLatency  LatencySnapshot `json:"read_latency"`
 	WriteLatency LatencySnapshot `json:"write_latency"`
 }
@@ -137,10 +177,23 @@ type FanoutSnapshot struct {
 	MaxWidth  int64   `json:"max_width"`
 }
 
+// ReliabilitySnapshot summarizes the fault-tolerance series: read
+// retries, requests that found no live replica, updates diverted to
+// redo logs, and recovery catch-up times.
+type ReliabilitySnapshot struct {
+	Retries       int64   `json:"retries"`
+	Unavailable   int64   `json:"unavailable"`
+	RedoAppends   int64   `json:"redo_appends"`
+	Catchups      int64   `json:"catchups"`
+	MeanCatchupMS float64 `json:"mean_catchup_ms"`
+	MaxCatchupMS  int64   `json:"max_catchup_ms"`
+}
+
 // Snapshot is the full metrics export: one entry per backend plus the
-// controller-level fan-out series.
+// controller-level fan-out and reliability series.
 type Snapshot struct {
-	Policy   string            `json:"policy,omitempty"`
-	Backends []BackendSnapshot `json:"backends"`
-	Fanout   FanoutSnapshot    `json:"rowa_fanout"`
+	Policy      string              `json:"policy,omitempty"`
+	Backends    []BackendSnapshot   `json:"backends"`
+	Fanout      FanoutSnapshot      `json:"rowa_fanout"`
+	Reliability ReliabilitySnapshot `json:"reliability"`
 }

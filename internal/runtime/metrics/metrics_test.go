@@ -46,6 +46,38 @@ func TestRegistryFanout(t *testing.T) {
 	}
 }
 
+func TestRegistryReliability(t *testing.T) {
+	r := NewRegistry()
+	r.ObserveRetry()
+	r.ObserveRetry()
+	r.ObserveUnavailable()
+	r.ObserveRedoAppend()
+	r.ObserveRedoAppend()
+	r.ObserveRedoAppend()
+	r.ObserveCatchUp(20 * time.Millisecond)
+	r.ObserveCatchUp(40 * time.Millisecond)
+	s := r.Reliability()
+	if s.Retries != 2 || s.Unavailable != 1 || s.RedoAppends != 3 {
+		t.Fatalf("reliability = %+v", s)
+	}
+	if s.Catchups != 2 || s.MeanCatchupMS != 30 || s.MaxCatchupMS < 40 {
+		t.Fatalf("catch-up series = %+v", s)
+	}
+}
+
+func TestBackendFailovers(t *testing.T) {
+	b := NewBackend()
+	b.ObserveFailover()
+	b.ObserveFailover()
+	s := b.Snapshot("B1")
+	if s.Failovers != 2 {
+		t.Fatalf("failovers = %d, want 2", s.Failovers)
+	}
+	if s.State != "" {
+		t.Fatalf("state should be caller-owned, got %q", s.State)
+	}
+}
+
 func TestConcurrentObserves(t *testing.T) {
 	b := NewBackend()
 	var wg sync.WaitGroup

@@ -26,6 +26,14 @@
 //	               "pending": 0, "read_latency": {...}, "write_latency": {...}}, ...],
 //	 "rowa_fanout": {"writes": 3, "mean_width": 2, "max_width": 2}}}
 //
+// The fault-tolerance layer is administered over the same protocol:
+// "cmd": "health" returns per-backend health states, redo-log depths,
+// per-class live replica counts, and the k-safety at-risk map (which
+// classes lose their last live replica if a given backend dies);
+// "cmd": "fail" with "backend": "B2" takes a backend out of service;
+// "cmd": "recover" brings it back and returns the catch-up report
+// (updates replayed, tables resynced, checksums verified).
+//
 // Query execution runs under the server's base context (canceled on
 // Close) plus the cluster's configured per-request timeout.
 package server
@@ -47,10 +55,13 @@ import (
 
 // Request is one client message.
 type Request struct {
-	Cmd   string `json:"cmd,omitempty"` // "", "history", "stats", "metrics"
+	Cmd   string `json:"cmd,omitempty"` // "", "history", "stats", "metrics", "health", "fail", "recover"
 	SQL   string `json:"sql,omitempty"`
 	Class string `json:"class,omitempty"`
 	Write bool   `json:"write,omitempty"`
+	// Backend names the target of the administrative "fail" and
+	// "recover" commands.
+	Backend string `json:"backend,omitempty"`
 }
 
 // HistoryEntry mirrors the journal lines returned by cmd "history".
@@ -72,6 +83,12 @@ type Response struct {
 	History    []HistoryEntry    `json:"history,omitempty"`
 	Tables     [][]string        `json:"tables,omitempty"`
 	Metrics    *metrics.Snapshot `json:"metrics,omitempty"`
+	// Health is the availability report of cmd "health": per-backend
+	// states and redo-log depths, per-class live replica counts, and
+	// the k-safety at-risk map.
+	Health *cluster.HealthReport `json:"health,omitempty"`
+	// CatchUp reports a completed cmd "recover".
+	CatchUp *cluster.CatchUpReport `json:"catch_up,omitempty"`
 }
 
 // Server serves a cluster over a listener.
@@ -83,6 +100,7 @@ type Server struct {
 	wg      sync.WaitGroup
 	mu      sync.Mutex
 	closed  bool
+	conns   map[net.Conn]struct{}
 }
 
 // Serve starts accepting connections on ln; it returns immediately.
@@ -90,7 +108,7 @@ type Server struct {
 // for their connections.
 func Serve(ln net.Listener, c *cluster.Cluster) *Server {
 	baseCtx, cancel := context.WithCancel(context.Background())
-	s := &Server{cluster: c, ln: ln, baseCtx: baseCtx, cancel: cancel}
+	s := &Server{cluster: c, ln: ln, baseCtx: baseCtx, cancel: cancel, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -99,7 +117,10 @@ func Serve(ln net.Listener, c *cluster.Cluster) *Server {
 // Addr returns the listener address.
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 
-// Close stops the server (the cluster itself is not closed).
+// Close stops the server (the cluster itself is not closed): it stops
+// accepting, cancels in-flight queries, closes every live client
+// connection, and waits for their handlers. A client blocked on a read
+// gets its connection torn down instead of hanging forever.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -107,11 +128,36 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
 	s.mu.Unlock()
 	s.cancel()
 	err := s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
 	s.wg.Wait()
 	return err
+}
+
+// track registers a live connection; it reports false when the server
+// is already closing (the caller should drop the connection).
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
 }
 
 func (s *Server) acceptLoop() {
@@ -129,6 +175,10 @@ func (s *Server) acceptLoop() {
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
 	defer conn.Close()
+	if !s.track(conn) {
+		return
+	}
+	defer s.untrack(conn)
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	w := bufio.NewWriter(conn)
@@ -143,7 +193,7 @@ func (s *Server) handle(conn net.Conn) {
 		if err := json.Unmarshal(line, &req); err != nil {
 			resp = Response{Error: "bad request: " + err.Error()}
 		} else {
-			resp = s.execute(req)
+			resp = s.safeExecute(req)
 		}
 		if err := enc.Encode(&resp); err != nil {
 			return
@@ -152,6 +202,18 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// safeExecute shields the connection from a panicking request: the
+// client gets an error response and the connection (and server) lives
+// on, instead of one poisoned request killing the handler goroutine.
+func (s *Server) safeExecute(req Request) (resp Response) {
+	defer func() {
+		if r := recover(); r != nil {
+			resp = Response{Error: fmt.Sprintf("internal error: %v", r)}
+		}
+	}()
+	return s.execute(req)
 }
 
 func (s *Server) execute(req Request) Response {
@@ -190,6 +252,19 @@ func (s *Server) execute(req Request) Response {
 		return Response{OK: true, Tables: tables}
 	case "metrics":
 		return Response{OK: true, Metrics: s.cluster.Metrics()}
+	case "health":
+		return Response{OK: true, Health: s.cluster.Health()}
+	case "fail":
+		if err := s.cluster.Fail(req.Backend); err != nil {
+			return Response{Error: err.Error()}
+		}
+		return Response{OK: true, Backend: req.Backend}
+	case "recover":
+		rep, err := s.cluster.Recover(req.Backend)
+		if err != nil {
+			return Response{Error: err.Error()}
+		}
+		return Response{OK: true, Backend: req.Backend, CatchUp: rep}
 	}
 	return Response{Error: fmt.Sprintf("unknown cmd %q", req.Cmd)}
 }
@@ -273,4 +348,41 @@ func (c *Client) Exec(sql, class string) (*Response, error) {
 		return resp, errors.New(resp.Error)
 	}
 	return resp, nil
+}
+
+// Health fetches the controller's availability report.
+func (c *Client) Health() (*cluster.HealthReport, error) {
+	resp, err := c.Do(Request{Cmd: "health"})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, errors.New(resp.Error)
+	}
+	return resp.Health, nil
+}
+
+// Fail administratively takes a backend out of service.
+func (c *Client) Fail(backend string) error {
+	resp, err := c.Do(Request{Cmd: "fail", Backend: backend})
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return errors.New(resp.Error)
+	}
+	return nil
+}
+
+// Recover brings a failed backend back and returns its catch-up
+// report.
+func (c *Client) Recover(backend string) (*cluster.CatchUpReport, error) {
+	resp, err := c.Do(Request{Cmd: "recover", Backend: backend})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, errors.New(resp.Error)
+	}
+	return resp.CatchUp, nil
 }

@@ -5,6 +5,7 @@ import (
 	"net"
 	"sync"
 	"testing"
+	"time"
 
 	"qcpa/internal/cluster"
 	"qcpa/internal/core"
@@ -280,5 +281,143 @@ func TestServerCloseIdempotent(t *testing.T) {
 	}
 	if err := srv.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestHealthFailRecoverCommands(t *testing.T) {
+	_, c, addr := startServer(t)
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	h, err := client.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Backends) != 2 {
+		t.Fatalf("health backends = %+v", h.Backends)
+	}
+	for _, bh := range h.Backends {
+		if bh.State != "up" {
+			t.Fatalf("backend %s state = %s", bh.Name, bh.State)
+		}
+	}
+	// QA's only replica is B1: the at-risk map must say so.
+	if got := h.AtRisk["B1"]; len(got) != 1 || got[0] != "QA" {
+		t.Fatalf("AtRisk = %v", h.AtRisk)
+	}
+	if err := client.Fail("B2"); err != nil {
+		t.Fatal(err)
+	}
+	// A write while B2 is down lands on B1 and B2's redo log.
+	if _, err := client.Exec(`UPDATE b SET b_v = 41 WHERE b_id = 2`, "UB"); err != nil {
+		t.Fatal(err)
+	}
+	h, err = client.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bh := range h.Backends {
+		if bh.Name == "B2" && (bh.State != "down" || bh.RedoLen != 1) {
+			t.Fatalf("B2 health = %+v", bh)
+		}
+	}
+	rep, err := client.Recover("B2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil || rep.Replayed != 1 {
+		t.Fatalf("catch-up report = %+v", rep)
+	}
+	// The replayed write is on B2 now.
+	r, err := c.Backend(1).Exec(`SELECT b_v FROM b WHERE b_id = 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][0].I != 41 {
+		t.Fatalf("replayed value = %v", r.Rows[0][0])
+	}
+	// Administrative errors surface to the client.
+	if err := client.Fail("nope"); err == nil {
+		t.Fatal("unknown backend accepted by fail")
+	}
+	if _, err := client.Recover("B1"); err == nil {
+		t.Fatal("recovering an Up backend accepted")
+	}
+}
+
+func TestServerSurvivesPanic(t *testing.T) {
+	srv, _, addr := startServer(t)
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	// Force a panic inside request execution and check the connection
+	// and server survive.
+	srv.cluster = nil
+	resp, err := client.Do(Request{Cmd: "metrics"})
+	if err != nil {
+		t.Fatalf("connection died on panicking request: %v", err)
+	}
+	if resp.OK || resp.Error == "" {
+		t.Fatalf("panic not reported: %+v", resp)
+	}
+	// Handler is alive; restore the cluster and use the same connection.
+	srv.cluster = mustCluster(t, srv)
+	if resp, err := client.Do(Request{Cmd: "health"}); err != nil || !resp.OK {
+		t.Fatalf("connection unusable after panic: %v %+v", err, resp)
+	}
+}
+
+// mustCluster builds a minimal 1-backend cluster for the panic test's
+// recovery phase.
+func mustCluster(t *testing.T, srv *Server) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.New(cluster.Config{Backends: core.UniformBackends(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// TestCloseUnblocksIdleConnections: Close must tear down connections
+// whose handlers are blocked reading, not hang waiting for them.
+func TestCloseUnblocksIdleConnections(t *testing.T) {
+	srv, _, addr := startServer(t)
+	// An idle client holding its connection open.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Let the handler start and register the connection.
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.Query(`SELECT a_v FROM a WHERE a_id = 0`, "QA"); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung on an idle connection")
+	}
+	// The idle connection was torn down server-side.
+	buf := make([]byte, 1)
+	if err := conn.SetReadDeadline(time.Now().Add(2 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("idle connection still open after Close")
 	}
 }

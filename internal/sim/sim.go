@@ -74,6 +74,21 @@ type Options struct {
 	Policy SchedulerPolicy
 	// Seed makes runs reproducible (default 1).
 	Seed int64
+	// Downtimes lists backend outage windows: a down backend receives
+	// no new work (reads route to live replicas, updates skip it), but
+	// work already queued completes — the graceful failure model of
+	// cluster.Fail. A request whose every eligible backend is down is
+	// rejected and counted in Result.Unavailable. The simulator models
+	// the availability and throughput effects of an outage, not the
+	// catch-up data motion (that is the live cluster's redo-log path).
+	Downtimes []Downtime
+}
+
+// Downtime takes backend Backend out of service for the simulated time
+// window [From, To).
+type Downtime struct {
+	Backend  int
+	From, To float64
 }
 
 // Result summarizes a run.
@@ -90,6 +105,9 @@ type Result struct {
 	BusyTime []float64
 	// Completed is the number of logical requests finished.
 	Completed int
+	// Unavailable counts requests rejected because every eligible
+	// backend was inside a Downtime window at dispatch time.
+	Unavailable int
 }
 
 type event struct {
@@ -141,7 +159,34 @@ type simulator struct {
 	policy        runtime.Policy
 	rng           *rand.Rand
 	completed     int
+	unavailable   int
 	onComplete    func(reqID int)
+}
+
+// downAt reports whether backend b is inside an outage window at time t.
+func (s *simulator) downAt(b int, t float64) bool {
+	for _, d := range s.opts.Downtimes {
+		if d.Backend == b && t >= d.From && t < d.To {
+			return true
+		}
+	}
+	return false
+}
+
+// liveOf filters a backend set down to those not in an outage window
+// at the current simulated time (no allocation when no downtimes are
+// configured).
+func (s *simulator) liveOf(backends []int) []int {
+	if len(s.opts.Downtimes) == 0 {
+		return backends
+	}
+	live := make([]int, 0, len(backends))
+	for _, b := range backends {
+		if !s.downAt(b, s.now) {
+			live = append(live, b)
+		}
+	}
+	return live
 }
 
 func newSimulator(opts Options) (*simulator, error) {
@@ -230,10 +275,13 @@ func newSimulator(opts Options) (*simulator, error) {
 	return s, nil
 }
 
-// pickRead selects a backend for a read request via the shared
-// runtime.Policy.
+// pickRead selects a live backend for a read request via the shared
+// runtime.Policy, or -1 when every eligible backend is down.
 func (s *simulator) pickRead(class string) int {
-	elig := s.eligible[class]
+	elig := s.liveOf(s.eligible[class])
+	if len(elig) == 0 {
+		return -1
+	}
 	pos := s.policy.Pick(len(elig), func(i int) int { return s.pendingAt(elig[i]) }, s.rng)
 	return elig[pos]
 }
@@ -248,23 +296,36 @@ func (s *simulator) pendingAt(b int) int {
 	return n
 }
 
-// dispatch enqueues a request at the current simulated time.
-func (s *simulator) dispatch(req Request, reqID int) {
-	s.dispatched[reqID] = s.now
+// dispatch enqueues a request at the current simulated time. It
+// reports false when every eligible backend was down (the request is
+// rejected and counted unavailable, nothing enqueued).
+func (s *simulator) dispatch(req Request, reqID int) bool {
 	if req.Write {
 		ws := s.writers[req.Class]
 		if len(ws) == 0 {
 			ws = s.eligible[req.Class]
 		}
+		ws = s.liveOf(ws)
+		if len(ws) == 0 {
+			s.unavailable++
+			return false
+		}
+		s.dispatched[reqID] = s.now
 		s.pendingWrites[reqID] = len(ws)
 		for _, b := range ws {
 			s.enqueue(b, job{req: req, reqID: reqID, dispatch: s.now})
 		}
-		return
+		return true
 	}
 	b := s.pickRead(req.Class)
+	if b < 0 {
+		s.unavailable++
+		return false
+	}
+	s.dispatched[reqID] = s.now
 	s.pendingWrites[reqID] = 1
 	s.enqueue(b, job{req: req, reqID: reqID, dispatch: s.now})
+	return true
 }
 
 func (s *simulator) enqueue(b int, j job) {
@@ -331,15 +392,21 @@ func RunClosedLoop(opts Options, next func(rng *rand.Rand) Request, n int) (*Res
 		clients = n
 	}
 	issued := 0
-	s.onComplete = func(int) {
-		if issued < n {
-			s.dispatch(next(s.rng), issued)
+	// issue draws requests until one is actually delivered (a rejected
+	// request returns to the client immediately, so the closed loop
+	// moves on to its next request without waiting).
+	issue := func() {
+		for issued < n {
+			id := issued
 			issued++
+			if s.dispatch(next(s.rng), id) {
+				return
+			}
 		}
 	}
-	for issued < clients {
-		s.dispatch(next(s.rng), issued)
-		issued++
+	s.onComplete = func(int) { issue() }
+	for i := 0; i < clients; i++ {
+		issue()
 	}
 	for s.step() {
 	}
@@ -381,9 +448,10 @@ func RunOpenLoop(opts Options, requests []TimedRequest) (*Result, error) {
 
 func (s *simulator) result() *Result {
 	r := &Result{
-		Makespan:  s.now,
-		BusyTime:  s.busyTime,
-		Completed: s.completed,
+		Makespan:    s.now,
+		BusyTime:    s.busyTime,
+		Completed:   s.completed,
+		Unavailable: s.unavailable,
 	}
 	if s.now > 0 {
 		r.Throughput = float64(s.completed) / s.now

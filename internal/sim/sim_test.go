@@ -359,3 +359,102 @@ func TestClosedLoopConservation(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestDowntimeRoutesAroundDeadBackend: with full replication, an
+// outage covering the whole run must push all work to the live
+// backend with zero unavailable requests.
+func TestDowntimeRoutesAroundDeadBackend(t *testing.T) {
+	cl := readOnlyCls()
+	a := core.FullReplication(cl, core.UniformBackends(2))
+	res, err := RunClosedLoop(Options{
+		Alloc:     a,
+		Downtimes: []Downtime{{Backend: 0, From: 0, To: math.Inf(1)}},
+	}, drawFrom(cl), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unavailable != 0 {
+		t.Fatalf("unavailable = %d with a live replica", res.Unavailable)
+	}
+	if res.Completed != 500 {
+		t.Fatalf("completed = %d", res.Completed)
+	}
+	if res.BusyTime[0] != 0 {
+		t.Fatalf("down backend did work: busy %.3f", res.BusyTime[0])
+	}
+	if res.BusyTime[1] == 0 {
+		t.Fatal("live backend did no work")
+	}
+}
+
+// TestDowntimeWindowEndsOutage: an outage over the first half of the
+// run only suppresses work in its window; afterwards the backend
+// serves again.
+func TestDowntimeWindowEndsOutage(t *testing.T) {
+	cl := readOnlyCls()
+	a := core.FullReplication(cl, core.UniformBackends(2))
+	// ~1000 requests at cost 1 over 2 backends run for ~500 simulated
+	// seconds; keep backend 0 down for the first 100.
+	res, err := RunClosedLoop(Options{
+		Alloc:     a,
+		Downtimes: []Downtime{{Backend: 0, From: 0, To: 100}},
+	}, drawFrom(cl), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unavailable != 0 || res.Completed != 1000 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.BusyTime[0] == 0 {
+		t.Fatal("backend 0 never came back")
+	}
+	if res.BusyTime[0] >= res.BusyTime[1] {
+		t.Fatalf("outage had no effect: busy %.1f vs %.1f", res.BusyTime[0], res.BusyTime[1])
+	}
+}
+
+// TestDowntimeUnavailable: when every replica of a class is down, its
+// requests are rejected and counted, and the run still terminates.
+func TestDowntimeUnavailable(t *testing.T) {
+	cl := readOnlyCls()
+	a := core.FullReplication(cl, core.UniformBackends(2))
+	res, err := RunClosedLoop(Options{
+		Alloc: a,
+		Downtimes: []Downtime{
+			{Backend: 0, From: 0, To: math.Inf(1)},
+			{Backend: 1, From: 0, To: math.Inf(1)},
+		},
+	}, drawFrom(cl), 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 0 {
+		t.Fatalf("completed = %d on a fully dead cluster", res.Completed)
+	}
+	if res.Unavailable != 300 {
+		t.Fatalf("unavailable = %d, want 300", res.Unavailable)
+	}
+}
+
+// TestDowntimeWriteSkipsDeadReplica: ROWA updates skip a down writer
+// (the live cluster diverts them to the redo log; the simulator just
+// models the load shift).
+func TestDowntimeWriteSkipsDeadReplica(t *testing.T) {
+	cl := core.NewClassification()
+	cl.AddFragment(core.Fragment{ID: "A", Size: 1})
+	cl.MustAddClass(core.NewClass("U", core.Update, 1.0, "A"))
+	a := core.FullReplication(cl, core.UniformBackends(2))
+	res, err := RunClosedLoop(Options{
+		Alloc:     a,
+		Downtimes: []Downtime{{Backend: 1, From: 0, To: math.Inf(1)}},
+	}, drawFrom(cl), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 200 || res.Unavailable != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.BusyTime[1] != 0 {
+		t.Fatalf("down writer did work: %.3f", res.BusyTime[1])
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Table is an in-memory row store with an optional primary-key hash
@@ -104,6 +105,10 @@ func (t *Table) DataBytes() int64 {
 type Engine struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
+	// fault is the optional fault injector (nil when absent); see
+	// fault.go. Checked once per statement at the top of
+	// ExecStmtContext.
+	fault atomic.Pointer[Fault]
 }
 
 // New returns an empty engine.
@@ -153,6 +158,9 @@ func (e *Engine) ExecStmt(st Statement) (*Result, error) {
 // abort on one replica would diverge the others.
 func (e *Engine) ExecStmtContext(ctx context.Context, st Statement) (*Result, error) {
 	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := e.checkFault(); err != nil {
 		return nil, err
 	}
 	switch s := st.(type) {

@@ -1,0 +1,102 @@
+package sqlmini
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is returned by an engine whose fault injector decided to
+// fail this statement (error-rate faults). The cluster's failover path
+// treats it like any other backend error.
+var ErrInjected = errors.New("sqlmini: injected fault")
+
+// ErrCrashed is returned by a crashed engine: every statement fails
+// until Revive. It models a killed backend process under the paper's
+// processing model — the data is still there, the node just stopped
+// answering.
+var ErrCrashed = errors.New("sqlmini: engine crashed (injected)")
+
+// Fault is a pluggable fault injector on the engine execution path:
+// every statement first passes through the injector, which can add
+// latency, fail with probability ErrorRate, or fail unconditionally
+// while crashed. The zero value injects nothing.
+//
+// Error-rate draws use a deterministic splitmix64 sequence (seeded by
+// Seed) instead of a shared math/rand source, so chaos runs are
+// reproducible and the hot path stays lock-free.
+type Fault struct {
+	// ErrorRate is the probability in [0, 1] that a statement fails
+	// with ErrInjected.
+	ErrorRate float64
+	// Latency is added to every statement before it executes.
+	Latency time.Duration
+	// Seed perturbs the deterministic error-rate sequence.
+	Seed uint64
+
+	crashed atomic.Bool
+	seq     atomic.Uint64
+}
+
+// Crash makes every subsequent statement fail with ErrCrashed.
+func (f *Fault) Crash() { f.crashed.Store(true) }
+
+// Revive clears a crash.
+func (f *Fault) Revive() { f.crashed.Store(false) }
+
+// Crashed reports whether the engine is currently crashed.
+func (f *Fault) Crashed() bool { return f.crashed.Load() }
+
+// splitmix64 is the standard 64-bit mixer (Steele et al.), enough to
+// turn a counter into an i.i.d.-looking uniform stream.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// inject runs the fault decision for one statement. It is called by
+// the engine at the top of ExecStmtContext.
+func (f *Fault) inject() error {
+	if f.Latency > 0 {
+		time.Sleep(f.Latency)
+	}
+	if f.crashed.Load() {
+		return ErrCrashed
+	}
+	if f.ErrorRate > 0 {
+		n := f.seq.Add(1)
+		u := float64(splitmix64(n^f.Seed)>>11) / float64(uint64(1)<<53)
+		if u < f.ErrorRate || f.ErrorRate >= 1 {
+			return ErrInjected
+		}
+	}
+	return nil
+}
+
+// SetFault installs (or, with nil, removes) a fault injector on the
+// engine. Safe to call while statements execute; in-flight statements
+// that already passed the injector complete normally.
+func (e *Engine) SetFault(f *Fault) { e.fault.Store(f) }
+
+// FaultInjected reports the installed injector, or nil.
+func (e *Engine) FaultInjected() *Fault { return e.fault.Load() }
+
+// checkFault applies the installed injector, if any.
+func (e *Engine) checkFault() error {
+	if f := e.fault.Load(); f != nil {
+		return f.inject()
+	}
+	return nil
+}
+
+// IsEngineFailure reports whether an execution error is an
+// engine-level failure (the node, not the statement): such errors are
+// worth retrying on another replica, while statement errors (unknown
+// column, duplicate key, …) fail identically everywhere. With embedded
+// engines the only node-level failures are the injected ones; a
+// networked backend substrate would add its transport errors here.
+func IsEngineFailure(err error) bool {
+	return errors.Is(err, ErrInjected) || errors.Is(err, ErrCrashed)
+}

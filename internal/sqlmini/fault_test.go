@@ -1,0 +1,171 @@
+package sqlmini
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func faultSetup(t *testing.T) *Engine {
+	t.Helper()
+	e := New()
+	mustExec := func(sql string) {
+		t.Helper()
+		if _, err := e.Exec(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustExec(`CREATE TABLE t (id INT PRIMARY KEY, v INT)`)
+	mustExec(`INSERT INTO t VALUES (1, 10)`)
+	mustExec(`INSERT INTO t VALUES (2, 20)`)
+	return e
+}
+
+func TestFaultCrashAndRevive(t *testing.T) {
+	e := faultSetup(t)
+	f := &Fault{}
+	e.SetFault(f)
+	if _, err := e.Exec(`SELECT v FROM t WHERE id = 1`); err != nil {
+		t.Fatalf("idle injector failed a statement: %v", err)
+	}
+	f.Crash()
+	if !f.Crashed() {
+		t.Fatal("Crashed() = false after Crash")
+	}
+	if _, err := e.Exec(`SELECT v FROM t WHERE id = 1`); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crashed engine returned %v, want ErrCrashed", err)
+	}
+	if _, err := e.Exec(`UPDATE t SET v = 1 WHERE id = 1`); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crashed engine applied a write: %v", err)
+	}
+	f.Revive()
+	r, err := e.Exec(`SELECT v FROM t WHERE id = 1`)
+	if err != nil {
+		t.Fatalf("revived engine failed: %v", err)
+	}
+	if r.Rows[0][0].I != 10 {
+		t.Fatal("data changed across crash")
+	}
+	// Removing the injector restores the plain path.
+	e.SetFault(nil)
+	if e.FaultInjected() != nil {
+		t.Fatal("injector not removed")
+	}
+}
+
+func TestFaultErrorRate(t *testing.T) {
+	e := faultSetup(t)
+	e.SetFault(&Fault{ErrorRate: 0.5, Seed: 42})
+	var failed, ok int
+	for i := 0; i < 400; i++ {
+		if _, err := e.Exec(`SELECT v FROM t WHERE id = 2`); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("unexpected error kind: %v", err)
+			}
+			failed++
+		} else {
+			ok++
+		}
+	}
+	if failed < 120 || failed > 280 {
+		t.Fatalf("error rate 0.5 injected %d/400 failures", failed)
+	}
+	// Rate 1 fails everything; rate 0 nothing.
+	e.SetFault(&Fault{ErrorRate: 1})
+	if _, err := e.Exec(`SELECT v FROM t`); !errors.Is(err, ErrInjected) {
+		t.Fatalf("rate-1 injector let a statement through: %v", err)
+	}
+	e.SetFault(&Fault{})
+	if _, err := e.Exec(`SELECT v FROM t`); err != nil {
+		t.Fatalf("rate-0 injector failed a statement: %v", err)
+	}
+}
+
+func TestFaultLatency(t *testing.T) {
+	e := faultSetup(t)
+	e.SetFault(&Fault{Latency: 10 * time.Millisecond})
+	start := time.Now()
+	if _, err := e.Exec(`SELECT v FROM t WHERE id = 1`); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("latency fault added only %v", d)
+	}
+}
+
+func TestTableChecksumAgreesAcrossInsertOrder(t *testing.T) {
+	a, b := New(), New()
+	for _, e := range []*Engine{a, b} {
+		if _, err := e.Exec(`CREATE TABLE t (id INT PRIMARY KEY, v TEXT)`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Same rows, different physical order.
+	for _, sql := range []string{`INSERT INTO t VALUES (1, 'x')`, `INSERT INTO t VALUES (2, 'y')`} {
+		if _, err := a.Exec(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, sql := range []string{`INSERT INTO t VALUES (2, 'y')`, `INSERT INTO t VALUES (1, 'x')`} {
+		if _, err := b.Exec(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ca, err := a.TableChecksum("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := b.TableChecksum("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca != cb {
+		t.Fatalf("checksums differ across insert order: %x vs %x", ca, cb)
+	}
+	// A content change must change the checksum.
+	if _, err := b.Exec(`UPDATE t SET v = 'z' WHERE id = 1`); err != nil {
+		t.Fatal(err)
+	}
+	cb2, err := b.TableChecksum("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cb2 == cb {
+		t.Fatal("checksum unchanged after content change")
+	}
+	// Row count is part of the checksum.
+	if _, err := b.Exec(`DELETE FROM t WHERE id = 2`); err != nil {
+		t.Fatal(err)
+	}
+	cb3, err := b.TableChecksum("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cb3 == cb2 {
+		t.Fatal("checksum unchanged after delete")
+	}
+}
+
+func TestChecksumsBulk(t *testing.T) {
+	e := faultSetup(t)
+	sums, err := e.Checksums(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 1 {
+		t.Fatalf("sums = %v", sums)
+	}
+	one, err := e.Checksums([]string{"t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one["t"] != sums["t"] {
+		t.Fatal("named and all-table checksums disagree")
+	}
+	if _, err := e.Checksums([]string{"missing"}); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+	if _, err := e.TableChecksum("missing"); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+}

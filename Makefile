@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check chaos bench clean
+.PHONY: all build test vet race check chaos bench bench-smoke clean
 
 all: check
 
@@ -31,6 +31,12 @@ chaos:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# bench-smoke compiles and runs every benchmark for exactly one
+# iteration across all packages, so benchmark code can never rot. Wired
+# into CI; the recorded baselines come from `qcpa-bench -json` instead.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
 clean:
 	$(GO) clean ./...

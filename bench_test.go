@@ -21,189 +21,72 @@ import (
 	"qcpa/internal/workload/tpch"
 )
 
-// benchFigure runs one experiment per iteration and reports a named
-// metric extracted from the table.
-func benchFigure(b *testing.B, run func(experiments.Options) (*experiments.Table, error),
-	metric func(*experiments.Table) (string, float64)) {
+// benchFigure runs the registered experiment once per iteration and
+// reports its headline metric averaged over all b.N iterations, so a
+// single noisy table cannot skew the recorded series metric.
+func benchFigure(b *testing.B, id string) {
 	b.Helper()
+	e := experiments.ByID(id)
+	if e == nil {
+		b.Fatalf("unknown experiment %q", id)
+	}
 	opts := experiments.Quick()
-	var tab *experiments.Table
-	var err error
+	sum := 0.0
 	for i := 0; i < b.N; i++ {
-		tab, err = run(opts)
+		tab, err := e.Run(opts)
 		if err != nil {
 			b.Fatal(err)
 		}
+		sum += e.Value(tab)
 	}
-	if tab != nil {
-		name, v := metric(tab)
-		b.ReportMetric(v, name)
-	}
+	b.ReportMetric(sum/float64(b.N), e.Metric)
 }
 
-// lastOf returns the final Y of a named series.
-func lastOf(t *experiments.Table, name string) float64 {
-	s := t.Get(name)
-	if s == nil || len(s.Y) == 0 {
-		return 0
-	}
-	return s.Y[len(s.Y)-1]
-}
+func BenchmarkFig4aTPCHThroughput(b *testing.B) { benchFigure(b, "E01") }
 
-func BenchmarkFig4aTPCHThroughput(b *testing.B) {
-	benchFigure(b, experiments.Fig4aTPCHThroughput, func(t *experiments.Table) (string, float64) {
-		return "column_qps", lastOf(t, "column")
-	})
-}
+func BenchmarkFig4bTPCHDeviation(b *testing.B) { benchFigure(b, "E02") }
 
-func BenchmarkFig4bTPCHDeviation(b *testing.B) {
-	benchFigure(b, experiments.Fig4bTPCHDeviation, func(t *experiments.Table) (string, float64) {
-		return "avg_qps", lastOf(t, "average")
-	})
-}
+func BenchmarkFig4cReplicationDegree(b *testing.B) { benchFigure(b, "E03") }
 
-func BenchmarkFig4cReplicationDegree(b *testing.B) {
-	benchFigure(b, experiments.Fig4cReplicationDegree, func(t *experiments.Table) (string, float64) {
-		return "column_degree", lastOf(t, "column")
-	})
-}
+func BenchmarkFig4dAllocationTime(b *testing.B) { benchFigure(b, "E04") }
 
-func BenchmarkFig4dAllocationTime(b *testing.B) {
-	benchFigure(b, experiments.Fig4dAllocationTime, func(t *experiments.Table) (string, float64) {
-		return "column_etl", lastOf(t, "column")
-	})
-}
+func BenchmarkFig4eTPCHScaling(b *testing.B) { benchFigure(b, "E05") }
 
-func BenchmarkFig4eTPCHScaling(b *testing.B) {
-	benchFigure(b, experiments.Fig4eTPCHScaling, func(t *experiments.Table) (string, float64) {
-		return "column_sf10_rel", lastOf(t, "column SF10")
-	})
-}
+func BenchmarkFig4fTPCAppSpeedup(b *testing.B) { benchFigure(b, "E06") }
 
-func BenchmarkFig4fTPCAppSpeedup(b *testing.B) {
-	benchFigure(b, experiments.Fig4fTPCAppSpeedup, func(t *experiments.Table) (string, float64) {
-		return "table_speedup", lastOf(t, "table")
-	})
-}
+func BenchmarkFig4gTPCAppThroughput(b *testing.B) { benchFigure(b, "E07") }
 
-func BenchmarkFig4gTPCAppThroughput(b *testing.B) {
-	benchFigure(b, experiments.Fig4gTPCAppThroughput, func(t *experiments.Table) (string, float64) {
-		return "table_rps", lastOf(t, "table")
-	})
-}
+func BenchmarkFig4hTPCAppDeviation(b *testing.B) { benchFigure(b, "E08") }
 
-func BenchmarkFig4hTPCAppDeviation(b *testing.B) {
-	benchFigure(b, experiments.Fig4hTPCAppDeviation, func(t *experiments.Table) (string, float64) {
-		return "avg_rps", lastOf(t, "average")
-	})
-}
+func BenchmarkFig4iTPCAppLargeScale(b *testing.B) { benchFigure(b, "E09") }
 
-func BenchmarkFig4iTPCAppLargeScale(b *testing.B) {
-	benchFigure(b, experiments.Fig4iTPCAppLargeScale, func(t *experiments.Table) (string, float64) {
-		return "column_rel", lastOf(t, "column")
-	})
-}
+func BenchmarkFig4jLoadBalance(b *testing.B) { benchFigure(b, "E10") }
 
-func BenchmarkFig4jLoadBalance(b *testing.B) {
-	benchFigure(b, experiments.Fig4jLoadBalance, func(t *experiments.Table) (string, float64) {
-		return "tpcapp_dev", lastOf(t, "TPC-App")
-	})
-}
+func BenchmarkFig4kReplicationHistogramTable(b *testing.B) { benchFigure(b, "E11") }
 
-func BenchmarkFig4kReplicationHistogramTable(b *testing.B) {
-	benchFigure(b, experiments.Fig4kReplicationHistogramTable, func(t *experiments.Table) (string, float64) {
-		return "tpch_allnodes", lastOf(t, "TPC-H")
-	})
-}
+func BenchmarkFig4lReplicationHistogramColumn(b *testing.B) { benchFigure(b, "E12") }
 
-func BenchmarkFig4lReplicationHistogramColumn(b *testing.B) {
-	benchFigure(b, experiments.Fig4lReplicationHistogramColumn, func(t *experiments.Table) (string, float64) {
-		s := t.Get("TPC-H")
-		if s == nil || len(s.Y) == 0 {
-			return "tpch_single", 0
-		}
-		return "tpch_single", s.Y[0]
-	})
-}
+func BenchmarkFig5aAutoscaleNodes(b *testing.B) { benchFigure(b, "E13") }
 
-func BenchmarkFig5aAutoscaleNodes(b *testing.B) {
-	benchFigure(b, experiments.Fig5aAutoscaleNodes, func(t *experiments.Table) (string, float64) {
-		s := t.Get("active nodes")
-		peak := 0.0
-		for _, v := range s.Y {
-			if v > peak {
-				peak = v
-			}
-		}
-		return "peak_nodes", peak
-	})
-}
+func BenchmarkFig5bAutoscaleLatency(b *testing.B) { benchFigure(b, "E14") }
 
-func BenchmarkFig5bAutoscaleLatency(b *testing.B) {
-	benchFigure(b, experiments.Fig5bAutoscaleLatency, func(t *experiments.Table) (string, float64) {
-		s := t.Get("with scaling")
-		sum := 0.0
-		for _, v := range s.Y {
-			sum += v
-		}
-		return "avg_ms", sum / float64(len(s.Y))
-	})
-}
+func BenchmarkFig6ClassDistribution(b *testing.B) { benchFigure(b, "E15") }
 
-func BenchmarkFig6ClassDistribution(b *testing.B) {
-	benchFigure(b, experiments.Fig6ClassDistribution, func(t *experiments.Table) (string, float64) {
-		return "classes", float64(len(t.Series))
-	})
-}
+func BenchmarkSpeedupModel(b *testing.B) { benchFigure(b, "E18") }
 
-func BenchmarkSpeedupModel(b *testing.B) {
-	benchFigure(b, experiments.SpeedupModelTable, func(t *experiments.Table) (string, float64) {
-		return "partial_bound", lastOf(t, "partial bound")
-	})
-}
+func BenchmarkRobustness(b *testing.B) { benchFigure(b, "E19") }
 
-func BenchmarkRobustness(b *testing.B) {
-	benchFigure(b, experiments.RobustnessTable, func(t *experiments.Table) (string, float64) {
-		s := t.Get("speedup")
-		return "speedup_at_27", s.Y[2]
-	})
-}
+func BenchmarkKSafety(b *testing.B) { benchFigure(b, "E20") }
 
-func BenchmarkKSafety(b *testing.B) {
-	benchFigure(b, experiments.KSafetyTable, func(t *experiments.Table) (string, float64) {
-		return "tpch_repl_k2", lastOf(t, "TPC-H replication")
-	})
-}
+func BenchmarkAblationSolvers(b *testing.B) { benchFigure(b, "A1") }
 
-func BenchmarkAblationSolvers(b *testing.B) {
-	benchFigure(b, experiments.AblationSolvers, func(t *experiments.Table) (string, float64) {
-		return "memetic_scale", lastOf(t, "memetic scale")
-	})
-}
+func BenchmarkAblationGranularity(b *testing.B) { benchFigure(b, "A2") }
 
-func BenchmarkAblationGranularity(b *testing.B) {
-	benchFigure(b, experiments.AblationGranularity, func(t *experiments.Table) (string, float64) {
-		return "column_classes", lastOf(t, "classes")
-	})
-}
+func BenchmarkAblationScheduler(b *testing.B) { benchFigure(b, "A3") }
 
-func BenchmarkAblationScheduler(b *testing.B) {
-	benchFigure(b, experiments.AblationScheduler, func(t *experiments.Table) (string, float64) {
-		return "lp_qps", lastOf(t, "least-pending")
-	})
-}
+func BenchmarkAblationMatching(b *testing.B) { benchFigure(b, "A4") }
 
-func BenchmarkAblationMatching(b *testing.B) {
-	benchFigure(b, experiments.AblationMatching, func(t *experiments.Table) (string, float64) {
-		return "hungarian_moved", lastOf(t, "hungarian")
-	})
-}
-
-func BenchmarkClusterSmoke(b *testing.B) {
-	benchFigure(b, experiments.ClusterSmoke, func(t *experiments.Table) (string, float64) {
-		return "real_rps", lastOf(t, "table-based")
-	})
-}
+func BenchmarkClusterSmoke(b *testing.B) { benchFigure(b, "E21") }
 
 // BenchmarkSection3Example and BenchmarkAppendixAExample time the
 // greedy allocator on the paper's worked examples (E16/E17).
@@ -358,20 +241,8 @@ func BenchmarkSqlminiJoinAggregate(b *testing.B) {
 	}
 }
 
-func BenchmarkDriftDetection(b *testing.B) {
-	benchFigure(b, experiments.DriftDetection, func(t *experiments.Table) (string, float64) {
-		return "mismatch_triggers", lastOf(t, "night-only allocation")
-	})
-}
+func BenchmarkDriftDetection(b *testing.B) { benchFigure(b, "E22") }
 
-func BenchmarkAblationHorizontal(b *testing.B) {
-	benchFigure(b, experiments.AblationHorizontal, func(t *experiments.Table) (string, float64) {
-		return "horizontal_degree", lastOf(t, "horizontal")
-	})
-}
+func BenchmarkAblationHorizontal(b *testing.B) { benchFigure(b, "A5") }
 
-func BenchmarkAblationHeterogeneity(b *testing.B) {
-	benchFigure(b, experiments.AblationHeterogeneity, func(t *experiments.Table) (string, float64) {
-		return "aware_rps", lastOf(t, "aware (Eq. 7 loads)")
-	})
-}
+func BenchmarkAblationHeterogeneity(b *testing.B) { benchFigure(b, "A6") }

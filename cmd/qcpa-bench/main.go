@@ -1,5 +1,6 @@
 // Command qcpa-bench regenerates the paper's evaluation tables and
-// figures (Section 4 and Section 5) as text tables.
+// figures (Section 4 and Section 5) as text tables, and records
+// machine-readable perf baselines.
 //
 // Usage:
 //
@@ -7,8 +8,10 @@
 //	qcpa-bench -quick          # small, fast configuration
 //	qcpa-bench -run E01,E06    # selected experiments only
 //	qcpa-bench -backends 10 -runs 10 -requests 8000
+//	qcpa-bench -quick -json    # write BENCH_<date>.json (wall time +
+//	                           # headline per figure, ns/op micros)
 //
-// Experiment ids follow DESIGN.md (E01..E21 figures, A1..A4 ablations).
+// Experiment ids follow DESIGN.md (E01..E22 figures, A1..A6 ablations).
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"qcpa/internal/bench"
 	"qcpa/internal/experiments"
 )
 
@@ -30,6 +34,8 @@ func main() {
 		requests = flag.Int("requests", 0, "simulated requests per measurement (default 4000)")
 		optMax   = flag.Int("optimal-max", 0, "largest cluster for the MILP sweep (default 4)")
 		seed     = flag.Int64("seed", 1, "base RNG seed")
+		jsonOut  = flag.Bool("json", false, "write a machine-readable perf baseline instead of text tables")
+		outPath  = flag.String("out", "", "baseline file path (default BENCH_<date>.json)")
 	)
 	flag.Parse()
 
@@ -51,17 +57,25 @@ func main() {
 		opts.OptimalMaxBackends = *optMax
 	}
 
-	want := map[string]bool{}
-	all := strings.EqualFold(*runList, "all")
-	if !all {
+	var want map[string]bool
+	if !strings.EqualFold(*runList, "all") {
+		want = map[string]bool{}
 		for _, id := range strings.Split(*runList, ",") {
 			want[strings.ToUpper(strings.TrimSpace(id))] = true
 		}
 	}
 
+	if *jsonOut {
+		if err := writeBaseline(opts, want, *quick, *outPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	ran := 0
 	for _, e := range experiments.AllExperiments() {
-		if !all && !want[e.ID] {
+		if want != nil && !want[e.ID] {
 			continue
 		}
 		start := time.Now()
@@ -82,4 +96,26 @@ func main() {
 		fmt.Fprintln(os.Stderr)
 		os.Exit(2)
 	}
+}
+
+// writeBaseline runs the selected figures plus the component
+// microbenchmarks and writes the BENCH_<date>.json baseline. Progress
+// goes to stderr so the file path on stdout stays scriptable.
+func writeBaseline(opts experiments.Options, want map[string]bool, quick bool, path string) error {
+	date := time.Now().Format("2006-01-02")
+	if path == "" {
+		path = "BENCH_" + date + ".json"
+	}
+	report := bench.NewReport(date, quick, opts.WithDefaults())
+	figs, err := bench.RunFigures(opts, want, os.Stderr)
+	if err != nil {
+		return err
+	}
+	report.Figures = figs
+	report.Micro = bench.RunMicro(os.Stderr)
+	if err := report.Write(path); err != nil {
+		return err
+	}
+	fmt.Println(path)
+	return nil
 }

@@ -1,0 +1,53 @@
+// Solver determinism at the workload scale: the parallel memetic solver
+// must produce bit-identical allocations regardless of its worker
+// count. This is the integration-level companion of the property tests
+// in internal/core — same TPC-App table-based classification as
+// BenchmarkMemeticTPCAppTable5.
+package qcpa
+
+import (
+	"reflect"
+	"testing"
+
+	"qcpa/internal/classify"
+	"qcpa/internal/core"
+	"qcpa/internal/workload/tpcapp"
+)
+
+func TestMemeticParallelDeterminismTPCApp(t *testing.T) {
+	mix, err := tpcapp.Mix(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := classify.Classify(mix.Journal(50000), tpcapp.Schema(),
+		classify.Options{Strategy: classify.TableBased, RowCounts: tpcapp.RowCounts(300)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := core.UniformBackends(5)
+	run := func(parallelism int) *core.Allocation {
+		a, err := core.Memetic(res.Classification, bs, core.MemeticOptions{
+			Iterations:  8,
+			Seed:        3,
+			Parallelism: parallelism,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	seq := run(1)
+	par := run(8)
+	if core.CostOf(seq) != core.CostOf(par) {
+		t.Fatalf("cost differs: sequential %+v, parallel %+v", core.CostOf(seq), core.CostOf(par))
+	}
+	if !reflect.DeepEqual(seq.AllocationMatrix(), par.AllocationMatrix()) {
+		t.Fatal("allocation matrices differ between Parallelism 1 and 8")
+	}
+	if !reflect.DeepEqual(seq.LoadMatrix(), par.LoadMatrix()) {
+		t.Fatal("load matrices differ between Parallelism 1 and 8")
+	}
+}

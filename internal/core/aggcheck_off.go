@@ -1,0 +1,9 @@
+//go:build !qcpaaggcheck
+
+package core
+
+// aggCheck gates the debug cross-check of the incremental cost
+// aggregates against a full recompute (see CheckAggregates). It is off
+// in normal builds; `go test -tags qcpaaggcheck ./internal/core/`
+// verifies the invariants on every Scale/TotalDataSize call.
+const aggCheck = false

@@ -1,0 +1,8 @@
+//go:build qcpaaggcheck
+
+package core
+
+// aggCheck is enabled by the qcpaaggcheck build tag: every call to
+// Scale or TotalDataSize cross-checks the incremental aggregates
+// against a full recompute and panics on divergence.
+const aggCheck = true

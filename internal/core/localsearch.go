@@ -6,13 +6,18 @@ import "math/rand"
 // local-search strategies of Section 3.3 (Eqs. 21-26) followed by exact
 // read re-balancing. It returns whether the allocation improved.
 func localImprove(a *Allocation, rng *rand.Rand) bool {
+	// One scratch allocation serves every trial move of this improvement
+	// run; tryShift/tryEvacuateUpdate overwrite it per probe instead of
+	// cloning, which removes the map-allocation churn that dominated the
+	// solver's profile.
+	sc := a.Clone()
 	improved := false
 	for pass := 0; pass < 4; pass++ {
 		changed := false
-		if shiftCommonPairs(a) {
+		if shiftCommonPairs(a, sc) {
 			changed = true
 		}
-		if reduceHeavyUpdateReplication(a) {
+		if reduceHeavyUpdateReplication(a, sc) {
 			changed = true
 		}
 		before := CostOf(a)
@@ -38,9 +43,9 @@ func localImprove(a *Allocation, rng *rand.Rand) bool {
 // is evaluated against the cost function and kept only on improvement.
 // Complexity is O(|C_Q|² × |B|²) over the candidate space, matching the
 // paper's O(|Q|² × |B|) per backend pair.
-func shiftCommonPairs(a *Allocation) bool {
-	cls := a.Classification()
-	reads := cls.Reads()
+func shiftCommonPairs(a *Allocation, sc *Allocation) bool {
+	ly := a.ly
+	reads := ly.reads
 	improved := false
 	for b1 := 0; b1 < a.NumBackends(); b1++ {
 		for b2 := 0; b2 < a.NumBackends(); b2++ {
@@ -50,7 +55,7 @@ func shiftCommonPairs(a *Allocation) bool {
 			// Common read classes (Eq. 21 requires at least two).
 			var common []*Class
 			for _, c := range reads {
-				if a.Assign(b1, c.Name) > Eps && a.Assign(b2, c.Name) > Eps {
+				if a.assign[b1][c.pos] > Eps && a.assign[b2][c.pos] > Eps {
 					common = append(common, c)
 				}
 			}
@@ -60,10 +65,10 @@ func shiftCommonPairs(a *Allocation) bool {
 			for i := 0; i < len(common); i++ {
 				for j := i + 1; j < len(common); j++ {
 					c1, c2 := common[i], common[j]
-					if sameUpdateSets(cls, c1, c2) {
+					if sameUpdateSets(ly, c1, c2) {
 						continue // Eq. 22: update sets must differ
 					}
-					if tryShift(a, c1, c2, b1, b2) {
+					if tryShift(a, sc, c1, c2, b1, b2) {
 						improved = true
 					}
 				}
@@ -74,19 +79,16 @@ func shiftCommonPairs(a *Allocation) bool {
 }
 
 // sameUpdateSets reports whether two classes have identical update sets
-// (Eq. 12).
-func sameUpdateSets(cls *Classification, c1, c2 *Class) bool {
-	u1 := cls.UpdatesFor(c1)
-	u2 := cls.UpdatesFor(c2)
+// (Eq. 12). The layout's precomputed per-class update lists are sorted
+// by construction, so this is a plain element-wise comparison.
+func sameUpdateSets(ly *layout, c1, c2 *Class) bool {
+	u1 := ly.classUpd[c1.pos]
+	u2 := ly.classUpd[c2.pos]
 	if len(u1) != len(u2) {
 		return false
 	}
-	names := make(map[string]bool, len(u1))
-	for _, u := range u1 {
-		names[u.Name] = true
-	}
-	for _, u := range u2 {
-		if !names[u.Name] {
+	for i := range u1 {
+		if u1[i] != u2[i] {
 			return false
 		}
 	}
@@ -95,25 +97,25 @@ func sameUpdateSets(cls *Classification, c1, c2 *Class) bool {
 
 // tryShift concentrates c1 on b1 and c2 on b2 by exchanging equal
 // weight, prunes both backends, and keeps the move only if the cost
-// improves.
-func tryShift(a *Allocation, c1, c2 *Class, b1, b2 int) bool {
-	d := a.Assign(b2, c1.Name)
-	if w := a.Assign(b1, c2.Name); w < d {
+// improves. The trial runs on the caller-owned scratch allocation sc.
+func tryShift(a, sc *Allocation, c1, c2 *Class, b1, b2 int) bool {
+	d := a.assign[b2][c1.pos]
+	if w := a.assign[b1][c2.pos]; w < d {
 		d = w
 	}
 	if d <= Eps {
 		return false
 	}
 	before := CostOf(a)
-	trial := a.Clone()
-	trial.AddAssign(b1, c1.Name, d)
-	trial.AddAssign(b2, c1.Name, -d)
-	trial.AddAssign(b2, c2.Name, d)
-	trial.AddAssign(b1, c2.Name, -d)
-	pruneBackend(trial, b1)
-	pruneBackend(trial, b2)
-	if CostOf(trial).Less(before) && trial.Validate() == nil {
-		*a = *trial
+	sc.CopyFrom(a)
+	sc.addAssignPos(b1, c1.pos, d)
+	sc.addAssignPos(b2, c1.pos, -d)
+	sc.addAssignPos(b2, c2.pos, d)
+	sc.addAssignPos(b1, c2.pos, -d)
+	pruneBackend(sc, b1)
+	pruneBackend(sc, b2)
+	if CostOf(sc).Less(before) && sc.Validate() == nil {
+		a.CopyFrom(sc)
 		return true
 	}
 	return false
@@ -126,14 +128,13 @@ func tryShift(a *Allocation, c1, c2 *Class, b1, b2 int) bool {
 // fit) so the heavy replica can be dropped — accepting that the lighter
 // class may become replicated instead (Eq. 26 demands a net win, which
 // the cost comparison enforces exactly).
-func reduceHeavyUpdateReplication(a *Allocation) bool {
-	cls := a.Classification()
+func reduceHeavyUpdateReplication(a *Allocation, sc *Allocation) bool {
 	improved := false
-	for _, u1 := range cls.Updates() {
+	for _, u1 := range a.ly.updates {
 		// Backends replicating u1.
 		var reps []int
 		for b := 0; b < a.NumBackends(); b++ {
-			if a.Assign(b, u1.Name) > 0 {
+			if a.assign[b][u1.pos] > 0 {
 				reps = append(reps, b)
 			}
 		}
@@ -143,7 +144,7 @@ func reduceHeavyUpdateReplication(a *Allocation) bool {
 		// Try to evacuate the replica whose tied read weight is
 		// smallest.
 		for _, b1 := range reps {
-			if tryEvacuateUpdate(a, u1, b1, reps) {
+			if tryEvacuateUpdate(a, sc, u1, b1, reps) {
 				improved = true
 				break
 			}
@@ -154,9 +155,10 @@ func reduceHeavyUpdateReplication(a *Allocation) bool {
 
 // tryEvacuateUpdate moves every read share on b1 that references data of
 // update class u1 to the other backends replicating u1, then prunes b1.
-// The move is kept only if the cost improves.
-func tryEvacuateUpdate(a *Allocation, u1 *Class, b1 int, reps []int) bool {
-	cls := a.Classification()
+// The move is kept only if the cost improves. The trial runs on the
+// caller-owned scratch allocation sc.
+func tryEvacuateUpdate(a, sc *Allocation, u1 *Class, b1 int, reps []int) bool {
+	reads := a.ly.reads
 	var targets []int
 	for _, b := range reps {
 		if b != b1 {
@@ -166,12 +168,23 @@ func tryEvacuateUpdate(a *Allocation, u1 *Class, b1 int, reps []int) bool {
 	if len(targets) == 0 {
 		return false
 	}
+	// Cheap no-op check before paying for the scratch copy: the move only
+	// does anything if b1 carries a read share tied to u1's data.
+	any := false
+	for _, c := range reads {
+		if a.assign[b1][c.pos] > Eps && c.Overlaps(u1) {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return false
+	}
 	before := CostOf(a)
-	trial := a.Clone()
-	moved := false
+	sc.CopyFrom(a)
 	ti := 0
-	for _, c := range cls.Reads() {
-		w := trial.Assign(b1, c.Name)
+	for _, c := range reads {
+		w := sc.assign[b1][c.pos]
 		if w <= Eps || !c.Overlaps(u1) {
 			continue
 		}
@@ -180,21 +193,17 @@ func tryEvacuateUpdate(a *Allocation, u1 *Class, b1 int, reps []int) bool {
 		// cost comparison vetoes bad ideas).
 		to := targets[ti%len(targets)]
 		ti++
-		installClass(trial, to, c)
-		trial.AddAssign(to, c.Name, w)
-		trial.SetAssign(b1, c.Name, 0)
-		moved = true
+		installClass(sc, to, c)
+		sc.addAssignPos(to, c.pos, w)
+		sc.setAssignPos(b1, c.pos, 0)
 	}
-	if !moved {
-		return false
-	}
-	pruneBackend(trial, b1)
+	pruneBackend(sc, b1)
 	// Rebalance to give the move its best chance.
-	if err := RebalanceReads(trial); err != nil {
+	if err := RebalanceReads(sc); err != nil {
 		return false
 	}
-	if CostOf(trial).Less(before) && trial.Validate() == nil {
-		*a = *trial
+	if CostOf(sc).Less(before) && sc.Validate() == nil {
+		a.CopyFrom(sc)
 		return true
 	}
 	return false

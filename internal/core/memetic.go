@@ -4,7 +4,10 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
+
+	"qcpa/internal/par"
 )
 
 // Cost is the lexicographic objective of the allocation problem:
@@ -36,6 +39,12 @@ type MemeticOptions struct {
 	Iterations int
 	// Seed makes the run deterministic (default 1).
 	Seed int64
+	// Parallelism is the number of worker goroutines mutating and
+	// locally improving individuals (0 = GOMAXPROCS, 1 = the sequential
+	// reference path). Every individual draws from its own rand.Rand
+	// seeded from (Seed, iteration, index) and selection stays on the
+	// coordinator, so the result is bit-identical for every value.
+	Parallelism int
 	// DisableLocalSearch turns the memetic algorithm into a plain
 	// evolutionary program (no improvement step), for ablations.
 	DisableLocalSearch bool
@@ -51,7 +60,43 @@ func (o MemeticOptions) withDefaults() MemeticOptions {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	if o.Parallelism == 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
 	return o
+}
+
+// mixSeed derives the RNG seed of one individual from the run seed, the
+// iteration, and the individual's index, using splitmix64-style mixing
+// so neighbouring (iteration, index) pairs get uncorrelated streams.
+func mixSeed(seed int64, it, idx int) int64 {
+	z := uint64(seed) ^ 0x9e3779b97f4a7c15*uint64(it+1) ^ 0xbf58476d1ce4e5b9*uint64(idx+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// splitmix is a rand.Source64 with O(1) seeding for the per-individual
+// RNG streams. The stdlib rngSource generates ~600 feedback values on
+// every Seed, which dominated the solver profile once each offspring
+// attempt drew its own stream; splitmix64 passes BigCrush and costs one
+// multiply-xor chain per value.
+type splitmix struct{ s uint64 }
+
+func (s *splitmix) Uint64() uint64 {
+	s.s += 0x9e3779b97f4a7c15
+	z := s.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *splitmix) Int63() int64    { return int64(s.Uint64() >> 1) }
+func (s *splitmix) Seed(seed int64) { s.s = uint64(seed) }
+
+// newStream returns a rand.Rand over a fresh splitmix stream.
+func newStream(seed int64) *rand.Rand {
+	return rand.New(&splitmix{s: uint64(seed)})
 }
 
 // Memetic improves an allocation with the hybrid evolutionary strategy
@@ -98,27 +143,48 @@ func MemeticFrom(init *Allocation, opts MemeticOptions) (*Allocation, error) {
 	}
 
 	for it := 0; it < opts.Iterations; it++ {
-		// Mutation: p offspring, each from a single random parent. The
-		// attempt budget guards against degenerate populations whose
-		// mutations cannot change anything.
+		// Mutation: p offspring, each from a single random parent,
+		// produced in batches on the worker pool. The coordinator draws
+		// every parent index before a batch starts and each attempt
+		// mutates with its own (Seed, iteration, attempt)-derived RNG,
+		// so the offspring sequence is a pure function of the options —
+		// the worker count only changes wall-clock time. The attempt
+		// budget guards against degenerate populations whose mutations
+		// cannot change anything.
+		budget := 20 * opts.Population
 		offspring := make([]scored, 0, opts.Population)
-		for attempts := 0; len(offspring) < opts.Population && attempts < 20*opts.Population; attempts++ {
-			parent := pop[rng.Intn(len(pop))]
-			child := parent.a.Clone()
-			n := 1 + rng.Intn(3)
-			changed := false
-			for i := 0; i < n; i++ {
-				if mutate(child, rng) {
-					changed = true
+		for attempt := 0; len(offspring) < opts.Population && attempt < budget; {
+			batch := opts.Population - len(offspring)
+			if batch > budget-attempt {
+				batch = budget - attempt
+			}
+			parents := make([]*Allocation, batch)
+			seeds := make([]int64, batch)
+			for i := 0; i < batch; i++ {
+				parents[i] = pop[rng.Intn(len(pop))].a
+				seeds[i] = mixSeed(opts.Seed, it, attempt+i)
+			}
+			results := make([]*Allocation, batch)
+			par.For(opts.Parallelism, batch, func(i int) {
+				crng := newStream(seeds[i])
+				child := parents[i].Clone()
+				n := 1 + crng.Intn(3)
+				changed := false
+				for k := 0; k < n; k++ {
+					if mutate(child, crng) {
+						changed = true
+					}
+				}
+				if changed && child.Validate() == nil {
+					results[i] = child
+				}
+			})
+			for _, child := range results {
+				if child != nil && len(offspring) < opts.Population {
+					offspring = append(offspring, scored{child, CostOf(child)})
 				}
 			}
-			if !changed {
-				continue
-			}
-			if child.Validate() != nil {
-				continue // defensive: discard invalid mutants
-			}
-			offspring = append(offspring, scored{child, CostOf(child)})
+			attempt += batch
 		}
 		// Selection: best 2/3 of the old population, best 1/3 of the
 		// offspring.
@@ -137,16 +203,24 @@ func MemeticFrom(init *Allocation, opts MemeticOptions) (*Allocation, error) {
 		next = append(next, offspring[:keepNew]...)
 		pop = next
 
-		// Improvement: local search on a random third of the population.
+		// Improvement: local search on a random third of the population,
+		// also fanned out — each chosen individual is improved on a
+		// private clone and swapped in by the coordinator afterwards.
 		if !opts.DisableLocalSearch {
 			k := (len(pop) + 2) / 3
 			perm := rng.Perm(len(pop))
-			for _, idx := range perm[:k] {
-				improved := pop[idx].a.Clone()
-				if localImprove(improved, rng) {
-					if improved.Validate() == nil {
-						pop[idx] = scored{improved, CostOf(improved)}
-					}
+			chosen := perm[:k]
+			improved := make([]*Allocation, len(chosen))
+			par.For(opts.Parallelism, len(chosen), func(i int) {
+				irng := newStream(mixSeed(opts.Seed, it, budget+i))
+				cand := pop[chosen[i]].a.Clone()
+				if localImprove(cand, irng) && cand.Validate() == nil {
+					improved[i] = cand
+				}
+			})
+			for i, cand := range improved {
+				if cand != nil {
+					pop[chosen[i]] = scored{cand, CostOf(cand)}
 				}
 			}
 		}
@@ -184,7 +258,7 @@ func readPlacements(a *Allocation) [][2]int {
 			continue
 		}
 		for b := 0; b < a.NumBackends(); b++ {
-			if a.Assign(b, c.Name) > Eps {
+			if a.assign[b][c.pos] > Eps {
 				out = append(out, [2]int{ci, b})
 			}
 		}
@@ -207,7 +281,7 @@ func mutateMoveRead(a *Allocation, rng *rand.Rand, half bool) bool {
 	if to >= from {
 		to++
 	}
-	w := a.Assign(from, c.Name)
+	w := a.assign[from][c.pos]
 	if half {
 		w /= 2
 	}
@@ -215,8 +289,8 @@ func mutateMoveRead(a *Allocation, rng *rand.Rand, half bool) bool {
 		return false
 	}
 	installClass(a, to, c)
-	a.AddAssign(to, c.Name, w)
-	a.AddAssign(from, c.Name, -w)
+	a.addAssignPos(to, c.pos, w)
+	a.addAssignPos(from, c.pos, -w)
 	pruneBackend(a, from)
 	return true
 }
@@ -235,61 +309,73 @@ func mutateSwapReads(a *Allocation, rng *rand.Rand) bool {
 	}
 	cls := a.Classification()
 	c1, c2 := cls.Classes()[p1[0]], cls.Classes()[p2[0]]
-	w1, w2 := a.Assign(p1[1], c1.Name), a.Assign(p2[1], c2.Name)
+	w1, w2 := a.assign[p1[1]][c1.pos], a.assign[p2[1]][c2.pos]
 	w := math.Min(w1, w2)
 	if w <= Eps {
 		return false
 	}
 	installClass(a, p2[1], c1)
 	installClass(a, p1[1], c2)
-	a.AddAssign(p2[1], c1.Name, w)
-	a.AddAssign(p1[1], c1.Name, -w)
-	a.AddAssign(p1[1], c2.Name, w)
-	a.AddAssign(p2[1], c2.Name, -w)
+	a.addAssignPos(p2[1], c1.pos, w)
+	a.addAssignPos(p1[1], c1.pos, -w)
+	a.addAssignPos(p1[1], c2.pos, w)
+	a.addAssignPos(p2[1], c2.pos, -w)
 	pruneBackend(a, p1[1])
 	pruneBackend(a, p2[1])
 	return true
 }
 
-// installClass places the fragments of c and its transitive update
-// closure on backend b and assigns the update classes there (Eq. 10).
-func installClass(a *Allocation, b int, c *Class) {
-	cls := a.Classification()
-	fragSet := make(map[FragmentID]struct{})
-	for _, f := range c.Fragments() {
-		fragSet[f] = struct{}{}
-	}
-	assigned := make(map[string]bool)
+// updateClosureInto marks, in need (indexed by fragment) and hit
+// (indexed by position in ly.updates), the transitive closure of update
+// classes overlapping the already-marked fragments, folding their
+// fragments into need as it goes. Both scratch slices must be pre-sized
+// to the layout.
+func updateClosureInto(ly *layout, need []bool, hit []bool) {
 	for changed := true; changed; {
 		changed = false
-		for _, u := range cls.Updates() {
-			if assigned[u.Name] {
+		for ui, u := range ly.updates {
+			if hit[ui] {
 				continue
 			}
 			overlap := false
-			for _, f := range u.Fragments() {
-				if _, ok := fragSet[f]; ok {
+			for _, i := range ly.classFrag[u.pos] {
+				if need[i] {
 					overlap = true
 					break
 				}
 			}
 			if overlap {
-				assigned[u.Name] = true
-				for _, f := range u.Fragments() {
-					fragSet[f] = struct{}{}
+				hit[ui] = true
+				for _, i := range ly.classFrag[u.pos] {
+					need[i] = true
 				}
 				changed = true
 			}
 		}
 	}
-	frags := make([]FragmentID, 0, len(fragSet))
-	for f := range fragSet {
-		frags = append(frags, f)
+}
+
+// installClass places the fragments of c and its transitive update
+// closure on backend b and assigns the update classes there (Eq. 10).
+// Fragments and assignments are installed in dense index order, so the
+// result is independent of any map iteration order.
+func installClass(a *Allocation, b int, c *Class) {
+	ly := a.ly
+	need := make([]bool, len(ly.fragIDs))
+	for _, i := range ly.classFrag[c.pos] {
+		need[i] = true
 	}
-	a.AddFragments(b, frags...)
-	for name := range assigned {
-		u := cls.Class(name)
-		a.SetAssign(b, name, u.Weight)
+	hit := make([]bool, len(ly.updates))
+	updateClosureInto(ly, need, hit)
+	for i, n := range need {
+		if n {
+			a.addFragIdx(b, i)
+		}
+	}
+	for ui, u := range ly.updates {
+		if hit[ui] {
+			a.setAssignPos(b, u.pos, u.Weight)
+		}
 	}
 }
 
@@ -299,73 +385,52 @@ func installClass(a *Allocation, b int, c *Class) {
 // elsewhere, and fragments are only removed when no assigned class
 // references them.
 func pruneBackend(a *Allocation, b int) {
-	cls := a.Classification()
+	ly := a.ly
 
-	// Fragments needed by the read shares on b (with update closure).
-	needed := make(map[FragmentID]struct{})
-	for _, c := range cls.Reads() {
-		if a.Assign(b, c.Name) > Eps {
-			for _, f := range c.Fragments() {
-				needed[f] = struct{}{}
+	// Fragments needed by the read shares on b, with the transitive
+	// closure over update classes touching needed data.
+	needed := make([]bool, len(ly.fragIDs))
+	for _, c := range ly.reads {
+		if a.assign[b][c.pos] > Eps {
+			for _, i := range ly.classFrag[c.pos] {
+				needed[i] = true
 			}
 		}
 	}
-	// Transitive closure over update classes touching needed data.
-	keepUpdates := make(map[string]bool)
-	for changed := true; changed; {
-		changed = false
-		for _, u := range cls.Updates() {
-			if keepUpdates[u.Name] {
-				continue
-			}
-			overlap := false
-			for _, f := range u.Fragments() {
-				if _, ok := needed[f]; ok {
-					overlap = true
-					break
-				}
-			}
-			if overlap {
-				keepUpdates[u.Name] = true
-				for _, f := range u.Fragments() {
-					needed[f] = struct{}{}
-				}
-				changed = true
-			}
-		}
-	}
+	keep := make([]bool, len(ly.updates))
+	updateClosureInto(ly, needed, keep)
 	// Updates with no read dependency on b: droppable only with another
 	// replica elsewhere.
-	for _, u := range cls.Updates() {
-		if keepUpdates[u.Name] || a.Assign(b, u.Name) <= 0 {
+	for ui, u := range ly.updates {
+		if keep[ui] || a.assign[b][u.pos] <= 0 {
 			continue
 		}
 		elsewhere := false
 		for ob := 0; ob < a.NumBackends(); ob++ {
-			if ob != b && a.Assign(ob, u.Name) > 0 {
+			if ob != b && a.assign[ob][u.pos] > 0 {
 				elsewhere = true
 				break
 			}
 		}
 		if elsewhere {
-			a.SetAssign(b, u.Name, 0)
+			a.setAssignPos(b, u.pos, 0)
 		} else {
-			keepUpdates[u.Name] = true
-			for _, f := range u.Fragments() {
-				needed[f] = struct{}{}
+			keep[ui] = true
+			for _, i := range ly.classFrag[u.pos] {
+				needed[i] = true
 			}
 		}
 	}
 	// Zero read assignments that fell below tolerance.
-	for _, c := range cls.Reads() {
-		if w := a.Assign(b, c.Name); w > 0 && w <= Eps {
-			a.SetAssign(b, c.Name, 0)
+	for _, c := range ly.reads {
+		if w := a.assign[b][c.pos]; w > 0 && w <= Eps {
+			a.setAssignPos(b, c.pos, 0)
 		}
 	}
-	// Drop unneeded fragments.
-	for _, f := range a.Fragments(b) {
-		if _, ok := needed[f]; !ok {
-			a.RemoveFragment(b, f)
+	// Drop unneeded fragments (in index order, i.e. sorted ID order).
+	for i, stored := range a.frags[b] {
+		if stored && !needed[i] {
+			a.removeFragIdx(b, i)
 		}
 	}
 }

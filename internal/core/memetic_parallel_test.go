@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// runMemetic solves one instance at the given parallelism and returns
+// everything a determinism comparison needs.
+func runMemetic(t *testing.T, cls *Classification, backends []Backend, parallelism int) (Cost, [][]int, [][]float64) {
+	t.Helper()
+	a, err := Memetic(cls, backends, MemeticOptions{
+		Population:  8,
+		Iterations:  12,
+		Seed:        7,
+		Parallelism: parallelism,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return CostOf(a), a.AllocationMatrix(), a.LoadMatrix()
+}
+
+// TestMemeticParallelismBitIdentical: the solver is a pure function of
+// MemeticOptions — the worker count must not change the result in any
+// bit. Checked on the paper's update-aware example and on random
+// classifications.
+func TestMemeticParallelismBitIdentical(t *testing.T) {
+	type instance struct {
+		cls      *Classification
+		backends []Backend
+	}
+	instances := []instance{
+		{appendixAClassification(), UniformBackends(4)},
+		{section3Classification(), UniformBackends(3)},
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 4; i++ {
+		instances = append(instances, instance{randomClassification(rng), UniformBackends(2 + rng.Intn(4))})
+	}
+	for i, inst := range instances {
+		refCost, refAlloc, refLoad := runMemetic(t, inst.cls, inst.backends, 1)
+		for _, p := range []int{2, 3, 8} {
+			cost, alloc, load := runMemetic(t, inst.cls, inst.backends, p)
+			if cost != refCost {
+				t.Errorf("instance %d: parallelism %d cost %+v, sequential %+v", i, p, cost, refCost)
+			}
+			if !reflect.DeepEqual(alloc, refAlloc) {
+				t.Errorf("instance %d: parallelism %d allocation matrix differs from sequential", i, p)
+			}
+			if !reflect.DeepEqual(load, refLoad) {
+				t.Errorf("instance %d: parallelism %d load matrix differs from sequential", i, p)
+			}
+		}
+	}
+}
+
+// TestMemeticSameSeedSameResult: repeated runs with identical options
+// are bit-identical (no hidden global state, no map-order dependence).
+func TestMemeticSameSeedSameResult(t *testing.T) {
+	cls := appendixAClassification()
+	backends := UniformBackends(4)
+	c1, a1, l1 := runMemetic(t, cls, backends, 0)
+	c2, a2, l2 := runMemetic(t, cls, backends, 0)
+	if c1 != c2 || !reflect.DeepEqual(a1, a2) || !reflect.DeepEqual(l1, l2) {
+		t.Fatal("two runs with identical options diverged")
+	}
+}
+
+// TestCopyFromMatchesClone: the scratch-reuse path must reproduce a
+// fresh clone exactly, aggregates included.
+func TestCopyFromMatchesClone(t *testing.T) {
+	cls := appendixAClassification()
+	a, err := Greedy(cls, UniformBackends(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewAllocation(cls, a.Backends())
+	sc.AddFragments(0, "A", "B", "C")
+	sc.SetAssign(0, "Q1", 0.1)
+	sc.CopyFrom(a)
+	if err := sc.CheckAggregates(); err != nil {
+		t.Fatal(err)
+	}
+	if CostOf(sc) != CostOf(a) {
+		t.Fatalf("scratch cost %+v, original %+v", CostOf(sc), CostOf(a))
+	}
+	if !reflect.DeepEqual(sc.AllocationMatrix(), a.AllocationMatrix()) {
+		t.Fatal("scratch allocation matrix differs")
+	}
+	if !reflect.DeepEqual(sc.LoadMatrix(), a.LoadMatrix()) {
+		t.Fatal("scratch load matrix differs")
+	}
+}
+
+// TestAggregatesSurviveMutationStorm: a long random walk over every
+// mutator keeps the incremental aggregates in sync with a full
+// recompute.
+func TestAggregatesSurviveMutationStorm(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for round := 0; round < 20; round++ {
+		cls := randomClassification(rng)
+		a := NewAllocation(cls, UniformBackends(2+rng.Intn(4)))
+		frags := cls.Fragments()
+		classes := cls.Classes()
+		for step := 0; step < 300; step++ {
+			b := rng.Intn(a.NumBackends())
+			switch rng.Intn(4) {
+			case 0:
+				a.AddFragments(b, frags[rng.Intn(len(frags))].ID)
+			case 1:
+				a.RemoveFragment(b, frags[rng.Intn(len(frags))].ID)
+			case 2:
+				a.SetAssign(b, classes[rng.Intn(len(classes))].Name, rng.Float64())
+			default:
+				a.AddAssign(b, classes[rng.Intn(len(classes))].Name, rng.Float64()-0.5)
+			}
+			// Exercise the lazy-scale path, then cross-check.
+			_ = a.Scale()
+			if err := a.CheckAggregates(); err != nil {
+				t.Fatalf("round %d step %d: %v", round, step, err)
+			}
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Eps is the tolerance used for floating point comparisons of weights and
@@ -72,6 +73,7 @@ type Class struct {
 	Weight float64
 
 	frags []FragmentID // sorted, unique
+	pos   int          // index in its classification's class list, set by AddClass
 }
 
 // NewClass creates a query class referencing the given fragments. The
@@ -133,6 +135,9 @@ type Classification struct {
 	fragOrder []FragmentID
 	classes   []*Class
 	byName    map[string]*Class
+
+	mu sync.Mutex
+	ly *layout // dense index view, built lazily by layoutRef
 }
 
 // NewClassification returns an empty classification.
@@ -146,6 +151,7 @@ func NewClassification() *Classification {
 // AddFragment registers a data fragment. Re-adding an existing fragment
 // overwrites its size.
 func (cl *Classification) AddFragment(f Fragment) {
+	cl.invalidateLayout()
 	if _, ok := cl.fragments[f.ID]; !ok {
 		cl.fragOrder = append(cl.fragOrder, f.ID)
 		sort.Slice(cl.fragOrder, func(i, j int) bool { return cl.fragOrder[i] < cl.fragOrder[j] })
@@ -174,6 +180,8 @@ func (cl *Classification) AddClass(c *Class) error {
 			return fmt.Errorf("core: class %q references unknown fragment %q", c.Name, f)
 		}
 	}
+	cl.invalidateLayout()
+	c.pos = len(cl.classes)
 	cl.classes = append(cl.classes, c)
 	cl.byName[c.Name] = c
 	return nil
@@ -333,6 +341,68 @@ func ClassUnion(classes ...*Class) []FragmentID {
 	return out
 }
 
+// layout is the dense index view of a classification, built lazily and
+// shared by every allocation over it: fragments get contiguous indices
+// in sorted-ID order and classes keep their insertion positions, so an
+// Allocation stores placement and assignment as flat arrays instead of
+// hash maps. A classification must not be modified once allocations
+// over it exist — AddFragment/AddClass invalidate the cached layout,
+// and allocations built from different layouts are incompatible.
+type layout struct {
+	fragIDs   []FragmentID
+	fragSizes []float64
+	fragIndex map[FragmentID]int
+	classFrag [][]int  // per class position: referenced fragment indices
+	classUpd  [][]int  // per class position: overlapping updates, as indices into updates
+	reads     []*Class // read classes in insertion order
+	updates   []*Class // update classes in insertion order
+}
+
+func (cl *Classification) layoutRef() *layout {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.ly == nil {
+		ly := &layout{
+			fragIDs:   append([]FragmentID(nil), cl.fragOrder...),
+			fragSizes: make([]float64, len(cl.fragOrder)),
+			fragIndex: make(map[FragmentID]int, len(cl.fragOrder)),
+			classFrag: make([][]int, len(cl.classes)),
+		}
+		for i, id := range ly.fragIDs {
+			ly.fragSizes[i] = cl.fragments[id].Size
+			ly.fragIndex[id] = i
+		}
+		for pos, c := range cl.classes {
+			idx := make([]int, len(c.frags))
+			for j, f := range c.frags {
+				idx[j] = ly.fragIndex[f]
+			}
+			ly.classFrag[pos] = idx
+			if c.Kind == Read {
+				ly.reads = append(ly.reads, c)
+			} else {
+				ly.updates = append(ly.updates, c)
+			}
+		}
+		ly.classUpd = make([][]int, len(cl.classes))
+		for pos, c := range cl.classes {
+			for ui, u := range ly.updates {
+				if c.Overlaps(u) {
+					ly.classUpd[pos] = append(ly.classUpd[pos], ui)
+				}
+			}
+		}
+		cl.ly = ly
+	}
+	return cl.ly
+}
+
+func (cl *Classification) invalidateLayout() {
+	cl.mu.Lock()
+	cl.ly = nil
+	cl.mu.Unlock()
+}
+
 // Backend describes one backend database of the cluster: a name and its
 // relative query processing performance (Eq. 7). The loads of all
 // backends of a cluster sum to 1; in a homogeneous cluster of s nodes
@@ -371,23 +441,62 @@ func NormalizeBackends(bs []Backend) []Backend {
 // Eq. 8).
 type Allocation struct {
 	cls      *Classification
+	ly       *layout
 	backends []Backend
-	frags    []map[FragmentID]struct{} // per backend
-	assign   []map[string]float64      // per backend: class name -> assigned weight
+
+	// Placement and assignment are flat arrays over the layout's dense
+	// indices, backed by single slabs so a scratch allocation can be
+	// overwritten with a handful of copy calls (see CopyFrom):
+	// frags[b][i] says whether backend b stores fragment i, and
+	// assign[b][pos] is the weight of class position pos on b.
+	frags      [][]bool
+	assign     [][]float64
+	fragsData  []bool
+	assignData []float64
+
+	// Incremental cost aggregates, maintained by every mutator so the
+	// memetic solver's local-search probes evaluate moves in O(touched
+	// backends) instead of recomputing Eq. 14/15 and the total data
+	// size from scratch (see DESIGN.md, "Performance"):
+	//
+	//   - loadSum[b] is Σ assign(·, b), Eq. 14's assignedLoad;
+	//   - sizeSum[b] is the summed size of the fragments stored on b,
+	//     and totalSize is Σ_b sizeSum[b] (the numerator of Eq. 28);
+	//   - scale caches Eq. 15's max_b loadSum[b]/load[b] (floored at 1)
+	//     together with the backend it came from. A mutation that
+	//     raises some backend's ratio to or above the cached maximum
+	//     updates the cache in place; one that lowers the maximum
+	//     backend's ratio marks it stale for a lazy O(|B|) rescan.
+	loadSum   []float64
+	sizeSum   []float64
+	totalSize float64
+	scale     float64
+	scaleB    int // backend the cached scale came from; -1 = the floor of 1
+	scaleOK   bool
 }
 
 // NewAllocation returns an empty allocation over the given classification
 // and backends. The backend loads must sum to 1 within tolerance.
 func NewAllocation(cls *Classification, backends []Backend) *Allocation {
+	ly := cls.layoutRef()
+	nb, nf, nc := len(backends), len(ly.fragIDs), len(ly.classFrag)
 	a := &Allocation{
-		cls:      cls,
-		backends: append([]Backend(nil), backends...),
-		frags:    make([]map[FragmentID]struct{}, len(backends)),
-		assign:   make([]map[string]float64, len(backends)),
+		cls:        cls,
+		ly:         ly,
+		backends:   append([]Backend(nil), backends...),
+		frags:      make([][]bool, nb),
+		assign:     make([][]float64, nb),
+		fragsData:  make([]bool, nb*nf),
+		assignData: make([]float64, nb*nc),
+		loadSum:    make([]float64, nb),
+		sizeSum:    make([]float64, nb),
+		scale:      1,
+		scaleB:     -1,
+		scaleOK:    true,
 	}
 	for i := range backends {
-		a.frags[i] = make(map[FragmentID]struct{})
-		a.assign[i] = make(map[string]float64)
+		a.frags[i] = a.fragsData[i*nf : (i+1)*nf]
+		a.assign[i] = a.assignData[i*nc : (i+1)*nc]
 	}
 	return a
 }
@@ -403,28 +512,76 @@ func (a *Allocation) Backends() []Backend { return a.backends }
 func (a *Allocation) NumBackends() int { return len(a.backends) }
 
 // AddFragments places the given fragments on backend b (idempotent).
+// Fragments unknown to the classification are ignored. The size
+// aggregates accumulate in argument order, so callers that expand a
+// fragment set collected from a map must sort it first to keep runs
+// bit-identical.
 func (a *Allocation) AddFragments(b int, frags ...FragmentID) {
 	for _, f := range frags {
-		a.frags[b][f] = struct{}{}
+		i, ok := a.ly.fragIndex[f]
+		if !ok || a.frags[b][i] {
+			continue
+		}
+		a.frags[b][i] = true
+		a.sizeSum[b] += a.ly.fragSizes[i]
+		a.totalSize += a.ly.fragSizes[i]
 	}
+}
+
+// addFragIdx places fragment index i on backend b (idempotent).
+func (a *Allocation) addFragIdx(b, i int) {
+	if a.frags[b][i] {
+		return
+	}
+	a.frags[b][i] = true
+	a.sizeSum[b] += a.ly.fragSizes[i]
+	a.totalSize += a.ly.fragSizes[i]
 }
 
 // RemoveFragment removes a fragment from backend b.
 func (a *Allocation) RemoveFragment(b int, f FragmentID) {
-	delete(a.frags[b], f)
+	i, ok := a.ly.fragIndex[f]
+	if !ok || !a.frags[b][i] {
+		return
+	}
+	a.frags[b][i] = false
+	a.sizeSum[b] -= a.ly.fragSizes[i]
+	a.totalSize -= a.ly.fragSizes[i]
+}
+
+// removeFragIdx removes fragment index i from backend b.
+func (a *Allocation) removeFragIdx(b, i int) {
+	if !a.frags[b][i] {
+		return
+	}
+	a.frags[b][i] = false
+	a.sizeSum[b] -= a.ly.fragSizes[i]
+	a.totalSize -= a.ly.fragSizes[i]
 }
 
 // HasFragment reports whether backend b stores fragment f.
 func (a *Allocation) HasFragment(b int, f FragmentID) bool {
-	_, ok := a.frags[b][f]
-	return ok
+	i, ok := a.ly.fragIndex[f]
+	return ok && a.frags[b][i]
 }
 
 // HasAllFragments reports whether backend b stores every fragment of the
 // given set, i.e. whether a query of that class can execute locally on b.
 func (a *Allocation) HasAllFragments(b int, frags []FragmentID) bool {
 	for _, f := range frags {
-		if _, ok := a.frags[b][f]; !ok {
+		i, ok := a.ly.fragIndex[f]
+		if !ok || !a.frags[b][i] {
+			return false
+		}
+	}
+	return true
+}
+
+// hasClassLocally reports whether backend b stores every fragment of
+// class c (the index-based fast path of HasAllFragments).
+func (a *Allocation) hasClassLocally(b int, c *Class) bool {
+	for _, i := range a.ly.classFrag[c.pos] {
+		if !a.frags[b][i] {
 			return false
 		}
 	}
@@ -433,49 +590,92 @@ func (a *Allocation) HasAllFragments(b int, frags []FragmentID) bool {
 
 // Fragments returns the fragments stored on backend b in sorted order.
 func (a *Allocation) Fragments(b int) []FragmentID {
-	out := make([]FragmentID, 0, len(a.frags[b]))
-	for f := range a.frags[b] {
-		out = append(out, f)
+	var out []FragmentID
+	for i, ok := range a.frags[b] {
+		if ok {
+			out = append(out, a.ly.fragIDs[i])
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // SetAssign sets assign(class, b) = w. A non-positive w removes the
-// assignment.
+// assignment; classes unknown to the classification are ignored.
 func (a *Allocation) SetAssign(b int, class string, w float64) {
+	if c := a.cls.byName[class]; c != nil {
+		a.setAssignPos(b, c.pos, w)
+	}
+}
+
+// setAssignPos is SetAssign by class position.
+func (a *Allocation) setAssignPos(b, pos int, w float64) {
+	old := a.assign[b][pos]
 	if w <= 0 {
-		delete(a.assign[b], class)
+		if old == 0 {
+			return
+		}
+		w = 0
+	}
+	a.assign[b][pos] = w
+	a.loadSum[b] += w - old
+	a.noteLoadChange(b)
+}
+
+// noteLoadChange refreshes the cached scale after backend b's assigned
+// load changed: a ratio at or above the cached maximum replaces it, a
+// drop on the maximum backend invalidates the cache for a lazy rescan,
+// and any other change cannot affect the maximum.
+func (a *Allocation) noteLoadChange(b int) {
+	if !a.scaleOK || a.backends[b].Load <= 0 {
 		return
 	}
-	a.assign[b][class] = w
+	switch r := a.loadSum[b] / a.backends[b].Load; {
+	case r >= a.scale:
+		if r > 1 {
+			a.scale, a.scaleB = r, b
+		} else {
+			a.scale, a.scaleB = 1, -1
+		}
+	case b == a.scaleB:
+		a.scaleOK = false
+	}
 }
 
 // AddAssign increases assign(class, b) by w.
 func (a *Allocation) AddAssign(b int, class string, w float64) {
-	a.SetAssign(b, class, a.assign[b][class]+w)
+	if c := a.cls.byName[class]; c != nil {
+		a.setAssignPos(b, c.pos, a.assign[b][c.pos]+w)
+	}
+}
+
+// addAssignPos is AddAssign by class position.
+func (a *Allocation) addAssignPos(b, pos int, w float64) {
+	a.setAssignPos(b, pos, a.assign[b][pos]+w)
 }
 
 // Assign returns assign(class, b): the share of the class's weight
 // handled by backend b.
-func (a *Allocation) Assign(b int, class string) float64 { return a.assign[b][class] }
+func (a *Allocation) Assign(b int, class string) float64 {
+	if c := a.cls.byName[class]; c != nil {
+		return a.assign[b][c.pos]
+	}
+	return 0
+}
 
 // AssignedLoad implements Eq. 14: the sum of all class weights assigned
-// to backend b.
+// to backend b, maintained incrementally by SetAssign/AddAssign.
 func (a *Allocation) AssignedLoad(b int) float64 {
-	l := 0.0
-	for _, w := range a.assign[b] {
-		l += w
-	}
-	return l
+	return a.loadSum[b]
 }
 
 // AssignedClasses returns the names of the classes with assign > 0 on
 // backend b, sorted.
 func (a *Allocation) AssignedClasses(b int) []string {
-	out := make([]string, 0, len(a.assign[b]))
-	for name := range a.assign[b] {
-		out = append(out, name)
+	var out []string
+	for pos, w := range a.assign[b] {
+		if w > 0 {
+			out = append(out, a.cls.classes[pos].Name)
+		}
 	}
 	sort.Strings(out)
 	return out
@@ -484,18 +684,26 @@ func (a *Allocation) AssignedClasses(b int) []string {
 // Scale implements Eq. 15's scale factor: the maximum over all backends
 // of assignedLoad(B)/load(B), but never less than 1. A scale of 1 means
 // the workload (including replicated updates) fits the cluster without
-// stretching; the theoretical speedup is |B|/scale (Eq. 19).
+// stretching; the theoretical speedup is |B|/scale (Eq. 19). The value
+// is cached across mutations and rescanned lazily (O(|B|)) only after a
+// mutation lowered the maximum backend's load.
 func (a *Allocation) Scale() float64 {
-	s := 1.0
-	for b := range a.backends {
-		if a.backends[b].Load <= 0 {
-			continue
-		}
-		if r := a.AssignedLoad(b) / a.backends[b].Load; r > s {
-			s = r
-		}
+	if aggCheck {
+		a.checkAggregatesOrPanic()
 	}
-	return s
+	if !a.scaleOK {
+		a.scale, a.scaleB = 1, -1
+		for b := range a.backends {
+			if a.backends[b].Load <= 0 {
+				continue
+			}
+			if r := a.loadSum[b] / a.backends[b].Load; r > a.scale {
+				a.scale, a.scaleB = r, b
+			}
+		}
+		a.scaleOK = true
+	}
+	return a.scale
 }
 
 // ScaledLoad implements Eq. 15: load(B) × max(scale, 1).
@@ -509,24 +717,19 @@ func (a *Allocation) Speedup() float64 {
 	return float64(len(a.backends)) / a.Scale()
 }
 
-// DataSize returns the summed size of the fragments stored on backend b.
+// DataSize returns the summed size of the fragments stored on backend
+// b, maintained incrementally by AddFragments/RemoveFragment.
 func (a *Allocation) DataSize(b int) float64 {
-	s := 0.0
-	for f := range a.frags[b] {
-		frag, _ := a.cls.Fragment(f)
-		s += frag.Size
-	}
-	return s
+	return a.sizeSum[b]
 }
 
 // TotalDataSize returns the summed size over all backends (the numerator
-// of Eq. 28).
+// of Eq. 28), maintained incrementally.
 func (a *Allocation) TotalDataSize() float64 {
-	s := 0.0
-	for b := range a.backends {
-		s += a.DataSize(b)
+	if aggCheck {
+		a.checkAggregatesOrPanic()
 	}
-	return s
+	return a.totalSize
 }
 
 // DegreeOfReplication implements Eq. 28: total allocated size divided by
@@ -542,9 +745,13 @@ func (a *Allocation) DegreeOfReplication() float64 {
 
 // FragmentReplicas returns on how many backends fragment f is stored.
 func (a *Allocation) FragmentReplicas(f FragmentID) int {
+	i, ok := a.ly.fragIndex[f]
+	if !ok {
+		return 0
+	}
 	n := 0
 	for b := range a.backends {
-		if _, ok := a.frags[b][f]; ok {
+		if a.frags[b][i] {
 			n++
 		}
 	}
@@ -557,7 +764,7 @@ func (a *Allocation) FragmentReplicas(f FragmentID) int {
 func (a *Allocation) ClassReplicas(c *Class) int {
 	n := 0
 	for b := range a.backends {
-		if a.HasAllFragments(b, c.Fragments()) {
+		if a.hasClassLocally(b, c) {
 			n++
 		}
 	}
@@ -569,7 +776,7 @@ func (a *Allocation) ClassReplicas(c *Class) int {
 func (a *Allocation) UpdateWeight(b int, c *Class) float64 {
 	w := 0.0
 	for _, u := range a.cls.UpdatesFor(c) {
-		w += a.assign[b][u.Name]
+		w += a.assign[b][u.pos]
 	}
 	return w
 }
@@ -583,20 +790,17 @@ func (a *Allocation) UpdateWeight(b int, c *Class) float64 {
 //   - Eq. 11: every update class is assigned to at least one backend.
 func (a *Allocation) Validate() error {
 	for b := range a.backends {
-		for name, w := range a.assign[b] {
-			c := a.cls.Class(name)
-			if c == nil {
-				return fmt.Errorf("core: backend %s assigns unknown class %q", a.backends[b].Name, name)
-			}
-			if w > 0 && !a.HasAllFragments(b, c.Fragments()) {
-				return fmt.Errorf("core: backend %s assigns class %q without storing all its fragments (violates Eq. 8)", a.backends[b].Name, name)
+		for pos, w := range a.assign[b] {
+			c := a.cls.classes[pos]
+			if w > 0 && !a.hasClassLocally(b, c) {
+				return fmt.Errorf("core: backend %s assigns class %q without storing all its fragments (violates Eq. 8)", a.backends[b].Name, c.Name)
 			}
 		}
 	}
 	for _, c := range a.cls.Classes() {
 		total := 0.0
 		for b := range a.backends {
-			total += a.assign[b][c.Name]
+			total += a.assign[b][c.pos]
 		}
 		switch c.Kind {
 		case Read:
@@ -609,15 +813,15 @@ func (a *Allocation) Validate() error {
 			}
 			for b := range a.backends {
 				touches := false
-				for _, f := range c.Fragments() {
-					if a.HasFragment(b, f) {
+				for _, i := range a.ly.classFrag[c.pos] {
+					if a.frags[b][i] {
 						touches = true
 						break
 					}
 				}
-				if touches && math.Abs(a.assign[b][c.Name]-c.Weight) > 1e-6 {
+				if touches && math.Abs(a.assign[b][c.pos]-c.Weight) > 1e-6 {
 					return fmt.Errorf("core: update class %q assigned %.6f on backend %s storing its data, want full weight %.6f (violates Eq. 10)",
-						c.Name, a.assign[b][c.Name], a.backends[b].Name, c.Weight)
+						c.Name, a.assign[b][c.pos], a.backends[b].Name, c.Weight)
 				}
 			}
 		}
@@ -626,18 +830,80 @@ func (a *Allocation) Validate() error {
 }
 
 // Clone returns a deep copy of the allocation (sharing the immutable
-// classification and backend specs).
+// classification and backend specs). The incremental aggregates are
+// copied verbatim, not recomputed, so the clone's cost is bit-identical
+// to the original's.
 func (a *Allocation) Clone() *Allocation {
 	c := NewAllocation(a.cls, a.backends)
+	c.CopyFrom(a)
+	return c
+}
+
+// CopyFrom makes a into a deep copy of src without reallocating its
+// per-backend maps, so a hot loop can reuse one scratch allocation for
+// many trial moves instead of cloning per probe. Both allocations must
+// have been created over the same classification and backend list.
+func (a *Allocation) CopyFrom(src *Allocation) {
+	copy(a.fragsData, src.fragsData)
+	copy(a.assignData, src.assignData)
+	copy(a.loadSum, src.loadSum)
+	copy(a.sizeSum, src.sizeSum)
+	a.totalSize = src.totalSize
+	a.scale, a.scaleB, a.scaleOK = src.scale, src.scaleB, src.scaleOK
+}
+
+// CheckAggregates recomputes every incrementally maintained aggregate
+// from the underlying maps and reports the first one that drifted
+// beyond tolerance from its running value. It is the debug cross-check
+// for the invariants documented in DESIGN.md ("Performance"): tests
+// call it directly, and the qcpaaggcheck build tag wires it into every
+// Scale/TotalDataSize call.
+func (a *Allocation) CheckAggregates() error {
+	const tol = 1e-6
+	totalSize := 0.0
 	for b := range a.backends {
-		for f := range a.frags[b] {
-			c.frags[b][f] = struct{}{}
+		load := 0.0
+		for _, w := range a.assign[b] {
+			load += w
 		}
-		for name, w := range a.assign[b] {
-			c.assign[b][name] = w
+		if math.Abs(load-a.loadSum[b]) > tol {
+			return fmt.Errorf("core: backend %s loadSum %.12g, recomputed %.12g", a.backends[b].Name, a.loadSum[b], load)
+		}
+		size := 0.0
+		for i, ok := range a.frags[b] {
+			if ok {
+				size += a.ly.fragSizes[i]
+			}
+		}
+		if math.Abs(size-a.sizeSum[b]) > tol {
+			return fmt.Errorf("core: backend %s sizeSum %.12g, recomputed %.12g", a.backends[b].Name, a.sizeSum[b], size)
+		}
+		totalSize += size
+	}
+	if math.Abs(totalSize-a.totalSize) > tol {
+		return fmt.Errorf("core: totalSize %.12g, recomputed %.12g", a.totalSize, totalSize)
+	}
+	if a.scaleOK {
+		scale := 1.0
+		for b := range a.backends {
+			if a.backends[b].Load <= 0 {
+				continue
+			}
+			if r := a.loadSum[b] / a.backends[b].Load; r > scale {
+				scale = r
+			}
+		}
+		if math.Abs(scale-a.scale) > tol {
+			return fmt.Errorf("core: cached scale %.12g, recomputed %.12g", a.scale, scale)
 		}
 	}
-	return c
+	return nil
+}
+
+func (a *Allocation) checkAggregatesOrPanic() {
+	if err := a.CheckAggregates(); err != nil {
+		panic(err)
+	}
 }
 
 // LoadMatrix returns the per-backend, per-class assigned weights as a
@@ -645,13 +911,9 @@ func (a *Allocation) Clone() *Allocation {
 // Classification.Classes(). This is the "load matrix" notation of the
 // paper's Appendix A.
 func (a *Allocation) LoadMatrix() [][]float64 {
-	classes := a.cls.Classes()
 	m := make([][]float64, len(a.backends))
 	for b := range a.backends {
-		m[b] = make([]float64, len(classes))
-		for i, c := range classes {
-			m[b][i] = a.assign[b][c.Name]
-		}
+		m[b] = append([]float64(nil), a.assign[b]...)
 	}
 	return m
 }
@@ -660,12 +922,11 @@ func (a *Allocation) LoadMatrix() [][]float64 {
 // [backend][fragment], with fragments in sorted ID order (the paper's
 // Appendix B matrix A).
 func (a *Allocation) AllocationMatrix() [][]int {
-	frags := a.cls.Fragments()
 	m := make([][]int, len(a.backends))
 	for b := range a.backends {
-		m[b] = make([]int, len(frags))
-		for i, f := range frags {
-			if _, ok := a.frags[b][f.ID]; ok {
+		m[b] = make([]int, len(a.frags[b]))
+		for i, ok := range a.frags[b] {
+			if ok {
 				m[b][i] = 1
 			}
 		}

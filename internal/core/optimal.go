@@ -299,9 +299,8 @@ func Optimal(cls *Classification, backends []Backend, opts OptimalOptions) (*Opt
 // It is used to clean up solver tolerances after Optimal and as the
 // exact re-balancing step of the memetic algorithm's local search.
 func RebalanceReads(a *Allocation) error {
-	cls := a.Classification()
 	backends := a.Backends()
-	reads := cls.Reads()
+	reads := a.ly.reads
 
 	p := lp.NewProblem()
 	scaleVar := p.AddVariable(1, 1, math.Inf(1), false)
@@ -309,8 +308,11 @@ func RebalanceReads(a *Allocation) error {
 	var vars []rv
 	for k, c := range reads {
 		for i := range backends {
-			if a.HasAllFragments(i, c.Fragments()) {
-				vars = append(vars, rv{k, i, p.AddVariable(0, 0, c.Weight, false)})
+			if a.hasClassLocally(i, c) {
+				// No explicit upper bound: Σ_B x = weight with x ≥ 0
+				// already caps each share, and a finite bound would cost
+				// the simplex an extra tableau row per variable.
+				vars = append(vars, rv{k, i, p.AddVariable(0, 0, math.Inf(1), false)})
 			}
 		}
 	}
@@ -328,10 +330,11 @@ func RebalanceReads(a *Allocation) error {
 		p.AddConstraint(lp.EQ, c.Weight, terms...)
 	}
 	// Load constraints with the fixed update weights.
+	updates := a.ly.updates
 	for i := range backends {
 		updLoad := 0.0
-		for _, u := range cls.Updates() {
-			updLoad += a.Assign(i, u.Name)
+		for _, u := range updates {
+			updLoad += a.assign[i][u.pos]
 		}
 		terms := []lp.Term{{Var: scaleVar, Coef: -backends[i].Load}}
 		for _, v := range vars {
@@ -350,7 +353,7 @@ func RebalanceReads(a *Allocation) error {
 	}
 	for k, c := range reads {
 		for i := range backends {
-			a.SetAssign(i, c.Name, 0)
+			a.setAssignPos(i, c.pos, 0)
 		}
 		total := 0.0
 		last := -1
@@ -360,7 +363,7 @@ func RebalanceReads(a *Allocation) error {
 			}
 			w := sol.X[v.v]
 			if w > 1e-12 {
-				a.SetAssign(v.i, c.Name, w)
+				a.setAssignPos(v.i, c.pos, w)
 				total += w
 				last = v.i
 			}
@@ -368,7 +371,7 @@ func RebalanceReads(a *Allocation) error {
 		// Absorb any residual numerical error into the last share so the
 		// class is assigned exactly its weight.
 		if last >= 0 && math.Abs(total-c.Weight) > 0 {
-			a.AddAssign(last, c.Name, c.Weight-total)
+			a.addAssignPos(last, c.pos, c.Weight-total)
 		}
 	}
 	return nil

@@ -21,43 +21,121 @@ func measureWithPolicy(a *core.Allocation, st *setup, opts Options, policy int) 
 	return res.Throughput, nil
 }
 
-// Experiment pairs an id with its generator.
+// Experiment pairs an id with its generator and its headline metric:
+// the single number a perf baseline records for the figure (and the
+// metric every figure benchmark reports via b.ReportMetric).
 type Experiment struct {
-	ID  string
-	Run func(Options) (*Table, error)
+	ID     string
+	Run    func(Options) (*Table, error)
+	Metric string               // headline metric name (e.g. "column_qps")
+	Value  func(*Table) float64 // extracts the headline from the table
+}
+
+// lastOf returns the final Y of a named series (0 if absent).
+func lastOf(name string) func(*Table) float64 {
+	return func(t *Table) float64 {
+		s := t.Get(name)
+		if s == nil || len(s.Y) == 0 {
+			return 0
+		}
+		return s.Y[len(s.Y)-1]
+	}
+}
+
+// firstOf returns the first Y of a named series (0 if absent).
+func firstOf(name string) func(*Table) float64 {
+	return func(t *Table) float64 {
+		s := t.Get(name)
+		if s == nil || len(s.Y) == 0 {
+			return 0
+		}
+		return s.Y[0]
+	}
+}
+
+// peakOf returns the maximum Y of a named series.
+func peakOf(name string) func(*Table) float64 {
+	return func(t *Table) float64 {
+		s := t.Get(name)
+		peak := 0.0
+		if s != nil {
+			for _, v := range s.Y {
+				if v > peak {
+					peak = v
+				}
+			}
+		}
+		return peak
+	}
+}
+
+// meanOf returns the average Y of a named series.
+func meanOf(name string) func(*Table) float64 {
+	return func(t *Table) float64 {
+		s := t.Get(name)
+		if s == nil || len(s.Y) == 0 {
+			return 0
+		}
+		sum := 0.0
+		for _, v := range s.Y {
+			sum += v
+		}
+		return sum / float64(len(s.Y))
+	}
+}
+
+// nthOf returns series Y[i] (0 if out of range).
+func nthOf(name string, i int) func(*Table) float64 {
+	return func(t *Table) float64 {
+		s := t.Get(name)
+		if s == nil || i >= len(s.Y) {
+			return 0
+		}
+		return s.Y[i]
+	}
 }
 
 // AllExperiments lists every regenerable figure/table in DESIGN.md
 // order.
 func AllExperiments() []Experiment {
 	return []Experiment{
-		{"E01", Fig4aTPCHThroughput},
-		{"E02", Fig4bTPCHDeviation},
-		{"E03", Fig4cReplicationDegree},
-		{"E04", Fig4dAllocationTime},
-		{"E05", Fig4eTPCHScaling},
-		{"E06", Fig4fTPCAppSpeedup},
-		{"E07", Fig4gTPCAppThroughput},
-		{"E08", Fig4hTPCAppDeviation},
-		{"E09", Fig4iTPCAppLargeScale},
-		{"E10", Fig4jLoadBalance},
-		{"E11", Fig4kReplicationHistogramTable},
-		{"E12", Fig4lReplicationHistogramColumn},
-		{"E13", Fig5aAutoscaleNodes},
-		{"E14", Fig5bAutoscaleLatency},
-		{"E15", Fig6ClassDistribution},
-		{"E18", SpeedupModelTable},
-		{"E19", RobustnessTable},
-		{"E20", KSafetyTable},
-		{"E21", ClusterSmoke},
-		{"A1", AblationSolvers},
-		{"A2", AblationGranularity},
-		{"A3", AblationScheduler},
-		{"A4", AblationMatching},
-		{"E22", DriftDetection},
-		{"A5", AblationHorizontal},
-		{"A6", AblationHeterogeneity},
+		{"E01", Fig4aTPCHThroughput, "column_qps", lastOf("column")},
+		{"E02", Fig4bTPCHDeviation, "avg_qps", lastOf("average")},
+		{"E03", Fig4cReplicationDegree, "column_degree", lastOf("column")},
+		{"E04", Fig4dAllocationTime, "column_etl", lastOf("column")},
+		{"E05", Fig4eTPCHScaling, "column_sf10_rel", lastOf("column SF10")},
+		{"E06", Fig4fTPCAppSpeedup, "table_speedup", lastOf("table")},
+		{"E07", Fig4gTPCAppThroughput, "table_rps", lastOf("table")},
+		{"E08", Fig4hTPCAppDeviation, "avg_rps", lastOf("average")},
+		{"E09", Fig4iTPCAppLargeScale, "column_rel", lastOf("column")},
+		{"E10", Fig4jLoadBalance, "tpcapp_dev", lastOf("TPC-App")},
+		{"E11", Fig4kReplicationHistogramTable, "tpch_allnodes", lastOf("TPC-H")},
+		{"E12", Fig4lReplicationHistogramColumn, "tpch_single", firstOf("TPC-H")},
+		{"E13", Fig5aAutoscaleNodes, "peak_nodes", peakOf("active nodes")},
+		{"E14", Fig5bAutoscaleLatency, "avg_ms", meanOf("with scaling")},
+		{"E15", Fig6ClassDistribution, "classes", func(t *Table) float64 { return float64(len(t.Series)) }},
+		{"E18", SpeedupModelTable, "partial_bound", lastOf("partial bound")},
+		{"E19", RobustnessTable, "speedup_at_27", nthOf("speedup", 2)},
+		{"E20", KSafetyTable, "tpch_repl_k2", lastOf("TPC-H replication")},
+		{"E21", ClusterSmoke, "real_rps", lastOf("table-based")},
+		{"A1", AblationSolvers, "memetic_scale", lastOf("memetic scale")},
+		{"A2", AblationGranularity, "column_classes", lastOf("classes")},
+		{"A3", AblationScheduler, "lp_qps", lastOf("least-pending")},
+		{"A4", AblationMatching, "hungarian_moved", lastOf("hungarian")},
+		{"E22", DriftDetection, "mismatch_triggers", lastOf("night-only allocation")},
+		{"A5", AblationHorizontal, "horizontal_degree", lastOf("horizontal")},
+		{"A6", AblationHeterogeneity, "aware_rps", lastOf("aware (Eq. 7 loads)")},
 	}
+}
+
+// ByID returns the experiment with the given id (nil if unknown).
+func ByID(id string) *Experiment {
+	for _, e := range AllExperiments() {
+		if e.ID == id {
+			return &e
+		}
+	}
+	return nil
 }
 
 // RunAll executes every experiment and returns the tables in order.

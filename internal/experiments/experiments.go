@@ -13,10 +13,12 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"strings"
 
 	"qcpa/internal/classify"
 	"qcpa/internal/core"
+	"qcpa/internal/par"
 	"qcpa/internal/sim"
 	"qcpa/internal/workload"
 	"qcpa/internal/workload/tpcapp"
@@ -41,6 +43,12 @@ type Options struct {
 	OptimalNodeBudget int
 	// Seed is the base RNG seed (default 1).
 	Seed int64
+	// Parallelism bounds the worker pool that evaluates a figure's
+	// independent series points (default GOMAXPROCS). Every point is a
+	// pure function of (Options, index), so the resulting tables are
+	// bit-identical for every value; 1 is the sequential reference
+	// path that Quick() pins for deterministic CI runs.
+	Parallelism int
 }
 
 // WithDefaults fills in zero fields.
@@ -63,12 +71,59 @@ func (o Options) WithDefaults() Options {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	if o.Parallelism == 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
 	return o
 }
 
 // Quick returns options sized for unit tests and smoke benches.
+// Parallelism is pinned to 1 so CI exercises the sequential reference
+// path.
 func Quick() Options {
-	return Options{MaxBackends: 6, Runs: 3, Requests: 1200, OptimalMaxBackends: 3, OptimalNodeBudget: 4000, Seed: 1}
+	return Options{MaxBackends: 6, Runs: 3, Requests: 1200, OptimalMaxBackends: 3, OptimalNodeBudget: 4000, Seed: 1, Parallelism: 1}
+}
+
+// collect evaluates the n independent points of one figure series on a
+// bounded worker pool of opts.Parallelism workers and returns the
+// values in point order. Points must be pure functions of (opts, i)
+// and must not share mutable state; under that contract any worker
+// count produces the same table. On failure the error of the
+// lowest-indexed failing point is returned.
+func collect[T any](opts Options, n int, point func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	par.For(opts.Parallelism, n, func(i int) {
+		out[i], errs[i] = point(i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// relativeToFirst rescales a series so its first point becomes 1 (the
+// "relative throughput vs 1 backend" normalization of Figures 4(e),
+// 4(f) and 4(i)). Points are measured in absolute terms first — that
+// keeps them independent, so they can run concurrently — and the
+// normalization happens after all of them are in.
+func relativeToFirst(ys []float64) []float64 {
+	out := make([]float64, len(ys))
+	for i, y := range ys {
+		out[i] = y / ys[0]
+	}
+	return out
+}
+
+// floats converts a backend-count list into series X values.
+func floats(ns []int) []float64 {
+	out := make([]float64, len(ns))
+	for i, n := range ns {
+		out[i] = float64(n)
+	}
+	return out
 }
 
 // Series is one line of a figure.

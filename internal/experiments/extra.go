@@ -254,19 +254,17 @@ func AblationScheduler(opts Options) (*Table, error) {
 		name   string
 		policy int
 	}{{"least-pending", 0}, {"random", 1}, {"round-robin", 2}} {
-		s := Series{Name: pol.name, X: backendRange(opts.MaxBackends)}
-		for n := 1; n <= opts.MaxBackends; n++ {
-			a, st, err := allocFor("column", n, opts.Seed)
+		ys, err := collect(opts, opts.MaxBackends, func(i int) (float64, error) {
+			a, st, err := allocFor("column", i+1, opts.Seed)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			res, err := measureWithPolicy(a, st, opts, pol.policy)
-			if err != nil {
-				return nil, err
-			}
-			s.Y = append(s.Y, res)
+			return measureWithPolicy(a, st, opts, pol.policy)
+		})
+		if err != nil {
+			return nil, err
 		}
-		t.Series = append(t.Series, s)
+		t.Series = append(t.Series, Series{Name: pol.name, X: backendRange(opts.MaxBackends), Y: ys})
 	}
 	return t, nil
 }

@@ -52,19 +52,30 @@ func AblationHorizontal(opts Options) (*Table, error) {
 	}
 	tSeries := Series{Name: "table-based", X: backendRange(opts.MaxBackends)}
 	hSeries := Series{Name: "horizontal", X: tSeries.X}
-	for n := 1; n <= opts.MaxBackends; n++ {
+	type pair struct{ t, h float64 }
+	pairs, err := collect(opts, opts.MaxBackends, func(i int) (pair, error) {
+		n := i + 1
 		at, err := core.Greedy(table.Classification, core.UniformBackends(n))
 		if err != nil {
-			return nil, err
+			return pair{}, err
 		}
 		ah, err := core.Greedy(horiz.Classification, core.UniformBackends(n))
 		if err != nil {
-			return nil, err
+			return pair{}, err
 		}
 		// Normalize both to their own database size (identical data,
 		// different fragmentations).
-		tSeries.Y = append(tSeries.Y, at.TotalDataSize()/table.Classification.TotalSize())
-		hSeries.Y = append(hSeries.Y, ah.TotalDataSize()/horiz.Classification.TotalSize())
+		return pair{
+			t: at.TotalDataSize() / table.Classification.TotalSize(),
+			h: ah.TotalDataSize() / horiz.Classification.TotalSize(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range pairs {
+		tSeries.Y = append(tSeries.Y, p.t)
+		hSeries.Y = append(hSeries.Y, p.h)
 	}
 	t.Series = []Series{tSeries, hSeries}
 	t.Notes = fmt.Sprintf("fragments: %d table-based vs %d horizontal",

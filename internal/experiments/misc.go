@@ -28,8 +28,8 @@ func Fig4jLoadBalance(opts Options) (*Table, error) {
 		XLabel: "backends", YLabel: "deviation from balance",
 	}
 	for _, wl := range []string{"TPC-H", "TPC-App"} {
-		s := Series{Name: wl, X: backendRange(opts.MaxBackends)}
-		for n := 1; n <= opts.MaxBackends; n++ {
+		ys, err := collect(opts, opts.MaxBackends, func(i int) (float64, error) {
+			n := i + 1
 			var sum stats.Summary
 			for r := 0; r < opts.Runs; r++ {
 				var (
@@ -43,17 +43,20 @@ func Fig4jLoadBalance(opts Options) (*Table, error) {
 					a, st, err = tpcappAlloc("column", n, false)
 				}
 				if err != nil {
-					return nil, err
+					return 0, err
 				}
 				res, err := measure(a, st, opts, opts.Seed+int64(r)*17, wl == "TPC-H")
 				if err != nil {
-					return nil, err
+					return 0, err
 				}
 				sum.Add(stats.DeviationFromBalance(res.BusyTime))
 			}
-			s.Y = append(s.Y, sum.Mean())
+			return sum.Mean(), nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		t.Series = append(t.Series, s)
+		t.Series = append(t.Series, Series{Name: wl, X: backendRange(opts.MaxBackends), Y: ys})
 	}
 	return t, nil
 }

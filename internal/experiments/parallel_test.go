@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFiguresParallelismInvariant: the worker pool that evaluates a
+// figure's series points must not change any table in any bit. Every
+// point is a pure function of (Options, index), so Parallelism only
+// affects wall-clock time. Checked on figures covering each harness
+// shape: plain throughput sweep (4a), min/avg/max over seeded runs
+// (4h), and a base-normalized speedup series (4f).
+func TestFiguresParallelismInvariant(t *testing.T) {
+	base := Quick()
+	base.MaxBackends = 4
+	base.Runs = 2
+	base.Requests = 400
+	figures := []struct {
+		name string
+		run  func(Options) (*Table, error)
+	}{
+		{"Fig4a", Fig4aTPCHThroughput},
+		{"Fig4f", Fig4fTPCAppSpeedup},
+		{"Fig4h", Fig4hTPCAppDeviation},
+	}
+	for _, fig := range figures {
+		seqOpts := base
+		seqOpts.Parallelism = 1
+		parOpts := base
+		parOpts.Parallelism = 4
+		seq, err := fig.run(seqOpts)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", fig.name, err)
+		}
+		par, err := fig.run(parOpts)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", fig.name, err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("%s: table differs between Parallelism 1 and 4", fig.name)
+		}
+	}
+}

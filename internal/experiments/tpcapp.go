@@ -36,23 +36,21 @@ func Fig4fTPCAppSpeedup(opts Options) (*Table, error) {
 		XLabel: "backends", YLabel: "speedup vs 1 backend",
 	}
 	for _, kind := range []string{"column", "table", "full"} {
-		s := Series{Name: kind, X: backendRange(opts.MaxBackends)}
-		base := 0.0
-		for n := 1; n <= opts.MaxBackends; n++ {
-			a, st, err := tpcappAlloc(kind, n, false)
+		raw, err := collect(opts, opts.MaxBackends, func(i int) (float64, error) {
+			a, st, err := tpcappAlloc(kind, i+1, false)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			res, err := measure(a, st, opts, opts.Seed, false)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			if n == 1 {
-				base = res.Throughput
-			}
-			s.Y = append(s.Y, res.Throughput/base)
+			return res.Throughput, nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		t.Series = append(t.Series, s)
+		t.Series = append(t.Series, Series{Name: kind, X: backendRange(opts.MaxBackends), Y: relativeToFirst(raw)})
 	}
 	return t, nil
 }
@@ -70,22 +68,24 @@ func Fig4gTPCAppThroughput(opts Options) (*Table, error) {
 	}
 	const columnOverhead = 1.04
 	for _, kind := range []string{"column", "table", "full"} {
-		s := Series{Name: kind, X: backendRange(opts.MaxBackends)}
-		for n := 1; n <= opts.MaxBackends; n++ {
-			a, st, err := tpcappAlloc(kind, n, false)
+		ys, err := collect(opts, opts.MaxBackends, func(i int) (float64, error) {
+			a, st, err := tpcappAlloc(kind, i+1, false)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			if kind == "column" {
 				st.scale *= columnOverhead
 			}
 			res, err := measure(a, st, opts, opts.Seed, false)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			s.Y = append(s.Y, res.Throughput)
+			return res.Throughput, nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		t.Series = append(t.Series, s)
+		t.Series = append(t.Series, Series{Name: kind, X: backendRange(opts.MaxBackends), Y: ys})
 	}
 	return t, nil
 }
@@ -103,19 +103,25 @@ func Fig4hTPCAppDeviation(opts Options) (*Table, error) {
 	avg := Series{Name: "average", X: backendRange(opts.MaxBackends)}
 	minS := Series{Name: "minimum", X: avg.X}
 	maxS := Series{Name: "maximum", X: avg.X}
-	for n := 1; n <= opts.MaxBackends; n++ {
+	sums, err := collect(opts, opts.MaxBackends, func(i int) (stats.Summary, error) {
 		var sum stats.Summary
 		for r := 0; r < opts.Runs; r++ {
-			a, st, err := tpcappAlloc("column", n, false)
+			a, st, err := tpcappAlloc("column", i+1, false)
 			if err != nil {
-				return nil, err
+				return sum, err
 			}
 			res, err := measure(a, st, opts, opts.Seed+int64(r)*131, false)
 			if err != nil {
-				return nil, err
+				return sum, err
 			}
 			sum.Add(res.Throughput)
 		}
+		return sum, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, sum := range sums {
 		avg.Y = append(avg.Y, sum.Mean())
 		minS.Y = append(minS.Y, sum.Min())
 		maxS.Y = append(maxS.Y, sum.Max())
@@ -139,24 +145,21 @@ func Fig4iTPCAppLargeScale(opts Options) (*Table, error) {
 		XLabel: "backends", YLabel: "relative throughput (vs 1 backend)",
 	}
 	for _, kind := range []string{"full", "table", "column"} {
-		s := Series{Name: kind}
-		base := 0.0
-		for _, n := range ns {
-			a, st, err := tpcappAlloc(kind, n, true)
+		raw, err := collect(opts, len(ns), func(i int) (float64, error) {
+			a, st, err := tpcappAlloc(kind, ns[i], true)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			res, err := measure(a, st, opts, opts.Seed, false)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			if n == 1 {
-				base = res.Throughput
-			}
-			s.X = append(s.X, float64(n))
-			s.Y = append(s.Y, res.Throughput/base)
+			return res.Throughput, nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		t.Series = append(t.Series, s)
+		t.Series = append(t.Series, Series{Name: kind, X: floats(ns), Y: relativeToFirst(raw)})
 	}
 	return t, nil
 }

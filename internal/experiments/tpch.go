@@ -23,19 +23,21 @@ func Fig4aTPCHThroughput(opts Options) (*Table, error) {
 		XLabel: "backends", YLabel: "queries/sec (simulated)",
 	}
 	for _, kind := range []string{"full", "table", "column", "random"} {
-		s := Series{Name: kind, X: backendRange(opts.MaxBackends)}
-		for n := 1; n <= opts.MaxBackends; n++ {
-			a, st, err := allocFor(kind, n, opts.Seed)
+		ys, err := collect(opts, opts.MaxBackends, func(i int) (float64, error) {
+			a, st, err := allocFor(kind, i+1, opts.Seed)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			res, err := measure(a, st, opts, opts.Seed, true)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			s.Y = append(s.Y, res.Throughput)
+			return res.Throughput, nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		t.Series = append(t.Series, s)
+		t.Series = append(t.Series, Series{Name: kind, X: backendRange(opts.MaxBackends), Y: ys})
 	}
 	return t, nil
 }
@@ -53,19 +55,25 @@ func Fig4bTPCHDeviation(opts Options) (*Table, error) {
 	avg := Series{Name: "average", X: backendRange(opts.MaxBackends)}
 	minS := Series{Name: "minimum", X: avg.X}
 	maxS := Series{Name: "maximum", X: avg.X}
-	for n := 1; n <= opts.MaxBackends; n++ {
+	sums, err := collect(opts, opts.MaxBackends, func(i int) (stats.Summary, error) {
 		var sum stats.Summary
 		for r := 0; r < opts.Runs; r++ {
-			a, st, err := allocFor("column", n, opts.Seed)
+			a, st, err := allocFor("column", i+1, opts.Seed)
 			if err != nil {
-				return nil, err
+				return sum, err
 			}
 			res, err := measure(a, st, opts, opts.Seed+int64(r)*101, true)
 			if err != nil {
-				return nil, err
+				return sum, err
 			}
 			sum.Add(res.Throughput)
 		}
+		return sum, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, sum := range sums {
 		avg.Y = append(avg.Y, sum.Mean())
 		minS.Y = append(minS.Y, sum.Min())
 		maxS.Y = append(maxS.Y, sum.Max())
@@ -86,15 +94,17 @@ func Fig4cReplicationDegree(opts Options) (*Table, error) {
 		Notes: "optimal series limited like the paper's LP (variable count)",
 	}
 	for _, kind := range []string{"full", "table", "column"} {
-		s := Series{Name: kind, X: backendRange(opts.MaxBackends)}
-		for n := 1; n <= opts.MaxBackends; n++ {
-			a, _, err := allocFor(kind, n, opts.Seed)
+		ys, err := collect(opts, opts.MaxBackends, func(i int) (float64, error) {
+			a, _, err := allocFor(kind, i+1, opts.Seed)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			s.Y = append(s.Y, a.DegreeOfReplication())
+			return a.DegreeOfReplication(), nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		t.Series = append(t.Series, s)
+		t.Series = append(t.Series, Series{Name: kind, X: backendRange(opts.MaxBackends), Y: ys})
 	}
 	// Optimal (table-granularity classification keeps the MILP within
 	// reach; the heuristic-vs-optimal gap is what the figure shows).
@@ -102,18 +112,19 @@ func Fig4cReplicationDegree(opts Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	opt := Series{Name: "optimal-table"}
-	for n := 1; n <= opts.OptimalMaxBackends; n++ {
-		res, err := core.Optimal(st.cls, core.UniformBackends(n), core.OptimalOptions{
+	optY, err := collect(opts, opts.OptimalMaxBackends, func(i int) (float64, error) {
+		res, err := core.Optimal(st.cls, core.UniformBackends(i+1), core.OptimalOptions{
 			MaxNodes: opts.OptimalNodeBudget, Timeout: 30 * time.Second,
 		})
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		opt.X = append(opt.X, float64(n))
-		opt.Y = append(opt.Y, res.Allocation.DegreeOfReplication())
+		return res.Allocation.DegreeOfReplication(), nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	t.Series = append(t.Series, opt)
+	t.Series = append(t.Series, Series{Name: "optimal-table", X: backendRange(opts.OptimalMaxBackends), Y: optY})
 	return t, nil
 }
 
@@ -133,22 +144,25 @@ func Fig4dAllocationTime(opts Options) (*Table, error) {
 	}
 	model := matching.DefaultETLCostModel()
 	for _, kind := range []string{"full", "column"} {
-		s := Series{Name: kind, X: backendRange(max)}
-		for n := 1; n <= max; n++ {
+		ys, err := collect(opts, max, func(i int) (float64, error) {
+			n := i + 1
 			a, st, err := allocFor(kind, n, opts.Seed)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			empty := core.NewAllocation(st.cls, core.UniformBackends(n))
 			plan, _, err := matching.PlanMigration(empty, a)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			// Normalize sizes to "full database = 1" so durations are
 			// comparable across strategies.
-			s.Y = append(s.Y, model.Duration(plan, a)/st.cls.TotalSize())
+			return model.Duration(plan, a) / st.cls.TotalSize(), nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		t.Series = append(t.Series, s)
+		t.Series = append(t.Series, Series{Name: kind, X: backendRange(max), Y: ys})
 	}
 	return t, nil
 }
@@ -181,29 +195,32 @@ func Fig4eTPCHScaling(opts Options) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			s := Series{Name: st.labelFor(kindStrategy.name, sf)}
-			base := 0.0
-			for _, n := range ns {
+			raw, err := collect(opts, len(ns), func(i int) (float64, error) {
+				n := ns[i]
 				var a *core.Allocation
 				if kindStrategy.full {
 					a = core.FullReplication(st.cls, core.UniformBackends(n))
 				} else {
+					var err error
 					a, err = core.Greedy(st.cls, core.UniformBackends(n))
 					if err != nil {
-						return nil, err
+						return 0, err
 					}
 				}
 				res, err := measure(a, st, opts, opts.Seed, true)
 				if err != nil {
-					return nil, err
+					return 0, err
 				}
-				if n == 1 {
-					base = res.Throughput
-				}
-				s.X = append(s.X, float64(n))
-				s.Y = append(s.Y, res.Throughput/base)
+				return res.Throughput, nil
+			})
+			if err != nil {
+				return nil, err
 			}
-			t.Series = append(t.Series, s)
+			t.Series = append(t.Series, Series{
+				Name: st.labelFor(kindStrategy.name, sf),
+				X:    floats(ns),
+				Y:    relativeToFirst(raw),
+			})
 		}
 	}
 	return t, nil

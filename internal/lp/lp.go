@@ -168,53 +168,65 @@ func (p *Problem) solveRelaxation(lo, hi []float64) (Solution, error) {
 
 	// Shift variables by their lower bounds: x = y + lo, y >= 0.
 	// Finite upper bounds become extra ≤ rows.
-	type stdRow struct {
-		coef []float64
-		rel  Rel
-		rhs  float64
-	}
-	rows := make([]stdRow, 0, len(p.rows)+n)
-	for _, c := range p.rows {
-		r := stdRow{coef: make([]float64, n), rel: c.rel, rhs: c.rhs}
-		for _, t := range c.terms {
-			r.coef[t.Var] += t.Coef
-			r.rhs -= t.Coef * lo[t.Var]
-		}
-		rows = append(rows, r)
-	}
+	nUB := 0
 	for j := 0; j < n; j++ {
 		if hi[j] < lo[j] {
 			return Solution{Status: Infeasible}, nil
 		}
 		if !math.IsInf(hi[j], 1) {
-			r := stdRow{coef: make([]float64, n), rel: LE, rhs: hi[j] - lo[j]}
-			r.coef[j] = 1
-			rows = append(rows, r)
+			nUB++
 		}
 	}
-	m := len(rows)
+	m := len(p.rows) + nUB
+	// Dense standard-form rows, backed by one slab to keep the per-solve
+	// allocation count flat (this path runs once per local-search probe).
+	coefData := make([]float64, m*n)
+	coef := make([][]float64, m)
+	rhs := make([]float64, m)
+	rel := make([]Rel, m)
+	for i, c := range p.rows {
+		row := coefData[i*n : (i+1)*n]
+		coef[i] = row
+		r := c.rhs
+		for _, t := range c.terms {
+			row[t.Var] += t.Coef
+			r -= t.Coef * lo[t.Var]
+		}
+		rhs[i] = r
+		rel[i] = c.rel
+	}
+	ri := len(p.rows)
+	for j := 0; j < n; j++ {
+		if !math.IsInf(hi[j], 1) {
+			coef[ri] = coefData[ri*n : (ri+1)*n]
+			coef[ri][j] = 1
+			rhs[ri] = hi[j] - lo[j]
+			rel[ri] = LE
+			ri++
+		}
+	}
 
 	// Count auxiliary columns: slack (LE), surplus (GE), artificial
 	// (GE, EQ, and LE rows with negative rhs after sign flip handling).
 	// Normalize to rhs >= 0 first.
-	for i := range rows {
-		if rows[i].rhs < 0 {
-			for j := range rows[i].coef {
-				rows[i].coef[j] = -rows[i].coef[j]
+	for i := 0; i < m; i++ {
+		if rhs[i] < 0 {
+			for j := range coef[i] {
+				coef[i][j] = -coef[i][j]
 			}
-			rows[i].rhs = -rows[i].rhs
-			switch rows[i].rel {
+			rhs[i] = -rhs[i]
+			switch rel[i] {
 			case LE:
-				rows[i].rel = GE
+				rel[i] = GE
 			case GE:
-				rows[i].rel = LE
+				rel[i] = LE
 			}
 		}
 	}
 	nSlack := 0
 	nArt := 0
-	for _, r := range rows {
-		switch r.rel {
+	for i := 0; i < m; i++ {
+		switch rel[i] {
 		case LE:
 			nSlack++
 		case GE:
@@ -225,16 +237,18 @@ func (p *Problem) solveRelaxation(lo, hi []float64) (Solution, error) {
 		}
 	}
 	total := n + nSlack + nArt
-	// tableau: m rows × (total+1) columns; last column is rhs.
+	// tableau: m rows × (total+1) columns; last column is rhs, all rows
+	// in one slab.
+	tabData := make([]float64, m*(total+1))
 	tab := make([][]float64, m)
 	basis := make([]int, m)
 	artStart := n + nSlack
 	si, ai := n, artStart
-	for i, r := range rows {
-		tab[i] = make([]float64, total+1)
-		copy(tab[i], r.coef)
-		tab[i][total] = r.rhs
-		switch r.rel {
+	for i := 0; i < m; i++ {
+		tab[i] = tabData[i*(total+1) : (i+1)*(total+1)]
+		copy(tab[i], coef[i])
+		tab[i][total] = rhs[i]
+		switch rel[i] {
 		case LE:
 			tab[i][si] = 1
 			basis[i] = si

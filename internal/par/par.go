@@ -1,0 +1,44 @@
+// Package par provides the bounded worker pool shared by the parallel
+// memetic solver and the experiments harness. The contract of For is
+// deliberately narrow: every item writes only to its own slot of a
+// pre-sized result slice, so the outcome is independent of how items
+// are distributed over workers.
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// For runs f(i) for every i in [0, n) on at most workers goroutines.
+// workers <= 1 (or n <= 1) degrades to a plain sequential loop, which
+// callers use as the deterministic reference path; higher worker counts
+// must not change any observable result, only wall-clock time. f must
+// confine its writes to per-index state.
+func For(workers, n int, f func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= 0 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check chaos bench bench-smoke clean
+.PHONY: all build test vet race lint check chaos bench bench-smoke clean
 
 all: check
 
@@ -16,10 +16,17 @@ test:
 race:
 	$(GO) test -race ./...
 
-# check is the CI gate: vet, build, then the full suite under the race
-# detector (the parallel ROWA fan-out and the server are concurrent by
-# construction).
-check: vet build race
+# lint runs qcpa-lint, the repo's own go/analysis suite (detrange,
+# detsource, lockorder, atomicfield — see DESIGN.md §9). Zero findings
+# is the contract; waivers are //qcpa:orderinsensitive comments with a
+# stated reason.
+lint:
+	$(GO) run ./cmd/qcpa-lint ./...
+
+# check is the CI gate: vet, lint, build, then the full suite under the
+# race detector (the parallel ROWA fan-out and the server are concurrent
+# by construction).
+check: vet lint build race
 
 # chaos runs the fault-tolerance acceptance tests under the race
 # detector: backends killed and revived while a mixed workload runs,

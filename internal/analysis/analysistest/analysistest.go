@@ -1,0 +1,139 @@
+// Package analysistest runs an analyzer over a testdata package and
+// checks its diagnostics against // want "regexp" comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest (which cannot be a
+// dependency here) closely enough that the testdata format is
+// interchangeable.
+//
+// Expectation syntax: a comment on the line a diagnostic is expected,
+//
+//	x := m[k] // want "part of the expected message"
+//
+// with one quoted regular expression per expected diagnostic on that
+// line. Every expectation must be matched by a diagnostic and every
+// diagnostic must be matched by an expectation.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"qcpa/internal/analysis"
+)
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+
+// Run loads testdataDir/src/<pkgname>, applies the analyzer (bypassing
+// AppliesTo, so testdata packages need no special import path), and
+// reports mismatches through t. The testdata package's imports are
+// resolved from inside the module rooted three levels above testdataDir
+// (internal/analysis/testdata -> module root).
+func Run(t *testing.T, testdataDir string, a *analysis.Analyzer, pkgname string) {
+	t.Helper()
+	dir := testdataDir + "/src/" + pkgname
+	modDir := testdataDir + "/../../.."
+	pkg, err := analysis.LoadDir(dir, modDir, pkgname)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := pkg.NewPass(a, func(d analysis.Diagnostic) { diags = append(diags, d) })
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	got := make(map[key][]string)
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		got[k] = append(got[k], d.Message)
+	}
+
+	want := make(map[key][]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		fileName := pkg.Fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				line := pkg.Fset.Position(c.Pos()).Line
+				res, err := parseWants(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want comment: %v", fileName, line, err)
+				}
+				k := key{fileName, line}
+				want[k] = append(want[k], res...)
+			}
+		}
+	}
+
+	// Match every diagnostic against the wants on its line.
+	for k, msgs := range got {
+		res := want[k]
+		for _, msg := range msgs {
+			matched := -1
+			for i, re := range res {
+				if re != nil && re.MatchString(msg) {
+					matched = i
+					break
+				}
+			}
+			if matched < 0 {
+				t.Errorf("%s:%d: unexpected diagnostic: %s", k.file, k.line, msg)
+				continue
+			}
+			res[matched] = nil // consume
+		}
+	}
+	var unmatched []string
+	for k, res := range want {
+		for _, re := range res {
+			if re != nil {
+				unmatched = append(unmatched, fmt.Sprintf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re))
+			}
+		}
+	}
+	sort.Strings(unmatched)
+	for _, msg := range unmatched {
+		t.Error(msg)
+	}
+}
+
+// parseWants splits `"re1" "re2"` into compiled regexps.
+func parseWants(s string) ([]*regexp.Regexp, error) {
+	var out []*regexp.Regexp
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' {
+			return nil, fmt.Errorf("expected quoted regexp at %q", s)
+		}
+		end := 1
+		for end < len(s) && (s[end] != '"' || s[end-1] == '\\') {
+			end++
+		}
+		if end == len(s) {
+			return nil, fmt.Errorf("unterminated regexp at %q", s)
+		}
+		lit, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			return nil, err
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, re)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	return out, nil
+}

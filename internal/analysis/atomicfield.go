@@ -1,0 +1,181 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// AtomicField guards the lock-free counter contract (runtime/metrics,
+// stats.ExpHistogram, and any future hot-path counters):
+//
+//   - a struct field passed to the function-based sync/atomic API
+//     (atomic.AddInt64(&s.f, ...) et al.) must not also be read or
+//     written plainly — mixed access is a data race the race detector
+//     only catches when both paths happen to run;
+//   - word-sized fields used with the function-based API should be the
+//     typed values (atomic.Int64, atomic.Uint64, ...) instead, which
+//     make every access atomic by construction and guarantee 64-bit
+//     alignment on 32-bit targets (the documented corruption hazard of
+//     atomic.AddInt64 on unaligned addresses).
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "flags struct fields mixing atomic and plain access, and function-based sync/atomic use that should be typed atomic values",
+	Run:  runAtomicField,
+}
+
+// atomicAddrFuncs maps sync/atomic function names to the typed value
+// that replaces them. Every listed function takes the address of the
+// word as its first argument.
+var atomicAddrFuncs = map[string]string{
+	"AddInt32": "atomic.Int32", "AddInt64": "atomic.Int64",
+	"AddUint32": "atomic.Uint32", "AddUint64": "atomic.Uint64",
+	"AddUintptr": "atomic.Uintptr",
+	"LoadInt32":  "atomic.Int32", "LoadInt64": "atomic.Int64",
+	"LoadUint32": "atomic.Uint32", "LoadUint64": "atomic.Uint64",
+	"LoadUintptr": "atomic.Uintptr", "LoadPointer": "atomic.Pointer",
+	"StoreInt32": "atomic.Int32", "StoreInt64": "atomic.Int64",
+	"StoreUint32": "atomic.Uint32", "StoreUint64": "atomic.Uint64",
+	"StoreUintptr": "atomic.Uintptr", "StorePointer": "atomic.Pointer",
+	"SwapInt32": "atomic.Int32", "SwapInt64": "atomic.Int64",
+	"SwapUint32": "atomic.Uint32", "SwapUint64": "atomic.Uint64",
+	"SwapUintptr": "atomic.Uintptr", "SwapPointer": "atomic.Pointer",
+	"CompareAndSwapInt32": "atomic.Int32", "CompareAndSwapInt64": "atomic.Int64",
+	"CompareAndSwapUint32": "atomic.Uint32", "CompareAndSwapUint64": "atomic.Uint64",
+	"CompareAndSwapUintptr": "atomic.Uintptr", "CompareAndSwapPointer": "atomic.Pointer",
+}
+
+type fieldAccess struct {
+	atomicPos  token.Pos // first function-based atomic access
+	typedAs    string    // replacement typed value for the message
+	plainPos   token.Pos // first plain access
+	hasAtomic  bool
+	hasPlain   bool
+	fieldName  string
+	structName string
+}
+
+func runAtomicField(pass *Pass) error {
+	accesses := make(map[*types.Var]*fieldAccess)
+	// consumed marks the selector nodes that are operands of an atomic
+	// call, so the plain-access walk does not double-count them.
+	consumed := make(map[*ast.SelectorExpr]bool)
+
+	record := func(obj *types.Var, sel *ast.SelectorExpr) *fieldAccess {
+		fa := accesses[obj]
+		if fa == nil {
+			fa = &fieldAccess{fieldName: obj.Name(), structName: namedTypeName(pass.TypesInfo.TypeOf(sel.X))}
+			accesses[obj] = fa
+		}
+		return fa
+	}
+
+	fieldOf := func(e ast.Expr) (*types.Var, *ast.SelectorExpr) {
+		sel, ok := e.(*ast.SelectorExpr)
+		if !ok {
+			return nil, nil
+		}
+		v, ok := pass.TypesInfo.ObjectOf(sel.Sel).(*types.Var)
+		if !ok || !v.IsField() {
+			return nil, nil
+		}
+		return v, sel
+	}
+
+	// Pass 1: function-based atomic calls on field addresses.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.ObjectOf(sel.Sel).(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			typed, ok := atomicAddrFuncs[fn.Name()]
+			if !ok {
+				return true
+			}
+			unary, ok := call.Args[0].(*ast.UnaryExpr)
+			if !ok || unary.Op != token.AND {
+				return true
+			}
+			fieldVar, fieldSel := fieldOf(unary.X)
+			if fieldVar == nil {
+				return true
+			}
+			consumed[fieldSel] = true
+			fa := record(fieldVar, fieldSel)
+			if !fa.hasAtomic {
+				fa.hasAtomic = true
+				fa.atomicPos = call.Pos()
+				fa.typedAs = typed
+			}
+			return true
+		})
+	}
+
+	// Pass 2: plain accesses to the same fields.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fieldVar, fieldSel := fieldOf(sel)
+			if fieldVar == nil || consumed[fieldSel] {
+				return true
+			}
+			fa := accesses[fieldVar]
+			if fa == nil {
+				return true // never atomically accessed; plain fields are fine
+			}
+			if !fa.hasPlain {
+				fa.hasPlain = true
+				fa.plainPos = fieldSel.Pos()
+			}
+			return true
+		})
+	}
+
+	var found []*fieldAccess
+	for _, fa := range accesses {
+		if fa.hasAtomic {
+			found = append(found, fa)
+		}
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].atomicPos < found[j].atomicPos })
+	for _, fa := range found {
+		name := fa.fieldName
+		if fa.structName != "" {
+			name = fa.structName + "." + fa.fieldName
+		}
+		if fa.hasPlain {
+			pass.Reportf(fa.plainPos, "field %s is accessed both atomically and non-atomically (atomic access at %s): every access must go through sync/atomic — use a typed %s field so the compiler enforces it", name, pass.Fset.Position(fa.atomicPos), fa.typedAs)
+		} else {
+			pass.Reportf(fa.atomicPos, "field %s uses the function-based sync/atomic API: declare it as %s so atomicity and 64-bit alignment are guaranteed by construction", name, fa.typedAs)
+		}
+	}
+	return nil
+}
+
+// namedTypeName returns the name of t's (possibly pointed-to) named
+// type, or "" for anonymous types.
+func namedTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := types.Unalias(t).(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}

@@ -1,0 +1,401 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DetRange flags `range` over a map in determinism-critical packages.
+//
+// Map iteration order is randomized per run, so any map range whose
+// effect depends on visit order silently breaks the repo's bit-identical
+// guarantees (replica catch-up, memetic results across worker counts,
+// experiment figures). A map range is accepted only when the analyzer
+// can see it is order-insensitive:
+//
+//   - the loop only collects keys/values into a slice that is sorted
+//     later in the same function, and/or
+//   - the loop body is a commutative reduction: integer accumulation
+//     (+=, -=, *=, |=, &=, ^=, ++, --), per-key writes into another map
+//     indexed by the loop key, delete by loop key, and per-iteration
+//     locals, possibly under if/else or nested loops of the same shape.
+//
+// Floating-point accumulation is NOT accepted: float addition is not
+// associative, so summing map values in iteration order drifts in the
+// last bits. Sort the keys first or restructure.
+//
+// Anything else needs an explicit waiver on the range statement (same
+// line or the line above), stating why order cannot matter:
+//
+//	//qcpa:orderinsensitive <reason>
+var DetRange = &Analyzer{
+	Name:      "detrange",
+	Doc:       "flags range over a map in determinism-critical packages unless provably order-insensitive or waived with //qcpa:orderinsensitive",
+	AppliesTo: DetCritical,
+	Run:       runDetRange,
+}
+
+func runDetRange(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn := funcBodyOf(n)
+			if fn == nil {
+				return true
+			}
+			sorted := sortedSlicesIn(pass, fn)
+			ast.Inspect(fn, func(m ast.Node) bool {
+				rs, ok := m.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				checkMapRange(pass, rs, sorted)
+				return true
+			})
+			return false // children handled above
+		})
+	}
+	return nil
+}
+
+// funcBodyOf returns n's body when n is a function root: a FuncDecl,
+// or a FuncLit outside any FuncDecl (package-level var initializer).
+// FuncLits nested in a declaration are reached through the enclosing
+// root's walk, which stops the outer traversal at the root node.
+func funcBodyOf(n ast.Node) *ast.BlockStmt {
+	switch d := n.(type) {
+	case *ast.FuncDecl:
+		return d.Body
+	case *ast.FuncLit:
+		return d.Body
+	}
+	return nil
+}
+
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, sorted map[types.Object]bool) {
+	t := pass.TypesInfo.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if pass.waivedAt(rs.Pos(), dirOrderInsensitive) {
+		return
+	}
+	keyObj := rangeVarObject(pass, rs.Key)
+	c := &reductionChecker{pass: pass, keyObj: keyObj, sorted: sorted}
+	if c.blockAllowed(rs.Body) && c.collectedSorted() {
+		return
+	}
+	why := c.reason
+	if why == "" {
+		why = "loop effect depends on iteration order"
+	}
+	pass.Reportf(rs.Pos(), "nondeterministic range over map (%s): map iteration order varies per run; sort the keys, reduce commutatively, or waive with //qcpa:orderinsensitive <reason>", why)
+}
+
+func rangeVarObject(pass *Pass, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	return pass.TypesInfo.ObjectOf(id)
+}
+
+// sortedSlicesIn collects slice objects that are sorted anywhere in fn
+// via sort.Strings/Ints/Float64s/Slice/SliceStable/Sort or
+// slices.Sort/SortFunc/SortStableFunc. A map range may append to these
+// and remain deterministic.
+func sortedSlicesIn(pass *Pass, fn *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.ObjectOf(sel.Sel)
+		fnObj, ok := obj.(*types.Func)
+		if !ok || fnObj.Pkg() == nil {
+			return true
+		}
+		switch fnObj.Pkg().Path() {
+		case "sort":
+			switch fnObj.Name() {
+			case "Strings", "Ints", "Float64s", "Slice", "SliceStable", "Sort", "Stable":
+			default:
+				return true
+			}
+		case "slices":
+			switch fnObj.Name() {
+			case "Sort", "SortFunc", "SortStableFunc":
+			default:
+				return true
+			}
+		default:
+			return true
+		}
+		if id, ok := call.Args[0].(*ast.Ident); ok {
+			if o := pass.TypesInfo.ObjectOf(id); o != nil {
+				out[o] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// reductionChecker decides whether a map-range body is a commutative
+// reduction. It records the first reason a statement is rejected so the
+// diagnostic can name the violated contract precisely.
+type reductionChecker struct {
+	pass   *Pass
+	keyObj types.Object
+	sorted map[types.Object]bool
+
+	// appended collects slices the loop appends into; they must all be
+	// in sorted for the loop to pass.
+	appended []types.Object
+	// locals are objects declared inside the loop body; assignments to
+	// them are per-iteration and always fine.
+	locals map[types.Object]bool
+
+	reason string
+}
+
+func (c *reductionChecker) reject(why string) bool {
+	if c.reason == "" {
+		c.reason = why
+	}
+	return false
+}
+
+func (c *reductionChecker) collectedSorted() bool {
+	for _, obj := range c.appended {
+		if !c.sorted[obj] && !c.locals[obj] {
+			c.reject("keys/values are collected into a slice that is never sorted in this function")
+			return false
+		}
+	}
+	return true
+}
+
+func (c *reductionChecker) blockAllowed(b *ast.BlockStmt) bool {
+	for _, s := range b.List {
+		if !c.stmtAllowed(s) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *reductionChecker) stmtAllowed(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		return c.assignAllowed(s)
+	case *ast.IncDecStmt:
+		return c.targetAllowed(s.X, "++/-- on a non-integer")
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok && c.isDeleteByKey(call) {
+			return true
+		}
+		return c.reject("calls with unknown side effects inside the loop")
+	case *ast.IfStmt:
+		if s.Init != nil && !c.stmtAllowed(s.Init) {
+			return false
+		}
+		if !c.blockAllowed(s.Body) {
+			return false
+		}
+		switch e := s.Else.(type) {
+		case nil:
+			return true
+		case *ast.BlockStmt:
+			return c.blockAllowed(e)
+		case *ast.IfStmt:
+			return c.stmtAllowed(e)
+		}
+		return c.reject("unsupported else branch")
+	case *ast.BlockStmt:
+		return c.blockAllowed(s)
+	case *ast.RangeStmt:
+		// A nested range over a map is checked on its own by the outer
+		// walk; its *contribution* to this loop must still be a
+		// commutative reduction.
+		return c.blockAllowed(s.Body)
+	case *ast.ForStmt:
+		if s.Init != nil && !c.stmtAllowed(s.Init) {
+			return false
+		}
+		if s.Post != nil && !c.stmtAllowed(s.Post) {
+			return false
+		}
+		return c.blockAllowed(s.Body)
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR && gd.Tok != token.CONST {
+			return c.reject("unsupported declaration inside the loop")
+		}
+		for _, spec := range gd.Specs {
+			if vs, ok := spec.(*ast.ValueSpec); ok {
+				for _, name := range vs.Names {
+					c.markLocal(name)
+				}
+			}
+		}
+		return true
+	case *ast.ReturnStmt:
+		return c.reject("early return makes the result depend on which element is visited first")
+	case *ast.BranchStmt:
+		if s.Tok == token.CONTINUE && s.Label == nil {
+			return true // skip this element; remaining iterations unaffected
+		}
+		return c.reject("break/goto makes the effect depend on which element is visited first")
+	default:
+		return c.reject("statement with order-dependent effects")
+	}
+}
+
+func (c *reductionChecker) markLocal(id *ast.Ident) {
+	if id.Name == "_" {
+		return
+	}
+	if obj := c.pass.TypesInfo.ObjectOf(id); obj != nil {
+		if c.locals == nil {
+			c.locals = make(map[types.Object]bool)
+		}
+		c.locals[obj] = true
+	}
+}
+
+func (c *reductionChecker) assignAllowed(s *ast.AssignStmt) bool {
+	switch s.Tok {
+	case token.DEFINE:
+		// New per-iteration locals; any RHS is fine.
+		for _, lhs := range s.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				c.markLocal(id)
+			}
+		}
+		return true
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+		token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN:
+		if len(s.Lhs) != 1 {
+			return c.reject("multi-assignment")
+		}
+		return c.targetAllowed(s.Lhs[0], "accumulation into a non-integer (float reduction is order-sensitive)")
+	case token.ASSIGN:
+		if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+			// s = append(s, ...) — collection, checked against sorted
+			// slices at the end.
+			if lhs, ok := s.Lhs[0].(*ast.Ident); ok {
+				if call, ok := s.Rhs[0].(*ast.CallExpr); ok && isAppendToSame(c.pass, lhs, call) {
+					if obj := c.pass.TypesInfo.ObjectOf(lhs); obj != nil {
+						c.appended = append(c.appended, obj)
+					}
+					return true
+				}
+			}
+		}
+		for _, lhs := range s.Lhs {
+			if !c.plainAssignTargetAllowed(lhs) {
+				return false
+			}
+		}
+		return true
+	default:
+		return c.reject("unsupported assignment operator")
+	}
+}
+
+// plainAssignTargetAllowed accepts `=` targets that cannot observe
+// iteration order: per-iteration locals, the blank identifier, and
+// per-key writes into a map indexed by the loop key (distinct keys
+// write distinct entries).
+func (c *reductionChecker) plainAssignTargetAllowed(lhs ast.Expr) bool {
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			return true
+		}
+		if obj := c.pass.TypesInfo.ObjectOf(lhs); obj != nil && c.locals[obj] {
+			return true
+		}
+		return c.reject("plain assignment to a variable outside the loop (last-iteration-wins is order-dependent)")
+	case *ast.IndexExpr:
+		if c.isPerKeyMapIndex(lhs) {
+			return true
+		}
+		return c.reject("write to an index not derived from the loop key")
+	case *ast.SelectorExpr:
+		// field of a per-iteration local is fine
+		if id, ok := lhs.X.(*ast.Ident); ok {
+			if obj := c.pass.TypesInfo.ObjectOf(id); obj != nil && c.locals[obj] {
+				return true
+			}
+		}
+		return c.reject("plain assignment to shared state")
+	default:
+		return c.reject("unsupported assignment target")
+	}
+}
+
+// targetAllowed accepts accumulation targets: integer scalars (integer
+// addition is commutative and exact), per-key map entries (any type —
+// distinct keys are independent), and per-iteration locals.
+func (c *reductionChecker) targetAllowed(e ast.Expr, why string) bool {
+	if idx, ok := e.(*ast.IndexExpr); ok && c.isPerKeyMapIndex(idx) {
+		return true
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := c.pass.TypesInfo.ObjectOf(id); obj != nil && c.locals[obj] {
+			return true
+		}
+	}
+	t := c.pass.TypesInfo.TypeOf(e)
+	if t != nil && isIntegerType(t) {
+		return true
+	}
+	return c.reject(why)
+}
+
+// isPerKeyMapIndex reports whether e writes m2[...k...]: an index into
+// a map where the index expression mentions the loop key, so each
+// iteration touches its own entry.
+func (c *reductionChecker) isPerKeyMapIndex(e *ast.IndexExpr) bool {
+	t := c.pass.TypesInfo.TypeOf(e.X)
+	if t == nil {
+		return false
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return false
+	}
+	return mentionsObject(c.pass.TypesInfo, e.Index, c.keyObj)
+}
+
+func (c *reductionChecker) isDeleteByKey(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "delete" || len(call.Args) != 2 {
+		return false
+	}
+	if b, ok := c.pass.TypesInfo.ObjectOf(id).(*types.Builtin); !ok || b.Name() != "delete" {
+		return false
+	}
+	return mentionsObject(c.pass.TypesInfo, call.Args[1], c.keyObj)
+}
+
+func isAppendToSame(pass *Pass, lhs *ast.Ident, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) == 0 {
+		return false
+	}
+	if b, ok := pass.TypesInfo.ObjectOf(id).(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	first, ok := call.Args[0].(*ast.Ident)
+	return ok && pass.TypesInfo.ObjectOf(first) == pass.TypesInfo.ObjectOf(lhs)
+}

@@ -1,0 +1,253 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// NewPass binds an analyzer to a loaded package.
+func (p *Package) NewPass(a *Analyzer, report func(Diagnostic)) *Pass {
+	return &Pass{
+		Analyzer:  a,
+		Fset:      p.Fset,
+		Files:     p.Files,
+		Pkg:       p.Types,
+		TypesInfo: p.Info,
+		Report:    report,
+	}
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -e -export -deps -json` in dir and decodes the
+// concatenated JSON stream. The -export flag makes the go tool compile
+// each package and report its export-data file, which is what lets the
+// type checker resolve imports without golang.org/x/tools and without
+// network access.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, nil
+}
+
+// exportLookup resolves import paths to export-data readers for the gc
+// importer, honoring the import-path remappings (vendored std packages)
+// go list reports.
+type exportLookup struct {
+	exports map[string]string // import path -> export file
+}
+
+func (l *exportLookup) open(path string) (io.ReadCloser, error) {
+	file, ok := l.exports[path]
+	if !ok || file == "" {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(file)
+}
+
+// Load lists the packages matching patterns (resolved relative to dir),
+// type-checks each non-dependency package from source, and returns them
+// sorted by import path. All packages share one FileSet so positions
+// from different packages are directly comparable and printable.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	lookup := &exportLookup{exports: make(map[string]string, len(listed))}
+	var roots []*listedPackage
+	for _, lp := range listed {
+		if lp.Error != nil && !lp.DepOnly {
+			return nil, fmt.Errorf("%s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			lookup.exports[lp.ImportPath] = lp.Export
+			for alias, real := range lp.ImportMap {
+				if real == lp.ImportPath {
+					lookup.exports[alias] = lp.Export
+				}
+			}
+		}
+		if !lp.DepOnly && !lp.Standard {
+			roots = append(roots, lp)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].ImportPath < roots[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", lookup.open)
+	var out []*Package
+	for _, lp := range roots {
+		pkg, err := checkPackage(fset, imp, lp.ImportPath, lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// LoadDir parses and type-checks the single package rooted at dir
+// (every non-test .go file in it), resolving its imports through export
+// data listed from inside the module at modDir. This is how the
+// analysistest harness loads testdata packages, which live outside the
+// module proper.
+func LoadDir(dir, modDir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && len(e.Name()) > 3 && e.Name()[len(e.Name())-3:] == ".go" {
+			files = append(files, e.Name())
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+
+	// Parse first so the import set is known, then list just those
+	// (plus transitive deps) for export data.
+	fset := token.NewFileSet()
+	var asts []*ast.File
+	importSet := make(map[string]bool)
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, dir+"/"+name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		asts = append(asts, f)
+		for _, spec := range f.Imports {
+			p, err := importPathOf(spec)
+			if err != nil {
+				return nil, err
+			}
+			importSet[p] = true
+		}
+	}
+	patterns := make([]string, 0, len(importSet))
+	for p := range importSet {
+		if p != "unsafe" {
+			patterns = append(patterns, p)
+		}
+	}
+	sort.Strings(patterns)
+
+	lookup := &exportLookup{exports: make(map[string]string)}
+	if len(patterns) > 0 {
+		listed, err := goList(modDir, patterns)
+		if err != nil {
+			return nil, err
+		}
+		for _, lp := range listed {
+			if lp.Export != "" {
+				lookup.exports[lp.ImportPath] = lp.Export
+			}
+		}
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup.open)
+	return checkPackageASTs(fset, imp, importPath, asts)
+}
+
+func importPathOf(spec *ast.ImportSpec) (string, error) {
+	s := spec.Path.Value
+	if len(s) < 2 {
+		return "", fmt.Errorf("bad import path %s", s)
+	}
+	return s[1 : len(s)-1], nil
+}
+
+func checkPackage(fset *token.FileSet, imp types.Importer, path, dir string, goFiles []string) (*Package, error) {
+	var asts []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, dir+"/"+name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		asts = append(asts, f)
+	}
+	return checkPackageASTs(fset, imp, path, asts)
+}
+
+func checkPackageASTs(fset *token.FileSet, imp types.Importer, path string, asts []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: &unsafeAwareImporter{imp},
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(path, fset, asts, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: asts, Types: tpkg, Info: info}, nil
+}
+
+// unsafeAwareImporter short-circuits "unsafe", which has no export
+// data, before delegating to the gc importer.
+type unsafeAwareImporter struct{ types.Importer }
+
+func (i *unsafeAwareImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return i.Importer.Import(path)
+}

@@ -1,0 +1,434 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockOrder enforces annotation-declared locking contracts. A function
+// whose doc comment carries
+//
+//	//qcpa:locks dispatchMu
+//
+// must only be called with the named mutex held. The analyzer tracks,
+// per function body and in control-flow order, whether each annotated
+// mutex name is held (x.mu.Lock() sets it, x.mu.Unlock() clears it,
+// defer x.mu.Unlock() keeps it until return), and reports:
+//
+//   - a call to an annotated function from a context where the mutex is
+//     not (provably) held — including goroutines launched while the
+//     caller holds it, since the spawned body runs unlocked;
+//   - an annotated function locking its own precondition mutex (deadlock
+//     on entry, since the caller already holds it).
+//
+// Matching is by mutex *name* (the annotation names a field or
+// variable), which is the right granularity for the cluster's
+// dispatchMu contract: every backend shares the one controller mutex,
+// and the name is unambiguous within the package.
+//
+// The tracking is a conservative approximation: branches merge by
+// intersection (held only if held on every surviving path), loops keep
+// the entry state unless the body changes it, and closures start from
+// the state at their definition when invoked immediately, or from
+// nothing when deferred or spawned.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "checks that functions annotated //qcpa:locks <mu> are only called with <mu> held",
+	Run:  runLockOrder,
+}
+
+func runLockOrder(pass *Pass) error {
+	// Pass 1: collect the locking contracts.
+	contracts := make(map[types.Object]string) // func object -> required mutex name
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if mu := funcLockDirective(fd); mu != "" {
+				if obj := pass.TypesInfo.ObjectOf(fd.Name); obj != nil {
+					contracts[obj] = mu
+				}
+			}
+		}
+	}
+	if len(contracts) == 0 {
+		return nil
+	}
+
+	// Pass 2: check every function body.
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			lc := &lockChecker{pass: pass, contracts: contracts}
+			held := lockState{}
+			if mu := funcLockDirective(fd); mu != "" {
+				held[mu] = true
+				lc.ownContract = mu
+			}
+			lc.scanBlock(fd.Body, held)
+		}
+	}
+	return nil
+}
+
+// lockState maps annotated mutex names to "provably held here".
+type lockState map[string]bool
+
+func (s lockState) clone() lockState {
+	c := make(lockState, len(s))
+	for k, v := range s {
+		// Iterating a 2-entry bool map to copy it is order-insensitive.
+		c[k] = v
+	}
+	return c
+}
+
+// intersect keeps only the mutexes held in both states.
+func (s lockState) intersect(o lockState) {
+	for k, v := range s {
+		if v && !o[k] {
+			s[k] = false
+		}
+	}
+}
+
+type lockChecker struct {
+	pass        *Pass
+	contracts   map[types.Object]string
+	ownContract string // mutex this function's own annotation declares held
+	// handledLits marks func literals whose bodies scanCall already
+	// checked (immediate invocation), so the expression walk does not
+	// re-check them against an empty state.
+	handledLits map[*ast.FuncLit]bool
+}
+
+// mutexNameOf extracts the mutex name from a Lock/Unlock receiver
+// chain: c.dispatchMu.Lock() -> "dispatchMu", mu.Lock() -> "mu".
+func mutexNameOf(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	case *ast.Ident:
+		return e.Name
+	}
+	return ""
+}
+
+// scanBlock walks stmts in order, mutating held.
+func (c *lockChecker) scanBlock(b *ast.BlockStmt, held lockState) {
+	for _, s := range b.List {
+		c.scanStmt(s, held)
+	}
+}
+
+func (c *lockChecker) scanStmt(s ast.Stmt, held lockState) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		c.scanExpr(s.X, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			c.scanExpr(e, held)
+		}
+		for _, e := range s.Lhs {
+			c.scanExpr(e, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.scanExpr(e, held)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.scanStmt(s.Init, held)
+		}
+		c.scanExpr(s.Cond, held)
+		thenHeld := held.clone()
+		c.scanBlock(s.Body, thenHeld)
+		elseHeld := held.clone()
+		if s.Else != nil {
+			c.scanStmt(s.Else, elseHeld)
+		}
+		merge := []lockState{}
+		if !terminates(s.Body) {
+			merge = append(merge, thenHeld)
+		}
+		if s.Else == nil {
+			merge = append(merge, elseHeld)
+		} else if !stmtTerminates(s.Else) {
+			merge = append(merge, elseHeld)
+		}
+		applyMerge(held, merge)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.scanStmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			c.scanExpr(s.Cond, held)
+		}
+		bodyHeld := held.clone()
+		c.scanBlock(s.Body, bodyHeld)
+		if s.Post != nil {
+			c.scanStmt(s.Post, bodyHeld)
+		}
+		held.intersect(bodyHeld) // loop may or may not run
+	case *ast.RangeStmt:
+		c.scanExpr(s.X, held)
+		bodyHeld := held.clone()
+		c.scanBlock(s.Body, bodyHeld)
+		held.intersect(bodyHeld)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.scanStmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			c.scanExpr(s.Tag, held)
+		}
+		c.scanClauses(s.Body, held)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.scanStmt(s.Init, held)
+		}
+		c.scanClauses(s.Body, held)
+	case *ast.SelectStmt:
+		c.scanClauses(s.Body, held)
+	case *ast.BlockStmt:
+		c.scanBlock(s, held)
+	case *ast.GoStmt:
+		// The spawned goroutine runs concurrently: whatever the caller
+		// holds is NOT held inside it.
+		c.scanCall(s.Call, lockState{}, true)
+	case *ast.DeferStmt:
+		// Deferred Unlocks keep the mutex held for the rest of the
+		// body; other deferred calls run at return, when lock state is
+		// unknown — check them against an empty state.
+		if name := c.lockCallName(s.Call, "Unlock"); name != "" {
+			return
+		}
+		c.scanCall(s.Call, lockState{}, true)
+	case *ast.LabeledStmt:
+		c.scanStmt(s.Stmt, held)
+	case *ast.IncDecStmt:
+		c.scanExpr(s.X, held)
+	case *ast.SendStmt:
+		c.scanExpr(s.Chan, held)
+		c.scanExpr(s.Value, held)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.scanExpr(v, held)
+					}
+				}
+			}
+		}
+	}
+}
+
+func applyMerge(held lockState, branches []lockState) {
+	if len(branches) == 0 {
+		return // every branch terminates; following code is unreachable
+	}
+	merged := branches[0]
+	for _, b := range branches[1:] {
+		merged.intersect(b)
+	}
+	for k := range held {
+		held[k] = merged[k]
+	}
+	for k, v := range merged {
+		// Propagating locks acquired in all branches; bool map copy is
+		// order-insensitive.
+		held[k] = v
+	}
+}
+
+func (c *lockChecker) scanClauses(b *ast.BlockStmt, held lockState) {
+	var merge []lockState
+	hasDefault := false
+	for _, cl := range b.List {
+		clHeld := held.clone()
+		var body []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cl.List {
+				c.scanExpr(e, held)
+			}
+			body = cl.Body
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			} else {
+				c.scanStmt(cl.Comm, clHeld)
+			}
+			body = cl.Body
+		}
+		terminated := false
+		for _, s := range body {
+			c.scanStmt(s, clHeld)
+			if stmtTerminates(s) {
+				terminated = true
+			}
+		}
+		if !terminated {
+			merge = append(merge, clHeld)
+		}
+	}
+	if !hasDefault {
+		merge = append(merge, held.clone()) // no case may match
+	}
+	applyMerge(held, merge)
+}
+
+// lockCallName returns the mutex name when call is <path>.<method>()
+// with the given method name (Lock/Unlock/RLock/RUnlock on a selector
+// chain), else "".
+func (c *lockChecker) lockCallName(call *ast.CallExpr, method string) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return ""
+	}
+	// Confirm the receiver is a sync mutex so field names that happen
+	// to collide with annotated mutexes don't flip the state.
+	if t := c.pass.TypesInfo.TypeOf(sel.X); t != nil {
+		if name := namedTypeName(t); name != "Mutex" && name != "RWMutex" {
+			return ""
+		}
+	}
+	return mutexNameOf(sel.X)
+}
+
+func (c *lockChecker) scanExpr(e ast.Expr, held lockState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			c.scanCall(n, held, false)
+			return true
+		case *ast.FuncLit:
+			if c.handledLits[n] {
+				return false // already checked at its immediate call site
+			}
+			// A literal that is stored or passed runs at an unknown
+			// time: check its body against an empty state.
+			inner := &lockChecker{pass: c.pass, contracts: c.contracts}
+			inner.scanBlock(n.Body, lockState{})
+			return false
+		}
+		return true
+	})
+}
+
+// scanCall processes one call: Lock/Unlock state transitions, contract
+// checks on the callee, and immediate invocation of func literals.
+// detached marks calls whose execution is decoupled from this point
+// (go/defer), where acquiring a lock has no effect on the caller's
+// state.
+func (c *lockChecker) scanCall(call *ast.CallExpr, held lockState, detached bool) {
+	// State transitions first (arguments of nested calls were visited
+	// by the enclosing ast.Inspect).
+	if name := c.lockCallName(call, "Lock"); name != "" {
+		if held[name] {
+			mu := name
+			if c.ownContract == mu {
+				c.pass.Reportf(call.Pos(), "function is annotated //qcpa:locks %s (callers already hold it) but locks %s itself: deadlock on entry", mu, mu)
+			} else {
+				c.pass.Reportf(call.Pos(), "%s.Lock() while %s is already held on every path here: double lock", mu, mu)
+			}
+		}
+		if !detached {
+			held[name] = true
+		}
+		return
+	}
+	if name := c.lockCallName(call, "Unlock"); name != "" {
+		if !detached {
+			held[name] = false
+		}
+		return
+	}
+
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		if c.handledLits == nil {
+			c.handledLits = make(map[*ast.FuncLit]bool)
+		}
+		c.handledLits[lit] = true
+		state := held.clone()
+		if detached {
+			state = lockState{}
+		}
+		inner := &lockChecker{pass: c.pass, contracts: c.contracts, handledLits: c.handledLits}
+		inner.scanBlock(lit.Body, state)
+		return
+	}
+
+	callee := calleeObject(c.pass.TypesInfo, call)
+	if callee == nil {
+		return
+	}
+	mu, ok := c.contracts[callee]
+	if !ok {
+		return
+	}
+	if !held[mu] {
+		where := "without holding it"
+		if detached {
+			where = "from a goroutine/deferred call that does not hold it"
+		}
+		c.pass.Reportf(call.Pos(), "call to %s, which requires %s held (//qcpa:locks %s), %s: lock %s first or call from a //qcpa:locks %s function", callee.Name(), mu, mu, where, mu, mu)
+	}
+}
+
+// calleeObject resolves the function or method object a call invokes,
+// or nil for indirect calls.
+func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if f, ok := info.ObjectOf(fun).(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.ObjectOf(fun.Sel).(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// terminates reports whether a block always transfers control away
+// (return, branch, panic) at its end.
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	return stmtTerminates(b.List[len(b.List)-1])
+}
+
+func stmtTerminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return terminates(s)
+	case *ast.IfStmt:
+		return terminates(s.Body) && s.Else != nil && stmtTerminates(s.Else)
+	case *ast.LabeledStmt:
+		return stmtTerminates(s.Stmt)
+	}
+	return false
+}

@@ -1,0 +1,78 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"qcpa/internal/analysis"
+	"qcpa/internal/analysis/analysistest"
+)
+
+func TestDetRange(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.DetRange, "detrange")
+}
+
+func TestDetSource(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.DetSource, "detsource")
+}
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.LockOrder, "lockorder")
+}
+
+func TestAtomicField(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.AtomicField, "atomicfield")
+}
+
+func TestDetCritical(t *testing.T) {
+	critical := []string{
+		"qcpa/internal/core",
+		"qcpa/internal/classify",
+		"qcpa/internal/matching",
+		"qcpa/internal/lp",
+		"qcpa/internal/experiments",
+		"qcpa/internal/sim",
+		"qcpa/internal/workload",
+		"qcpa/internal/workload/tpch",
+		"qcpa/internal/workload/tpcapp",
+		"qcpa/internal/workload/trace",
+	}
+	for _, p := range critical {
+		if !analysis.DetCritical(p) {
+			t.Errorf("DetCritical(%q) = false, want true", p)
+		}
+	}
+	exempt := []string{
+		"qcpa/internal/cluster",
+		"qcpa/internal/runtime/metrics",
+		"qcpa/internal/analysis",
+		"qcpa/cmd/qcpa-lint",
+		"qcpa/internal/corefoo", // prefix match must respect path boundaries
+	}
+	for _, p := range exempt {
+		if analysis.DetCritical(p) {
+			t.Errorf("DetCritical(%q) = true, want false", p)
+		}
+	}
+}
+
+func TestSuite(t *testing.T) {
+	suite := analysis.Suite()
+	if len(suite) != 4 {
+		t.Fatalf("Suite() has %d analyzers, want 4", len(suite))
+	}
+	seen := map[string]bool{}
+	for _, a := range suite {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q missing name, doc, or run function", a.Name)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	for _, want := range []string{"detrange", "detsource", "lockorder", "atomicfield"} {
+		if !seen[want] {
+			t.Errorf("Suite() missing analyzer %q", want)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+// Package atomicfield exercises the atomicfield analyzer: fields mixing
+// atomic and plain access, function-based sync/atomic use on fields
+// that should be typed values, and the typed-value pattern that passes.
+package atomicfield
+
+import "sync/atomic"
+
+type counters struct {
+	hits   int64
+	misses int64
+	plain  int64
+	good   atomic.Int64
+}
+
+func (c *counters) recordHit() {
+	atomic.AddInt64(&c.hits, 1) // want "declare it as atomic.Int64"
+}
+
+func (c *counters) loadHits() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+func (c *counters) recordMiss() {
+	atomic.AddInt64(&c.misses, 1)
+}
+
+func (c *counters) totalMisses() int64 {
+	return c.misses // want "accessed both atomically and non-atomically"
+}
+
+func (c *counters) bumpPlain() {
+	c.plain++ // never atomically accessed: fine
+}
+
+func (c *counters) recordGood() {
+	c.good.Add(1) // typed value: atomic by construction
+}
+
+func (c *counters) loadGood() int64 {
+	return c.good.Load()
+}

@@ -1,0 +1,132 @@
+// Package detrange exercises the detrange analyzer: map ranges that
+// must be flagged, commutative reductions that must pass, and the
+// //qcpa:orderinsensitive waiver.
+package detrange
+
+import "sort"
+
+func unsortedCollect(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "never sorted"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func sortedCollect(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortSliceCollect(m map[int]string) []int {
+	var ids []int
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func intSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func floatSum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want "float reduction is order-sensitive"
+		total += v
+	}
+	return total
+}
+
+func perKeyWrite(src map[string]int, dst map[string]int) {
+	for k, v := range src {
+		dst[k] = v * 2
+	}
+}
+
+func valueIndexedWrite(src map[string]int, dst map[int]string) {
+	for k, v := range src { // want "index not derived from the loop key"
+		dst[v] = k
+	}
+}
+
+func earlyReturn(m map[string]int) string {
+	for k := range m { // want "early return"
+		return k
+	}
+	return ""
+}
+
+func lastWins(m map[string]int) int {
+	var last int
+	for _, v := range m { // want "plain assignment to a variable outside the loop"
+		last = v
+	}
+	return last
+}
+
+func waivedMax(m map[string]float64) float64 {
+	maxV := 0.0
+	//qcpa:orderinsensitive pure max over values; max is commutative
+	for _, v := range m {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	return maxV
+}
+
+func deleteAll(keep map[string]bool, m map[string]int) {
+	for k := range m {
+		if !keep[k] {
+			delete(m, k)
+		}
+	}
+}
+
+func conditionalCount(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		if v > 10 {
+			n++
+		} else {
+			continue
+		}
+	}
+	return n
+}
+
+func localsOnly(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		scaled := v * 3
+		scaled++
+		total += scaled
+	}
+	return total
+}
+
+func sideEffectCall(m map[string]int) {
+	for k := range m { // want "unknown side effects"
+		observe(k)
+	}
+}
+
+func observe(string) {}
+
+func sliceRangeIsFine(xs []float64) float64 {
+	total := 0.0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,53 @@
+// Package detsource exercises the detsource analyzer: wall-clock and
+// global math/rand calls that must be flagged, and the seeded-stream
+// and injected-clock patterns that must pass.
+package detsource
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want "wall-clock read time.Now"
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "wall-clock read time.Since"
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want "global math/rand source"
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global math/rand source"
+}
+
+func seededStream(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10) // method on a local stream: fine
+}
+
+type options struct {
+	Now func() time.Time
+}
+
+// withDefaults stores time.Now as the default of an injectable clock:
+// permitted (only calls are flagged), and the sanctioned escape hatch
+// for wall-clock budgets.
+func (o options) withDefaults() options {
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+func deadline(o options, d time.Duration) time.Time {
+	o = o.withDefaults()
+	return o.Now().Add(d) // reads go through the injection point: fine
+}
+
+func pureTimeMath(t, u time.Time) time.Duration {
+	return t.Sub(u) // deterministic given inputs: fine
+}

@@ -125,6 +125,8 @@ type backend struct {
 // acceptsWrites reports whether ROWA updates enqueue directly onto the
 // backend (as opposed to its redo log). Called under dispatchMu so the
 // decision is serialized with recovery's drain-and-flip.
+//
+//qcpa:locks dispatchMu
 func (b *backend) acceptsWrites() bool {
 	switch b.health.State() {
 	case runtime.Up, runtime.Degraded:
@@ -703,6 +705,8 @@ func (c *Cluster) executeWrite(ctx context.Context, stmt sqlmini.Statement, sql,
 // Overflow beyond Config.RedoLogCap marks the log lost (and frees it):
 // the backend will recover by full table re-copy instead of replay.
 // Called with dispatchMu held — the log order IS the global order.
+//
+//qcpa:locks dispatchMu
 func (c *Cluster) appendRedoLocked(b *backend, stmt sqlmini.Statement, sql string) {
 	if b.redoLost {
 		return
@@ -763,7 +767,12 @@ func (c *Cluster) record(sql string, d time.Duration) {
 }
 
 // evictJournalLocked drops roughly the least-frequent eighth of the
-// journal (at least one entry). Called with journalMu held.
+// journal (at least one entry). Candidates at the count threshold are
+// evicted in sorted SQL order, not map order, so which of several
+// equally-cold entries go is reproducible run to run (the journal feeds
+// the classification, which feeds Result).
+//
+//qcpa:locks journalMu
 func (c *Cluster) evictJournalLocked() {
 	counts := make([]int, 0, len(c.journal))
 	for _, line := range c.journal {
@@ -775,14 +784,18 @@ func (c *Cluster) evictJournalLocked() {
 		quota = 1
 	}
 	threshold := counts[quota-1]
+	cand := make([]string, 0, quota)
 	for sql, line := range c.journal {
-		if quota == 0 {
-			break
-		}
 		if line.count <= threshold {
-			delete(c.journal, sql)
-			quota--
+			cand = append(cand, sql)
 		}
+	}
+	sort.Strings(cand)
+	if len(cand) > quota {
+		cand = cand[:quota]
+	}
+	for _, sql := range cand {
+		delete(c.journal, sql)
 	}
 }
 

@@ -295,6 +295,8 @@ func (c *Cluster) verifyChecksums(b *backend, rep *CatchUpReport) error {
 // Called with dispatchMu held so health states cannot flip under the
 // grouping decisions of resync/verifyChecksums (Fail and Recover's
 // final transition also hold dispatchMu).
+//
+//qcpa:locks dispatchMu
 func (c *Cluster) liveHolderLocked(table string, exclude *backend) *backend {
 	var degraded *backend
 	for _, o := range c.backends {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 )
 
 // allocationJSON is the stable wire form of an allocation, including
@@ -106,11 +107,18 @@ func DecodeAllocation(r io.Reader) (*Allocation, error) {
 			}
 			a.AddFragments(i, FragmentID(f))
 		}
-		for name, w := range b.Assign {
+		// Sorted order so a decode error (and any future side effect)
+		// is deterministic regardless of map iteration order.
+		names := make([]string, 0, len(b.Assign))
+		for name := range b.Assign {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
 			if cls.Class(name) == nil {
 				return nil, fmt.Errorf("core: backend %s assigns unknown class %q", b.Name, name)
 			}
-			a.SetAssign(i, name, w)
+			a.SetAssign(i, name, b.Assign[name])
 		}
 	}
 	if err := a.Validate(); err != nil {

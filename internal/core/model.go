@@ -296,11 +296,13 @@ func (cl *Classification) SizeOf(frags []FragmentID) float64 {
 }
 
 // TotalSize returns the size of the complete database, i.e. the sum of
-// all fragment sizes.
+// all fragment sizes. Summation follows fragOrder: float addition is
+// not associative, so summing in map-iteration order would drift in
+// the last bits across runs.
 func (cl *Classification) TotalSize() float64 {
 	s := 0.0
-	for _, f := range cl.fragments {
-		s += f.Size
+	for _, id := range cl.fragOrder {
+		s += cl.fragments[id].Size
 	}
 	return s
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 )
 
 // SpeedupUnderDrift evaluates Section 5's workload-change analysis: the
@@ -19,7 +20,14 @@ import (
 // 4 to 4/1.08 ≈ 3.7.
 func SpeedupUnderDrift(a *Allocation, newWeights map[string]float64) (float64, error) {
 	cls := a.Classification()
+	// Validate in sorted order so which error surfaces (when several
+	// classes are bad) does not depend on map iteration order.
+	names := make([]string, 0, len(newWeights))
 	for name := range newWeights {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
 		if cls.Class(name) == nil {
 			return 0, fmt.Errorf("core: unknown class %q", name)
 		}

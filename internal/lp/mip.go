@@ -14,6 +14,13 @@ type MIPOptions struct {
 	// IntegralityTol is the tolerance for treating a relaxation value
 	// as integral; 0 means 1e-6.
 	IntegralityTol float64
+	// Now supplies the clock that Timeout is enforced against; nil
+	// means the wall clock. Tests inject a fake clock to exercise the
+	// deadline path deterministically, and keeping every clock read
+	// behind this option is what makes the solver detsource-clean
+	// (wall-clock termination is inherently irreproducible — MaxNodes
+	// is the deterministic budget).
+	Now func() time.Time
 }
 
 func (o MIPOptions) withDefaults() MIPOptions {
@@ -22,6 +29,9 @@ func (o MIPOptions) withDefaults() MIPOptions {
 	}
 	if o.IntegralityTol == 0 {
 		o.IntegralityTol = 1e-6
+	}
+	if o.Now == nil {
+		o.Now = time.Now
 	}
 	return o
 }
@@ -35,7 +45,7 @@ func (p *Problem) SolveMIP(opts MIPOptions) (Solution, error) {
 	opts = opts.withDefaults()
 	deadline := time.Time{}
 	if opts.Timeout > 0 {
-		deadline = time.Now().Add(opts.Timeout)
+		deadline = opts.Now().Add(opts.Timeout)
 	}
 
 	type node struct {
@@ -51,7 +61,7 @@ func (p *Problem) SolveMIP(opts MIPOptions) (Solution, error) {
 	proven := true
 
 	for len(stack) > 0 {
-		if nodes >= opts.MaxNodes || (!deadline.IsZero() && time.Now().After(deadline)) {
+		if nodes >= opts.MaxNodes || (!deadline.IsZero() && opts.Now().After(deadline)) {
 			proven = false
 			break
 		}

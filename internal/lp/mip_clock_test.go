@@ -1,0 +1,95 @@
+package lp
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a deterministic clock: every reading advances it by
+// step, so tests can walk SolveMIP across its deadline without real
+// sleeping or wall-clock reads.
+type fakeClock struct {
+	now   time.Time
+	step  time.Duration
+	reads int
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.reads++
+	c.now = c.now.Add(c.step)
+	return c.now
+}
+
+// branchy builds a problem whose root relaxation is fractional, so the
+// solver must branch and the per-node deadline check is exercised.
+func branchy() *Problem {
+	p := NewProblem()
+	vars := make([]Term, 8)
+	for i := range vars {
+		v := p.AddBinary(-1)
+		vars[i] = Term{v, 1.5}
+	}
+	p.AddConstraint(LE, 7, vars...)
+	return p
+}
+
+// TestMIPDeadlineDeterministic: with an injected clock that jumps one
+// second per reading and a 1.5-second budget, the deadline computation
+// reads once and the first node's check reads once (inside budget); the
+// second node's check is past the deadline. Exactly one node is
+// explored, every run, with no wall-clock dependence.
+func TestMIPDeadlineDeterministic(t *testing.T) {
+	clock := &fakeClock{now: time.Unix(0, 0), step: time.Second}
+	s, err := branchy().SolveMIP(MIPOptions{
+		Timeout: 1500 * time.Millisecond,
+		Now:     clock.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Nodes != 1 {
+		t.Fatalf("explored %d nodes, want exactly 1 (deadline after first node)", s.Nodes)
+	}
+	if s.Status == Optimal {
+		t.Fatalf("status = optimal, but the budget cannot prove optimality")
+	}
+	if clock.reads != 3 {
+		t.Fatalf("clock read %d times, want 3 (deadline + 2 node checks)", clock.reads)
+	}
+}
+
+// TestMIPFrozenClockNeverTimesOut: a clock that never advances makes
+// any positive Timeout unreachable, so the solve runs to proven
+// optimality and matches the untimed solve bit for bit.
+func TestMIPFrozenClockNeverTimesOut(t *testing.T) {
+	frozen := time.Unix(1700000000, 0)
+	timed, err := branchy().SolveMIP(MIPOptions{
+		Timeout: time.Nanosecond,
+		Now:     func() time.Time { return frozen },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	untimed, err := branchy().SolveMIP(MIPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if timed.Status != Optimal || timed.Status != untimed.Status ||
+		timed.Objective != untimed.Objective || timed.Nodes != untimed.Nodes {
+		t.Fatalf("timed solve (status %v obj %v nodes %d) != untimed (status %v obj %v nodes %d)",
+			timed.Status, timed.Objective, timed.Nodes,
+			untimed.Status, untimed.Objective, untimed.Nodes)
+	}
+}
+
+// TestMIPNilNowDefaultsToWallClock: leaving Now unset must not panic
+// and must still respect a generous timeout.
+func TestMIPNilNowDefaultsToWallClock(t *testing.T) {
+	s, err := branchy().SolveMIP(MIPOptions{Timeout: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", s.Status)
+	}
+}

@@ -197,6 +197,7 @@ func (m ETLCostModel) Duration(plan *Plan, newA *core.Allocation) float64 {
 		}
 	}
 	maxT := 0.0
+	//qcpa:orderinsensitive pure max over values, no argmax: max is commutative
 	for _, t := range perBackend {
 		if t > maxT {
 			maxT = t

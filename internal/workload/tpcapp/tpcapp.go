@@ -23,6 +23,7 @@ package tpcapp
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync/atomic"
 
 	"qcpa/internal/sqlmini"
@@ -186,6 +187,10 @@ func Load(e *sqlmini.Engine, tables []string, rows map[string]int64, seed int64)
 		for t := range schema {
 			tables = append(tables, t)
 		}
+		// Tables are loaded sequentially off one seeded rng stream, so
+		// load order must not depend on map iteration order or every
+		// table's generated rows would differ between runs.
+		sort.Strings(tables)
 	}
 	want := map[string]bool{}
 	for _, t := range tables {

@@ -19,6 +19,7 @@ package tpch
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"qcpa/internal/sqlmini"
 	"qcpa/internal/workload"
@@ -90,6 +91,10 @@ func Load(e *sqlmini.Engine, tables []string, rows map[string]int64, seed int64)
 		for t := range schema {
 			tables = append(tables, t)
 		}
+		// Tables are loaded sequentially off one seeded rng stream, so
+		// load order must not depend on map iteration order or every
+		// table's generated rows would differ between runs.
+		sort.Strings(tables)
 	}
 	want := make(map[string]bool, len(tables))
 	for _, t := range tables {

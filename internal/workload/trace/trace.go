@@ -130,8 +130,13 @@ func ClassCost(class string) float64 { return classCost[class] }
 // with 8% of every segment's weight.
 func Classification(buckets []int) (*core.Classification, error) {
 	cls := core.NewClassification()
-	for id, size := range tableSizes {
-		cls.AddFragment(core.Fragment{ID: id, Size: size})
+	ids := make([]core.FragmentID, 0, len(tableSizes))
+	for id := range tableSizes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		cls.AddFragment(core.Fragment{ID: id, Size: tableSizes[id]})
 	}
 	weights := make(map[string]float64)
 	total := 0.0

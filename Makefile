@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race lint check chaos bench bench-smoke clean
+.PHONY: all build test vet race lint check chaos chaos-migrate bench bench-smoke clean
 
 all: check
 
@@ -35,6 +35,14 @@ check: vet lint build race
 # gets a dedicated timeout.
 chaos:
 	$(GO) test -race -run 'Chaos|Recover|Failover|RedoLog' -timeout 120s ./internal/cluster/
+
+# chaos-migrate runs the online-reallocation suite under the race
+# detector: live migrations and resizes with concurrent traffic, delta
+# capture under injected writes, and a backend killed mid-copy (the
+# migration must abort cleanly or complete — never leave a partial
+# replica serving).
+chaos-migrate:
+	$(GO) test -race -run 'MigrateLive|ResizeLive|ResizeSameCount' -count=2 -timeout 120s ./internal/cluster/
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

@@ -15,6 +15,12 @@
 //	qcpa-server -connect 127.0.0.1:7070 -cmd health
 //	qcpa-server -connect 127.0.0.1:7070 -cmd fail -backend B2
 //	qcpa-server -connect 127.0.0.1:7070 -cmd recover -backend B2
+//
+// Online reallocation (the cluster keeps serving throughout):
+//
+//	qcpa-server -connect 127.0.0.1:7070 -cmd migrate
+//	qcpa-server -connect 127.0.0.1:7070 -cmd resize -backends 4
+//	qcpa-server -connect 127.0.0.1:7070 -cmd migration
 package main
 
 import (
@@ -41,24 +47,27 @@ func main() {
 		sql      = flag.String("sql", "", "statement to execute (client mode)")
 		class    = flag.String("class", "", "query class hint (client mode)")
 		write    = flag.Bool("write", false, "route as update (client mode)")
-		cmd      = flag.String("cmd", "", "protocol command: history | stats | metrics | health | fail | recover (client mode)")
+		cmd      = flag.String("cmd", "", "protocol command: history | stats | metrics | health | fail | recover | migrate | resize | migration (client mode)")
 		backend  = flag.String("backend", "", "target of -cmd fail/recover (client mode)")
-		backends = flag.Int("backends", 3, "number of backends (server mode)")
+		backends = flag.Int("backends", 3, "number of backends (server mode); target count of -cmd resize (client mode)")
 		strategy = flag.String("strategy", "table", "classification granularity: table | column")
 		policy   = flag.String("policy", "least-pending", "read scheduling policy: least-pending | random | round-robin (server mode)")
 		timeout  = flag.Duration("timeout", 0, "per-request timeout, 0 = none (server mode)")
 		retries  = flag.Int("max-retries", 2, "read failover retries after the first attempt (server mode)")
 		backoff  = flag.Duration("backoff", 0, "base delay for full-jitter retry backoff, 0 = library default (server mode)")
 		redoCap  = flag.Int("redo-cap", 0, "per-backend redo-log cap before falling back to full resync, 0 = default (server mode)")
+		migBatch = flag.Int("migrate-batch", 0, "rows per live-migration restore batch, 0 = default (server mode)")
+		migPause = flag.Duration("migrate-pause", 0, "pause between live-migration batches, 0 = full speed (server mode)")
 	)
 	flag.Parse()
 
 	switch {
 	case *connect != "":
-		runClient(*connect, *sql, *class, *cmd, *backend, *write)
+		runClient(*connect, *sql, *class, *cmd, *backend, *backends, *write)
 	case *listen != "":
 		runServer(*listen, *backends, *strategy, *policy,
-			cluster.Config{Timeout: *timeout, MaxRetries: *retries, Backoff: *backoff, RedoLogCap: *redoCap})
+			cluster.Config{Timeout: *timeout, MaxRetries: *retries, Backoff: *backoff, RedoLogCap: *redoCap},
+			cluster.LiveOptions{BatchRows: *migBatch, BatchPause: *migPause})
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -70,7 +79,7 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func runServer(addr string, n int, strategy, policy string, cfg cluster.Config) {
+func runServer(addr string, n int, strategy, policy string, cfg cluster.Config, live cluster.LiveOptions) {
 	kind, err := runtime.ParseKind(policy)
 	if err != nil {
 		fatal(err)
@@ -116,7 +125,27 @@ func runServer(addr string, n int, strategy, policy string, cfg cluster.Config) 
 	if err != nil {
 		fatal(err)
 	}
-	srv := server.Serve(ln, c)
+	// The reallocation planner: reclassify the recorded query history
+	// (the boot journal until real traffic arrives) and allocate for the
+	// requested backend count.
+	planner := func(nb int) (*core.Allocation, error) {
+		journal := c.History()
+		if len(journal) == 0 {
+			journal = mix.Journal(10000)
+		}
+		r, err := qcpa.ClassifyJournal(journal, tpcapp.Schema(), copts)
+		if err != nil {
+			return nil, err
+		}
+		return qcpa.Allocate(r.Classification, qcpa.UniformBackends(nb), qcpa.AllocateOptions{})
+	}
+	srv := server.ServeConfig(ln, c, server.Config{
+		Planner: planner,
+		Loader: func(e *sqlmini.Engine, tables []string) error {
+			return tpcapp.Load(e, tables, loadRows, 42)
+		},
+		Live: live,
+	})
 	fmt.Printf("qcpa-server: serving %d backends on %s (policy %s)\n", n, srv.Addr(), kind)
 	fmt.Printf("allocation:\n%s\n", alloc)
 
@@ -127,7 +156,7 @@ func runServer(addr string, n int, strategy, policy string, cfg cluster.Config) 
 	_ = srv.Close()
 }
 
-func runClient(addr, sql, class, cmd, backend string, write bool) {
+func runClient(addr, sql, class, cmd, backend string, backends int, write bool) {
 	client, err := server.Dial(addr)
 	if err != nil {
 		fatal(err)
@@ -136,7 +165,7 @@ func runClient(addr, sql, class, cmd, backend string, write bool) {
 	var resp *server.Response
 	switch {
 	case cmd != "":
-		resp, err = client.Do(server.Request{Cmd: cmd, Backend: backend})
+		resp, err = client.Do(server.Request{Cmd: cmd, Backend: backend, Backends: backends})
 	case write:
 		resp, err = client.Exec(sql, class)
 	default:
@@ -178,6 +207,22 @@ func runClient(addr, sql, class, cmd, backend string, write bool) {
 		}
 		for node, classes := range h.AtRisk {
 			fmt.Printf("at risk: losing %s takes down %v\n", node, classes)
+		}
+	case resp.Report != nil:
+		rep := resp.Report
+		fmt.Printf("reallocation done: %d tables copied (%d rows), %d loaded (%d rows), %d dropped, %d deltas replayed\n",
+			rep.CopiedTables, rep.CopiedRows, rep.LoadedTables, rep.LoadedRows, rep.DroppedTables, rep.DeltaReplayed)
+		fmt.Printf("worst cutover pause: %v\n", time.Duration(rep.CutoverPause).Round(time.Microsecond))
+	case resp.Migration != nil:
+		st := resp.Migration
+		if st.Active {
+			fmt.Printf("migration in flight: phase %s on %s.%s, %d/%d tables, %d rows copied, %d loaded, %d deltas replayed, worst pause %dus\n",
+				st.Phase, st.Backend, st.Table, st.TablesDone, st.TablesTotal, st.CopiedRows, st.LoadedRows, st.DeltaReplayed, st.CutoverPauseUS)
+		} else if st.Err != "" {
+			fmt.Printf("last migration failed after %d/%d tables: %s\n", st.TablesDone, st.TablesTotal, st.Err)
+		} else {
+			fmt.Printf("no migration in flight; last run: %d/%d tables, %d rows copied, %d loaded, worst pause %dus\n",
+				st.TablesDone, st.TablesTotal, st.CopiedRows, st.LoadedRows, st.CutoverPauseUS)
 		}
 	case resp.CatchUp != nil:
 		cu := resp.CatchUp

@@ -178,9 +178,10 @@ func runCluster(n, requests, workers int, seed int64, policy runtime.Kind, chaos
 }
 
 // runElastic demonstrates Section 5's elasticity on the real runtime:
-// the cluster grows from 2 to 4 backends and shrinks back, shipping
-// tables live between engines (cluster.Resize) while the workload keeps
-// being servable between phases.
+// the cluster grows from 2 to 4 backends and shrinks back with the
+// online path (cluster.ResizeLive): tables ship in throttled batches
+// while the cluster keeps serving, and the only foreground stall is
+// the per-table cutover barrier reported below.
 func runElastic(requests int, seed int64) {
 	mix, err := tpcapp.Mix(1)
 	if err != nil {
@@ -227,19 +228,22 @@ func runElastic(requests int, seed int64) {
 	}
 
 	phase("2 nodes:")
-	rep, err := c.Resize(allocFor(4), loader)
+	live := cluster.LiveOptions{}
+	rep, err := c.ResizeLive(allocFor(4), loader, live)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("scale-out 2->4: copied %d tables (%d rows), loaded %d, dropped %d\n",
-		rep.CopiedTables, rep.MovedRows, rep.LoadedTables, rep.DroppedTables)
+	fmt.Printf("scale-out 2->4: copied %d tables (%d rows), loaded %d, dropped %d, %d deltas replayed, cutover pause %v\n",
+		rep.CopiedTables, rep.MovedRows, rep.LoadedTables, rep.DroppedTables,
+		rep.DeltaReplayed, time.Duration(rep.CutoverPause).Round(time.Microsecond))
 	phase("4 nodes:")
-	rep, err = c.Resize(allocFor(2), loader)
+	rep, err = c.ResizeLive(allocFor(2), loader, live)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("scale-in 4->2: copied %d tables (%d rows), loaded %d, dropped %d\n",
-		rep.CopiedTables, rep.MovedRows, rep.LoadedTables, rep.DroppedTables)
+	fmt.Printf("scale-in 4->2: copied %d tables (%d rows), loaded %d, dropped %d, %d deltas replayed, cutover pause %v\n",
+		rep.CopiedTables, rep.MovedRows, rep.LoadedTables, rep.DroppedTables,
+		rep.DeltaReplayed, time.Duration(rep.CutoverPause).Round(time.Microsecond))
 	phase("2 nodes again:")
 }
 

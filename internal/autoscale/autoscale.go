@@ -41,6 +41,16 @@ type Options struct {
 	// lightly loaded backend answers in about one service time, so a
 	// window average of three service times signals queueing.
 	ScaleUpLatency, ScaleDownLatency float64
+	// MigrationSecondsPerUnit converts one unit of planned migration
+	// volume (matching.Plan.MoveSize) into seconds of background copy
+	// load on the receiving backend at the start of the next window —
+	// the live-migration model: the cluster keeps serving while tables
+	// ship, paying a temporary slowdown instead of an outage. Zero
+	// disables the model (reallocations are free, as before).
+	MigrationSecondsPerUnit float64
+	// MigrationSlowdown is the service-time multiplier a backend pays
+	// while its copy stream is open (default 1.25).
+	MigrationSlowdown float64
 	// Seed drives trace generation (default 1).
 	Seed int64
 }
@@ -61,6 +71,9 @@ func (o Options) withDefaults() Options {
 	if o.ScaleDownLatency == 0 {
 		o.ScaleDownLatency = 1.6 * o.ServiceSeconds
 	}
+	if o.MigrationSlowdown == 0 {
+		o.MigrationSlowdown = 1.25
+	}
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
@@ -75,6 +88,10 @@ type BucketStat struct {
 	AvgLatency float64 // seconds
 	MaxLatency float64
 	MovedBytes float64 // migration volume entering this window
+	// MigrationSecs is the total background copy-stream time open
+	// during this window (live-migration load carried over from the
+	// reallocation decided at the previous window's end).
+	MigrationSecs float64
 }
 
 // Run replays the trace with autonomic scaling and returns one stat per
@@ -177,8 +194,11 @@ func run(opts Options, static int) ([]BucketStat, error) {
 	}
 
 	var out []BucketStat
+	var pendingMig []sim.Migration
 	for b := 0; b < trace.Buckets; b++ {
-		res, err := sim.RunOpenLoop(sim.Options{Alloc: alloc, Seed: opts.Seed + int64(b)}, perBucket[b])
+		migs := pendingMig
+		pendingMig = nil
+		res, err := sim.RunOpenLoop(sim.Options{Alloc: alloc, Seed: opts.Seed + int64(b), Migrations: migs}, perBucket[b])
 		if err != nil {
 			return nil, fmt.Errorf("autoscale: bucket %d: %w", b, err)
 		}
@@ -188,6 +208,9 @@ func run(opts Options, static int) ([]BucketStat, error) {
 			Nodes:      nodes,
 			AvgLatency: res.AvgLatency,
 			MaxLatency: res.MaxLatency,
+		}
+		for _, w := range migs {
+			st.MigrationSecs += w.To - w.From
 		}
 
 		// Utilization anticipates queueing: scaling on response time
@@ -229,6 +252,35 @@ func run(opts Options, static int) ([]BucketStat, error) {
 				return nil, err
 			}
 			st.MovedBytes = plan.MoveSize
+			// The live path: the moves become background copy load on
+			// their destinations during the next window (Move.ToBackend
+			// is an old-physical index; the next window's sim indexes
+			// backends by new-logical position, so map through the
+			// matching).
+			if opts.MigrationSecondsPerUnit > 0 {
+				newLogical := make(map[int]int, len(plan.Mapping))
+				for v, u := range plan.Mapping {
+					newLogical[u] = v
+				}
+				perDest := make(map[int]float64)
+				for _, mv := range plan.Moves {
+					if v, ok := newLogical[mv.ToBackend]; ok {
+						perDest[v] += mv.Size * opts.MigrationSecondsPerUnit
+					}
+				}
+				for v := 0; v < target; v++ {
+					secs := perDest[v]
+					if secs <= 0 {
+						continue
+					}
+					if secs > 600 {
+						secs = 600 // a copy stream never outlives its window here
+					}
+					pendingMig = append(pendingMig, sim.Migration{
+						Backend: v, From: 0, To: secs, Slowdown: opts.MigrationSlowdown,
+					})
+				}
+			}
 			alloc = newAlloc
 			nodes = target
 			curSeg = nextSeg
@@ -246,6 +298,9 @@ type Summary struct {
 	MinNodes    int
 	NodeBuckets int // Σ nodes over buckets: the capacity bill
 	MovedBytes  float64
+	// MigrationSecs is the total background copy-stream time paid
+	// across the day (0 when the live-migration model is disabled).
+	MigrationSecs float64
 }
 
 // Summarize aggregates bucket stats.
@@ -269,6 +324,7 @@ func Summarize(stats []BucketStat) Summary {
 		}
 		s.NodeBuckets += st.Nodes
 		s.MovedBytes += st.MovedBytes
+		s.MigrationSecs += st.MigrationSecs
 	}
 	if n > 0 {
 		s.AvgLatency = total / float64(n)

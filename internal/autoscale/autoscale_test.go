@@ -132,3 +132,45 @@ func TestDriftDetectorDefaults(t *testing.T) {
 		t.Fatalf("defaults = %v/%v", d.threshold(), d.windows())
 	}
 }
+
+// TestLiveMigrationLoadModel: with the live-migration cost model on,
+// reallocations charge background copy load to the receiving backends
+// in the following window. The day must record migration time, stay
+// stable (latency bounded, same scaling shape), and cost at least as
+// much as the free-migration run.
+func TestLiveMigrationLoadModel(t *testing.T) {
+	free, err := Run(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := testOpts()
+	opts.MigrationSecondsPerUnit = 20
+	opts.MigrationSlowdown = 1.5
+	live, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sFree, sLive := Summarize(free), Summarize(live)
+	if sLive.MigrationSecs <= 0 {
+		t.Fatal("no migration time recorded with the model enabled")
+	}
+	if sFree.MigrationSecs != 0 {
+		t.Fatalf("free run recorded %v migration seconds", sFree.MigrationSecs)
+	}
+	// Windows and MovedBytes must agree about when migrations happen: a
+	// bucket with migration time must follow a bucket that moved data.
+	for i, st := range live {
+		if st.MigrationSecs > 0 && (i == 0 || live[i-1].MovedBytes == 0) {
+			t.Fatalf("bucket %d has migration load without a preceding move", i)
+		}
+	}
+	// The run must stay healthy under the extra load.
+	for _, st := range live {
+		if st.AvgLatency > 10*0.15*2 {
+			t.Fatalf("bucket %d: avg latency %.3fs exploded under migration load", st.Bucket, st.AvgLatency)
+		}
+	}
+	if sLive.AvgLatency < sFree.AvgLatency {
+		t.Fatalf("migration load made the day faster (%.4f < %.4f)", sLive.AvgLatency, sFree.AvgLatency)
+	}
+}

@@ -94,7 +94,7 @@ func (ch *Chaos) run() {
 		default:
 		}
 		var ups []*backend
-		for _, b := range ch.c.backends {
+		for _, b := range ch.c.all() {
 			if b.health.State() == runtime.Up {
 				ups = append(ups, b)
 			}
@@ -158,7 +158,7 @@ func (ch *Chaos) record(ev ChaosEvent, recovered bool) {
 func (ch *Chaos) Stop() *ChaosReport {
 	ch.once.Do(func() { close(ch.stop) })
 	<-ch.done
-	for _, b := range ch.c.backends {
+	for _, b := range ch.c.all() {
 		if b.health.State() != runtime.Down {
 			continue
 		}

@@ -102,10 +102,16 @@ const failThreshold = 3
 // update applier, and its health state (see health.go for the state
 // machine and recovery path).
 type backend struct {
-	name     string
-	engine   *sqlmini.Engine
-	tables   map[string]bool
-	metrics  *metrics.Backend
+	name    string
+	engine  *sqlmini.Engine
+	metrics *metrics.Backend
+	// tables is the backend's routing table set, copy-on-write: the map
+	// behind the pointer is immutable, mutators swap in a fresh copy, so
+	// the lock-free routing paths (eligible, executeWrite's holder scan)
+	// read it without synchronization. Mutations are serialized by their
+	// callers — stop-the-world paths under Cluster.mu, live-migration
+	// cutovers under Cluster.dispatchMu.
+	tables   atomic.Pointer[map[string]bool]
 	updateCh chan *updateJob
 	wg       sync.WaitGroup
 	readSem  chan struct{}
@@ -120,6 +126,69 @@ type backend struct {
 	redo      []*updateJob
 	redoLost  bool
 	downSince time.Time
+	// capture maps tables this backend is receiving through a live
+	// migration to their delta logs (guarded by Cluster.dispatchMu).
+	// A captured table is disjoint from the held set: the backend holds
+	// it only after the migration's cutover barrier.
+	capture map[string]*deltaLog
+}
+
+// tableSet returns the backend's current table set. The returned map
+// must not be mutated — see the tables field.
+func (b *backend) tableSet() map[string]bool { return *b.tables.Load() }
+
+// holds reports whether the backend currently holds a table.
+func (b *backend) holds(t string) bool { return b.tableSet()[t] }
+
+// holdsAll reports whether the backend holds every listed table.
+func (b *backend) holdsAll(ts []string) bool {
+	set := b.tableSet()
+	for _, t := range ts {
+		if !set[t] {
+			return false
+		}
+	}
+	return true
+}
+
+// holdsAny reports whether the backend holds any listed table.
+func (b *backend) holdsAny(ts []string) bool {
+	set := b.tableSet()
+	for _, t := range ts {
+		if set[t] {
+			return true
+		}
+	}
+	return false
+}
+
+// setTables replaces the table set wholesale (stop-the-world paths own
+// the map they pass in; it must not be mutated afterwards).
+func (b *backend) setTables(ts map[string]bool) { b.tables.Store(&ts) }
+
+// addTable publishes one more held table (a live-migration cutover,
+// under dispatchMu).
+func (b *backend) addTable(t string) {
+	old := b.tableSet()
+	ts := make(map[string]bool, len(old)+1)
+	for k := range old {
+		ts[k] = true
+	}
+	ts[t] = true
+	b.tables.Store(&ts)
+}
+
+// removeTable unpublishes a held table (a live-migration drop, under
+// dispatchMu).
+func (b *backend) removeTable(t string) {
+	old := b.tableSet()
+	ts := make(map[string]bool, len(old))
+	for k := range old {
+		if k != t {
+			ts[k] = true
+		}
+	}
+	b.tables.Store(&ts)
 }
 
 // acceptsWrites reports whether ROWA updates enqueue directly onto the
@@ -152,6 +221,8 @@ type updateJob struct {
 	sums     map[string]uint64 // checksum result, valid after done
 	snapshot *snapshotWait     // serialize these tables at this queue position
 	restore  []*snapshotWait   // await and install these snapshots
+	clone    *cloneWait        // deep-copy a table at this queue position
+	drop     []string          // drop these tables at this queue position
 }
 
 // snapshotWait carries a table snapshot from a source backend's applier
@@ -164,14 +235,24 @@ type snapshotWait struct {
 
 // Cluster is the controller plus its backends.
 type Cluster struct {
-	cfg      Config
-	backends []*backend
+	cfg Config
+	// nodes is the published backend slice, swapped atomically so the
+	// lock-free request paths iterate a consistent pool while elastic
+	// live resizes grow or shrink it. Swaps are serialized under liveMu
+	// (and additionally ordered with the update fan-out by holding
+	// dispatchMu when a swap must not race an enqueue).
+	nodes atomic.Pointer[[]*backend]
 
 	policy  runtime.Policy
 	rng     *rand.Rand // concurrency-safe (runtime.NewLockedRand)
 	metrics *metrics.Registry
 
-	mu         sync.Mutex // guards alloc, classFrags, journal
+	// liveMu serializes the allocation-changing operations — Install,
+	// Migrate, Resize, MigrateLive, ResizeLive: at most one reallocation
+	// runs at a time. Lock order: liveMu > mu > dispatchMu.
+	liveMu sync.Mutex
+
+	mu         sync.Mutex // guards alloc, classFrags
 	alloc      *core.Allocation
 	classFrags map[string][]string // class -> required tables
 
@@ -183,8 +264,20 @@ type Cluster struct {
 	stmtMu    sync.RWMutex
 	stmtCache map[string]sqlmini.Statement
 
+	migMu sync.Mutex // guards mig (live-migration progress)
+	mig   MigrationStatus
+
 	stopped atomic.Bool
 }
+
+// all returns the published backend slice. The slice is immutable;
+// resizes publish a new one.
+func (c *Cluster) all() []*backend { return *c.nodes.Load() }
+
+// setNodes publishes a new backend slice (serialized under liveMu; held
+// together with dispatchMu when the swap must be ordered with the
+// update fan-out).
+func (c *Cluster) setNodes(bs []*backend) { c.nodes.Store(&bs) }
 
 type journalLine struct {
 	count int
@@ -222,10 +315,11 @@ func New(cfg Config) (*Cluster, error) {
 		journal:   make(map[string]*journalLine),
 		stmtCache: make(map[string]sqlmini.Statement),
 	}
+	bs := make([]*backend, 0, len(cfg.Backends))
 	for _, b := range cfg.Backends {
-		be := c.newBackend(b.Name)
-		c.backends = append(c.backends, be)
+		bs = append(bs, c.newBackend(b.Name))
 	}
+	c.setNodes(bs)
 	return c, nil
 }
 
@@ -235,11 +329,11 @@ func (c *Cluster) newBackend(name string) *backend {
 	be := &backend{
 		name:     name,
 		engine:   sqlmini.New(),
-		tables:   make(map[string]bool),
 		metrics:  metrics.NewBackend(),
 		updateCh: make(chan *updateJob, 1024),
 		readSem:  make(chan struct{}, c.cfg.ReadWorkers),
 	}
+	be.setTables(make(map[string]bool))
 	be.wg.Add(1)
 	go be.applyUpdates()
 	return be
@@ -268,6 +362,15 @@ func (b *backend) applyUpdates() {
 			job.done <- err
 		case job.restore != nil:
 			err := b.applyRestore(job.restore)
+			b.metrics.DecPending()
+			job.done <- err
+		case job.clone != nil:
+			cols, rows, err := b.engine.CloneTable(job.clone.table)
+			job.clone.cols, job.clone.rows = cols, rows
+			b.metrics.DecPending()
+			job.done <- err
+		case job.drop != nil:
+			err := b.applyDrop(job.drop)
 			b.metrics.DecPending()
 			job.done <- err
 		default:
@@ -308,12 +411,27 @@ func (b *backend) applyRestore(waits []*snapshotWait) error {
 	return nil
 }
 
+// applyDrop removes tables at this queue position: serialized with the
+// updates the backend received while it still held them, so a drop from
+// a live migration never races an in-flight apply.
+func (b *backend) applyDrop(tables []string) error {
+	for _, t := range tables {
+		if b.engine.Table(t) == nil {
+			continue
+		}
+		if _, err := b.engine.Exec("DROP TABLE " + t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Close shuts the backends down.
 func (c *Cluster) Close() {
 	if c.stopped.Swap(true) {
 		return
 	}
-	for _, b := range c.backends {
+	for _, b := range c.all() {
 		close(b.updateCh)
 		b.wg.Wait()
 	}
@@ -324,14 +442,17 @@ func (c *Cluster) Close() {
 // allocation's classification. The loader receives the table list each
 // backend needs.
 func (c *Cluster) Install(alloc *core.Allocation, load Loader) error {
-	if alloc.NumBackends() != len(c.backends) {
-		return fmt.Errorf("cluster: allocation has %d backends, cluster has %d", alloc.NumBackends(), len(c.backends))
+	c.liveMu.Lock()
+	defer c.liveMu.Unlock()
+	backends := c.all()
+	if alloc.NumBackends() != len(backends) {
+		return fmt.Errorf("cluster: allocation has %d backends, cluster has %d", alloc.NumBackends(), len(backends))
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var wg sync.WaitGroup
-	errs := make([]error, len(c.backends))
-	for i, b := range c.backends {
+	errs := make([]error, len(backends))
+	for i, b := range backends {
 		tables := map[string]bool{}
 		for _, f := range alloc.Fragments(i) {
 			tables[TableOfFragment(f)] = true
@@ -345,7 +466,7 @@ func (c *Cluster) Install(alloc *core.Allocation, load Loader) error {
 		go func(b *backend, list []string, tables map[string]bool, i int) {
 			defer wg.Done()
 			b.engine = sqlmini.New() // wipe
-			b.tables = tables
+			b.setTables(tables)
 			if len(list) > 0 {
 				if err := load(b.engine, list); err != nil {
 					errs[i] = fmt.Errorf("cluster: install backend %s: %w", b.name, err)
@@ -364,15 +485,25 @@ func (c *Cluster) Install(alloc *core.Allocation, load Loader) error {
 	// A freshly installed allocation starts with every backend healthy:
 	// whatever was Down or mid-recovery has just been wiped and reloaded.
 	c.dispatchMu.Lock()
-	for _, b := range c.backends {
+	for _, b := range backends {
 		b.health.Set(runtime.Up)
 		b.health.ResetFailures()
 		b.direct.Store(false)
 		b.redo = nil
 		b.redoLost = false
 		b.downSince = time.Time{}
+		b.capture = nil
 	}
 	c.dispatchMu.Unlock()
+	c.installRoutingLocked(alloc)
+	return nil
+}
+
+// installRoutingLocked swaps the routing metadata — the installed
+// allocation and the class -> tables map — to a new allocation.
+//
+//qcpa:locks mu
+func (c *Cluster) installRoutingLocked(alloc *core.Allocation) {
 	c.alloc = alloc
 	c.classFrags = make(map[string][]string)
 	for _, cl := range alloc.Classification().Classes() {
@@ -387,7 +518,6 @@ func (c *Cluster) Install(alloc *core.Allocation, load Loader) error {
 		sort.Strings(list)
 		c.classFrags[cl.Name] = list
 	}
-	return nil
 }
 
 // eligible returns the backends holding every table the class needs.
@@ -395,15 +525,8 @@ func (c *Cluster) Install(alloc *core.Allocation, load Loader) error {
 // referenced by the statement itself (parsed lazily by Execute).
 func (c *Cluster) eligible(tables []string) []*backend {
 	var out []*backend
-	for _, b := range c.backends {
-		ok := true
-		for _, t := range tables {
-			if !b.tables[t] {
-				ok = false
-				break
-			}
-		}
-		if ok {
+	for _, b := range c.all() {
+		if b.holdsAll(tables) {
 			out = append(out, b)
 		}
 	}
@@ -455,9 +578,10 @@ func (c *Cluster) ExecuteContext(ctx context.Context, req workload.Request) (*Re
 	c.mu.Unlock()
 	if !ok {
 		// Route by the statement's own table references.
-		schema := sqlmini.SchemaOf(c.backends[0].engine)
+		backends := c.all()
+		schema := sqlmini.SchemaOf(backends[0].engine)
 		// Use the union schema of all backends for analysis.
-		for _, b := range c.backends[1:] {
+		for _, b := range backends[1:] {
 			for t, cols := range sqlmini.SchemaOf(b.engine) {
 				schema[t] = cols
 			}
@@ -527,6 +651,14 @@ func (c *Cluster) executeRead(ctx context.Context, stmt sqlmini.Statement, class
 	tried := make(map[*backend]bool, len(elig))
 	var lastErr error
 	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			// A live-migration cutover may have published new holders
+			// between attempts; recompute eligibility so failover can
+			// land on them.
+			if e2 := c.eligible(tables); len(e2) > 0 {
+				elig = e2
+			}
+		}
 		cand := readCandidates(elig, tried)
 		if len(cand) == 0 {
 			break
@@ -565,6 +697,15 @@ func (c *Cluster) executeRead(ctx context.Context, stmt sqlmini.Statement, class
 			return nil, ctx.Err()
 		}
 		if !sqlmini.IsEngineFailure(err) {
+			if sqlmini.IsMissingTable(err) && !best.holdsAll(tables) {
+				// Stale route: a live-migration drop removed the table
+				// between routing and execution. Not the backend's fault
+				// and not a genuine statement error — fail over without
+				// a health penalty.
+				tried[best] = true
+				lastErr = err
+				continue
+			}
 			// A statement error fails identically on every replica —
 			// surface it without burning retries or blaming the backend.
 			return nil, err
@@ -586,29 +727,38 @@ func (c *Cluster) executeRead(ctx context.Context, stmt sqlmini.Statement, class
 }
 
 func (c *Cluster) executeWrite(ctx context.Context, stmt sqlmini.Statement, sql, class string, tables []string) (*Result, error) {
-	// Targets: every backend holding ANY of the referenced tables (it
-	// must hold all of them if the allocation is valid).
-	var all []*backend
-	for _, b := range c.backends {
-		for _, t := range tables {
-			if b.tables[t] {
-				all = append(all, b)
-				break
-			}
-		}
-	}
-	if len(all) == 0 {
-		return nil, fmt.Errorf("cluster: no backend holds tables %v for update", tables)
+	// Route by the actually-written table when the statement names one
+	// (a class can span more tables than any single statement; during a
+	// live migration a backend may transiently hold only part of a
+	// class's tables, and fanning the update to a non-holder would
+	// error there and quarantine it).
+	routeTables := tables
+	if wt := sqlmini.WriteTable(stmt); wt != "" {
+		routeTables = []string{wt}
 	}
 	// The dispatch lock fixes the global order: it is held until every
 	// live replica has this update in its queue — and every Down (or
 	// still-replaying) replica has it in its redo log — so conflicting
 	// updates reach every common backend in the same sequence whether
-	// applied now or replayed later. Within one update the enqueues fan
-	// out through a bounded worker pool — a replica with a full queue
-	// delays only its own enqueue instead of serializing the whole
-	// fan-out.
+	// applied now or replayed later. The holder scan happens under the
+	// same hold, so a live-migration cutover is either wholly before
+	// this update (the new replica is a target) or wholly after it (the
+	// update lands in the migration's delta capture below). Within one
+	// update the enqueues fan out through a bounded worker pool — a
+	// replica with a full queue delays only its own enqueue instead of
+	// serializing the whole fan-out.
+	backends := c.all()
 	c.dispatchMu.Lock()
+	var all []*backend
+	for _, b := range backends {
+		if b.holdsAny(routeTables) {
+			all = append(all, b)
+		}
+	}
+	if len(all) == 0 {
+		c.dispatchMu.Unlock()
+		return nil, fmt.Errorf("cluster: no backend holds tables %v for update", routeTables)
+	}
 	var targets []*backend
 	for _, b := range all {
 		if b.acceptsWrites() {
@@ -626,6 +776,22 @@ func (c *Cluster) executeWrite(ctx context.Context, stmt sqlmini.Statement, sql,
 	for _, b := range all {
 		if !b.acceptsWrites() {
 			c.appendRedoLocked(b, stmt, sql)
+		}
+	}
+	// Live-migration delta capture: a backend mid-copy of one of the
+	// written tables records the update for catch-up replay. Captured
+	// tables are disjoint from held tables (the destination holds the
+	// table only after cutover), so no update is both applied directly
+	// and captured.
+	for _, b := range backends {
+		if len(b.capture) == 0 {
+			continue
+		}
+		for _, t := range routeTables {
+			if dl, ok := b.capture[t]; ok && !b.holds(t) {
+				c.appendDeltaLocked(dl, stmt, sql)
+				break
+			}
 		}
 	}
 	c.metrics.ObserveFanout(len(targets))
@@ -833,7 +999,8 @@ func (c *Cluster) Metrics() *metrics.Snapshot {
 		Fanout:      c.metrics.Fanout(),
 		Reliability: c.metrics.Reliability(),
 	}
-	for _, b := range c.backends {
+	snap.Migration = c.metrics.Migration()
+	for _, b := range c.all() {
 		bs := b.metrics.Snapshot(b.name)
 		bs.State = b.health.State().String()
 		snap.Backends = append(snap.Backends, bs)
@@ -842,16 +1009,17 @@ func (c *Cluster) Metrics() *metrics.Snapshot {
 }
 
 // NumBackends returns the number of backends.
-func (c *Cluster) NumBackends() int { return len(c.backends) }
+func (c *Cluster) NumBackends() int { return len(c.all()) }
 
 // Backend returns the engine of backend i (tests and examples inspect
 // replica state through it).
-func (c *Cluster) Backend(i int) *sqlmini.Engine { return c.backends[i].engine }
+func (c *Cluster) Backend(i int) *sqlmini.Engine { return c.all()[i].engine }
 
 // Tables returns the tables held by backend i, sorted.
 func (c *Cluster) Tables(i int) []string {
-	out := make([]string, 0, len(c.backends[i].tables))
-	for t := range c.backends[i].tables {
+	set := c.all()[i].tableSet()
+	out := make([]string, 0, len(set))
+	for t := range set {
 		out = append(out, t)
 	}
 	sort.Strings(out)
@@ -885,7 +1053,7 @@ type Stats struct {
 // component.
 func (c *Cluster) Run(next func() workload.Request, n, concurrency int) (*Stats, error) {
 	if concurrency <= 0 {
-		concurrency = 2 * len(c.backends)
+		concurrency = 2 * len(c.all())
 	}
 	var (
 		mu       sync.Mutex

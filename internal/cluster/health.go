@@ -25,7 +25,7 @@ import (
 
 // findBackend resolves a backend by name.
 func (c *Cluster) findBackend(name string) (*backend, error) {
-	for _, b := range c.backends {
+	for _, b := range c.all() {
 		if b.name == name {
 			return b, nil
 		}
@@ -192,7 +192,7 @@ func (c *Cluster) resync(b *backend, rep *CatchUpReport) error {
 	c.dispatchMu.Lock()
 	bySource := make(map[*backend][]string)
 	var skipped []string
-	for t := range b.tables {
+	for t := range b.tableSet() {
 		src := c.liveHolderLocked(t, b)
 		if src == nil {
 			skipped = append(skipped, t)
@@ -238,7 +238,7 @@ func (c *Cluster) verifyChecksums(b *backend, rep *CatchUpReport) error {
 	c.dispatchMu.Lock()
 	bySource := make(map[*backend][]string)
 	var verifiable, skipped []string
-	for t := range b.tables {
+	for t := range b.tableSet() {
 		src := c.liveHolderLocked(t, b)
 		if src == nil {
 			skipped = append(skipped, t)
@@ -299,8 +299,8 @@ func (c *Cluster) verifyChecksums(b *backend, rep *CatchUpReport) error {
 //qcpa:locks dispatchMu
 func (c *Cluster) liveHolderLocked(table string, exclude *backend) *backend {
 	var degraded *backend
-	for _, o := range c.backends {
-		if o == exclude || !o.tables[table] {
+	for _, o := range c.all() {
+		if o == exclude || !o.holds(table) {
 			continue
 		}
 		switch o.health.State() {
@@ -355,7 +355,7 @@ func (c *Cluster) Health() *HealthReport {
 	rep := &HealthReport{}
 	now := time.Now()
 	c.dispatchMu.Lock()
-	for _, b := range c.backends {
+	for _, b := range c.all() {
 		bh := BackendHealth{
 			Name:     b.name,
 			State:    b.health.State().String(),

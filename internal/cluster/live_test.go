@@ -1,0 +1,549 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"qcpa/internal/classify"
+	"qcpa/internal/core"
+	"qcpa/internal/sqlmini"
+	"qcpa/internal/workload"
+	"qcpa/internal/workload/tpcapp"
+)
+
+// liveFixture: 2 backends with initial layout B1{a,b} / B2{b} and an
+// update class on each table, so live migrations run against real ROWA
+// write traffic. The allocation is 1-safe for b (two replicas) and
+// 0-safe for a (one replica) — exactly the shape a reallocation wants
+// to fix.
+func liveFixture(t *testing.T) (*Cluster, *core.Classification, Loader) {
+	t.Helper()
+	cl := core.NewClassification()
+	cl.AddFragment(core.Fragment{ID: "a", Size: 1})
+	cl.AddFragment(core.Fragment{ID: "b", Size: 1})
+	cl.MustAddClass(core.NewClass("QA", core.Read, 0.3, "a"))
+	cl.MustAddClass(core.NewClass("QB", core.Read, 0.3, "b"))
+	cl.MustAddClass(core.NewClass("UA", core.Update, 0.2, "a"))
+	cl.MustAddClass(core.NewClass("UB", core.Update, 0.2, "b"))
+	alloc := core.NewAllocation(cl, core.UniformBackends(2))
+	alloc.AddFragments(0, "a", "b")
+	alloc.SetAssign(0, "QA", 0.3)
+	alloc.SetAssign(0, "QB", 0.15)
+	alloc.SetAssign(0, "UA", 0.2)
+	alloc.SetAssign(0, "UB", 0.2)
+	alloc.AddFragments(1, "b")
+	alloc.SetAssign(1, "QB", 0.15)
+	alloc.SetAssign(1, "UB", 0.2)
+	if err := alloc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Config{Backends: core.UniformBackends(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	loader := func(e *sqlmini.Engine, tables []string) error {
+		for _, tb := range tables {
+			if e.Table(tb) != nil {
+				continue
+			}
+			if err := e.CreateTable(tb, []sqlmini.Column{
+				{Name: tb + "_id", Type: sqlmini.KindInt, PrimaryKey: true},
+				{Name: tb + "_v", Type: sqlmini.KindInt},
+			}); err != nil {
+				return err
+			}
+			rows := make([]sqlmini.Row, 20)
+			for i := range rows {
+				rows[i] = sqlmini.Row{sqlmini.Int(int64(i)), sqlmini.Int(int64(i))}
+			}
+			if err := e.BulkInsert(tb, rows); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := c.Install(alloc, loader); err != nil {
+		t.Fatal(err)
+	}
+	return c, cl, loader
+}
+
+// fullAlloc places both tables (and all four classes) on both backends.
+func fullAlloc(t *testing.T, cl *core.Classification) *core.Allocation {
+	t.Helper()
+	alloc := core.FullReplication(cl, core.UniformBackends(2))
+	if err := alloc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return alloc
+}
+
+// mustChecksum reads one backend table's checksum directly.
+func mustChecksum(t *testing.T, e *sqlmini.Engine, table string) uint64 {
+	t.Helper()
+	sum, err := e.TableChecksum(table)
+	if err != nil {
+		t.Fatalf("checksum %s: %v", table, err)
+	}
+	return sum
+}
+
+func TestMigrateLiveShipsDataAndReports(t *testing.T) {
+	c, cl, loader := liveFixture(t)
+	// Mutate a row on the only holder of a so we can prove the live
+	// copy shipped live data, not a reload.
+	if _, err := c.Backend(0).Exec(`UPDATE a SET a_v = 777 WHERE a_id = 3`); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.MigrateLive(fullAlloc(t, cl), loader, LiveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CopiedTables != 1 || rep.LoadedTables != 0 {
+		t.Fatalf("copied/loaded = %d/%d, want 1/0", rep.CopiedTables, rep.LoadedTables)
+	}
+	if rep.CopiedRows != 20 || rep.LoadedRows != 0 || rep.MovedRows != 20 {
+		t.Fatalf("rows copied/loaded/moved = %d/%d/%d, want 20/0/20",
+			rep.CopiedRows, rep.LoadedRows, rep.MovedRows)
+	}
+	for i := 0; i < 2; i++ {
+		r, err := c.Backend(i).Exec(`SELECT a_v FROM a WHERE a_id = 3`)
+		if err != nil {
+			t.Fatalf("backend %d: %v", i, err)
+		}
+		if r.Rows[0][0].I != 777 {
+			t.Fatalf("backend %d copy is stale: %v", i, r.Rows[0][0])
+		}
+	}
+	st := c.Migration()
+	if st.Active || st.Err != "" {
+		t.Fatalf("status after success = %+v", st)
+	}
+	if st.TablesDone != 1 || st.TablesTotal != 1 {
+		t.Fatalf("status tables = %d/%d, want 1/1", st.TablesDone, st.TablesTotal)
+	}
+	m := c.Metrics().Migration
+	if m.Runs != 1 || m.Aborts != 0 || m.Tables != 1 || m.CopiedRows != 20 {
+		t.Fatalf("migration metrics = %+v", m)
+	}
+	if m.Cutovers != 1 {
+		t.Fatalf("cutovers = %d, want 1", m.Cutovers)
+	}
+}
+
+// TestMigrateLiveCapturesConcurrentUpdates drives writes into the
+// in-flight table at deterministic points of the copy (between restore
+// batches, via the onBatch hook). Every injected update lands after the
+// clone cut, so each must be captured in the delta log, replayed in
+// order, and visible on both replicas afterwards.
+func TestMigrateLiveCapturesConcurrentUpdates(t *testing.T) {
+	c, cl, loader := liveFixture(t)
+	var injected int32
+	opts := LiveOptions{
+		BatchRows: 5, // 20 rows -> 4 batches -> 4 injected updates
+		onBatch: func(dest, table string) {
+			if table != "a" {
+				return
+			}
+			atomic.AddInt32(&injected, 1)
+			if _, err := c.Execute(workload.Request{
+				SQL: `UPDATE a SET a_v = a_v + 1 WHERE a_id = 3`, Class: "UA", Write: true,
+			}); err != nil {
+				t.Errorf("injected update: %v", err)
+			}
+		},
+	}
+	rep, err := c.MigrateLive(fullAlloc(t, cl), loader, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int(atomic.LoadInt32(&injected))
+	if n != 4 {
+		t.Fatalf("injected = %d, want 4", n)
+	}
+	if rep.DeltaReplayed != n {
+		t.Fatalf("delta replayed = %d, want %d (every post-clone update captured)", rep.DeltaReplayed, n)
+	}
+	// Both replicas converged: same checksum, and the row carries every
+	// injected increment.
+	if s0, s1 := mustChecksum(t, c.Backend(0), "a"), mustChecksum(t, c.Backend(1), "a"); s0 != s1 {
+		t.Fatalf("replicas of a diverged: %x vs %x", s0, s1)
+	}
+	for i := 0; i < 2; i++ {
+		r, err := c.Backend(i).Exec(`SELECT a_v FROM a WHERE a_id = 3`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := int64(3 + n); r.Rows[0][0].I != want {
+			t.Fatalf("backend %d a_v = %d, want %d", i, r.Rows[0][0].I, want)
+		}
+	}
+	if m := c.Metrics().Migration; m.DeltaReplayed != int64(n) {
+		t.Fatalf("metrics delta replayed = %d, want %d", m.DeltaReplayed, n)
+	}
+}
+
+// TestMigrateLiveUnderLoad is the acceptance scenario: traffic keeps
+// flowing through the 1-safe allocation while MigrateLive runs. Every
+// read and write must succeed (zero failures), and afterwards all
+// replica pairs must be bit-identical.
+func TestMigrateLiveUnderLoad(t *testing.T) {
+	c, cl, loader := liveFixture(t)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	traffic := func(id int) {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(int64(id)))
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var req workload.Request
+			switch i % 4 {
+			case 0:
+				req = workload.Request{SQL: `SELECT a_v FROM a WHERE a_id = 4`, Class: "QA"}
+			case 1:
+				req = workload.Request{SQL: `SELECT b_v FROM b WHERE b_id = 4`, Class: "QB"}
+			case 2:
+				req = workload.Request{
+					SQL:   fmt.Sprintf(`UPDATE a SET a_v = a_v + 1 WHERE a_id = %d`, rng.Intn(20)),
+					Class: "UA", Write: true,
+				}
+			default:
+				req = workload.Request{
+					SQL:   fmt.Sprintf(`UPDATE b SET b_v = b_v + 1 WHERE b_id = %d`, rng.Intn(20)),
+					Class: "UB", Write: true,
+				}
+			}
+			if _, err := c.Execute(req); err != nil {
+				failures.Add(1)
+				t.Errorf("request %q failed mid-migration: %v", req.SQL, err)
+				return
+			}
+		}
+	}
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go traffic(w)
+	}
+	// Throttle the copy so migration and traffic genuinely overlap.
+	rep, err := c.MigrateLive(fullAlloc(t, cl), loader, LiveOptions{
+		BatchRows:  2,
+		BatchPause: 200 * time.Microsecond,
+	})
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := failures.Load(); n != 0 {
+		t.Fatalf("%d requests failed during live migration", n)
+	}
+	if rep.CopiedTables != 1 {
+		t.Fatalf("copied tables = %d, want 1", rep.CopiedTables)
+	}
+	// All replica pairs bit-identical (writes are synchronous, so every
+	// update has been applied by the time Execute returned).
+	for _, table := range []string{"a", "b"} {
+		if s0, s1 := mustChecksum(t, c.Backend(0), table), mustChecksum(t, c.Backend(1), table); s0 != s1 {
+			t.Fatalf("replicas of %s diverged after live migration: %x vs %x", table, s0, s1)
+		}
+	}
+}
+
+// tpcAppCluster builds an n-backend cluster with the TPC-App schema
+// loaded and a greedy allocation installed, returning the loader and
+// the classification for planning a reallocation.
+func tpcAppCluster(t *testing.T, n int, loadRows map[string]int64) (*Cluster, *core.Classification, Loader) {
+	t.Helper()
+	mix, err := tpcapp.Mix(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := classify.Classify(mix.Journal(10000), tpcapp.Schema(), classify.Options{
+		Strategy: classify.TableBased, RowCounts: tpcapp.RowCounts(300),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := core.Greedy(res.Classification, core.UniformBackends(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Config{Backends: core.UniformBackends(n)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	loader := func(e *sqlmini.Engine, tables []string) error {
+		return tpcapp.Load(e, tables, loadRows, 11)
+	}
+	if err := c.Install(alloc, loader); err != nil {
+		t.Fatal(err)
+	}
+	return c, res.Classification, loader
+}
+
+// TestMigrateLiveCutoverFasterThanStopTheWorld measures the foreground
+// stall of both migration paths on the TPC-App fixture: the live path's
+// cutover pause (its only blocking moment) must beat the stop-the-world
+// Migrate's full wall time by at least 10x.
+func TestMigrateLiveCutoverFasterThanStopTheWorld(t *testing.T) {
+	loadRows := map[string]int64{
+		"author": 100, "item": 300, "customer": 400, "address": 800, "orders": 600, "order_line": 1500,
+	}
+	// Stop-the-world baseline: the whole copy happens under the
+	// controller lock, so its wall time is the foreground stall.
+	c1, cl1, loader1 := tpcAppCluster(t, 3, loadRows)
+	full1 := core.FullReplication(cl1, core.UniformBackends(3))
+	start := time.Now()
+	rep1, err := c1.Migrate(full1, loader1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stopTheWorld := time.Since(start)
+	if rep1.CopiedTables == 0 {
+		t.Fatal("baseline migration moved nothing; fixture is not exercising the copy path")
+	}
+
+	// Live path on an identical cluster: the stall is the longest
+	// cutover barrier hold.
+	c2, cl2, loader2 := tpcAppCluster(t, 3, loadRows)
+	full2 := core.FullReplication(cl2, core.UniformBackends(3))
+	rep2, err := c2.MigrateLive(full2, loader2, LiveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.CopiedTables != rep1.CopiedTables || rep2.MovedRows != rep1.MovedRows {
+		t.Fatalf("live path moved %d tables / %d rows, stop-the-world moved %d / %d",
+			rep2.CopiedTables, rep2.MovedRows, rep1.CopiedTables, rep1.MovedRows)
+	}
+	if rep2.CutoverPause <= 0 {
+		t.Fatal("no cutover pause measured")
+	}
+	if rep2.CutoverPause*10 > stopTheWorld {
+		t.Fatalf("cutover pause %v not 10x below stop-the-world wall %v", rep2.CutoverPause, stopTheWorld)
+	}
+}
+
+// TestResizeLiveScaleOutAndIn grows 2 -> 3 under write traffic, then
+// shrinks back 3 -> 2, checking data placement and convergence at both
+// steps.
+func TestResizeLiveScaleOutAndIn(t *testing.T) {
+	c, cl, loader := liveFixture(t)
+
+	// Target: third backend holding b (a stays put on B1).
+	alloc3 := core.NewAllocation(cl, core.UniformBackends(3))
+	alloc3.AddFragments(0, "a", "b")
+	alloc3.SetAssign(0, "QA", 0.3)
+	alloc3.SetAssign(0, "QB", 0.1)
+	alloc3.SetAssign(0, "UA", 0.2)
+	alloc3.SetAssign(0, "UB", 0.2)
+	alloc3.AddFragments(1, "b")
+	alloc3.SetAssign(1, "QB", 0.1)
+	alloc3.SetAssign(1, "UB", 0.2)
+	alloc3.AddFragments(2, "b")
+	alloc3.SetAssign(2, "QB", 0.1)
+	alloc3.SetAssign(2, "UB", 0.2)
+	if err := alloc3.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := c.Execute(workload.Request{
+				SQL: fmt.Sprintf(`UPDATE b SET b_v = b_v + 1 WHERE b_id = %d`, i%20), Class: "UB", Write: true,
+			}); err != nil {
+				t.Errorf("write during resize: %v", err)
+				return
+			}
+		}
+	}()
+	rep, err := c.ResizeLive(alloc3, loader, LiveOptions{BatchRows: 4, BatchPause: 100 * time.Microsecond})
+	if err != nil {
+		close(stop)
+		wg.Wait()
+		t.Fatal(err)
+	}
+	if c.NumBackends() != 3 {
+		close(stop)
+		wg.Wait()
+		t.Fatalf("backends = %d, want 3", c.NumBackends())
+	}
+	if rep.CopiedTables != 1 {
+		t.Errorf("scale-out copied %d tables, want 1 (b onto the new backend)", rep.CopiedTables)
+	}
+
+	// Shrink back while the writer is still running.
+	alloc2 := core.NewAllocation(cl, core.UniformBackends(2))
+	alloc2.AddFragments(0, "a", "b")
+	alloc2.SetAssign(0, "QA", 0.3)
+	alloc2.SetAssign(0, "QB", 0.15)
+	alloc2.SetAssign(0, "UA", 0.2)
+	alloc2.SetAssign(0, "UB", 0.2)
+	alloc2.AddFragments(1, "b")
+	alloc2.SetAssign(1, "QB", 0.15)
+	alloc2.SetAssign(1, "UB", 0.2)
+	if err := alloc2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ResizeLive(alloc2, loader, LiveOptions{}); err != nil {
+		close(stop)
+		wg.Wait()
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	if c.NumBackends() != 2 {
+		t.Fatalf("backends = %d, want 2 after scale-in", c.NumBackends())
+	}
+	// Surviving replicas of b agree bit-for-bit.
+	if s0, s1 := mustChecksum(t, c.Backend(0), "b"), mustChecksum(t, c.Backend(1), "b"); s0 != s1 {
+		t.Fatalf("replicas of b diverged after resize: %x vs %x", s0, s1)
+	}
+	// Reads still route for every class.
+	for _, class := range []string{"QA", "QB"} {
+		table := strings.ToLower(class[1:])
+		if _, err := c.Execute(workload.Request{
+			SQL: fmt.Sprintf(`SELECT %s_v FROM %s WHERE %s_id = 1`, table, table, table), Class: class,
+		}); err != nil {
+			t.Fatalf("%s unroutable after resize: %v", class, err)
+		}
+	}
+}
+
+// TestMigrateLiveAbortsWhenDestinationFails kills the destination
+// backend mid-copy (the chaos scenario): the migration must abort
+// cleanly — old routing intact, no partial replica serving — while the
+// surviving backend keeps answering.
+func TestMigrateLiveAbortsWhenDestinationFails(t *testing.T) {
+	c, cl, loader := liveFixture(t)
+	var killed atomic.Bool
+	opts := LiveOptions{
+		BatchRows: 5,
+		onBatch: func(dest, table string) {
+			if table == "a" && killed.CompareAndSwap(false, true) {
+				if err := c.Fail(dest); err != nil {
+					t.Errorf("fail %s: %v", dest, err)
+				}
+			}
+		},
+	}
+	_, err := c.MigrateLive(fullAlloc(t, cl), loader, opts)
+	if err == nil {
+		t.Fatal("migration onto a failed backend succeeded")
+	}
+	if !killed.Load() {
+		t.Fatal("chaos hook never fired")
+	}
+	// The partial replica must not serve: B2's routing set has no a.
+	for _, table := range c.Tables(1) {
+		if table == "a" {
+			t.Fatal("partial replica of a is serving on the failed destination")
+		}
+	}
+	// Status and metrics recorded the clean abort.
+	if st := c.Migration(); st.Active || st.Err == "" {
+		t.Fatalf("status after abort = %+v", st)
+	}
+	if m := c.Metrics().Migration; m.Aborts != 1 {
+		t.Fatalf("aborts = %d, want 1", m.Aborts)
+	}
+	// The survivor still answers both classes (QB fails over to B1).
+	for i := 0; i < 10; i++ {
+		if _, err := c.Execute(workload.Request{SQL: `SELECT a_v FROM a WHERE a_id = 1`, Class: "QA"}); err != nil {
+			t.Fatalf("QA after aborted migration: %v", err)
+		}
+		if _, err := c.Execute(workload.Request{SQL: `SELECT b_v FROM b WHERE b_id = 1`, Class: "QB"}); err != nil {
+			t.Fatalf("QB after aborted migration: %v", err)
+		}
+	}
+	// After the destination recovers, the same migration completes.
+	if _, err := c.Recover("B2"); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.MigrateLive(fullAlloc(t, cl), loader, LiveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CopiedTables != 1 {
+		t.Fatalf("retry copied %d tables, want 1", rep.CopiedTables)
+	}
+	if s0, s1 := mustChecksum(t, c.Backend(0), "a"), mustChecksum(t, c.Backend(1), "a"); s0 != s1 {
+		t.Fatalf("replicas of a diverged after retry: %x vs %x", s0, s1)
+	}
+}
+
+// TestResizeSameCountNoLockGap is the regression test for the resize
+// lock gap: Resize with an unchanged backend count used to unlock,
+// call Migrate, and relock — letting Install or Fail interleave between
+// the count check and the migration. Hammering same-count resizes
+// against concurrent installs must never corrupt routing (every
+// iteration's cluster still serves both classes).
+func TestResizeSameCountNoLockGap(t *testing.T) {
+	c, cl, loader := liveFixture(t)
+	layoutA := fullAlloc(t, cl)
+	layoutB := core.NewAllocation(cl, core.UniformBackends(2))
+	layoutB.AddFragments(0, "a", "b")
+	layoutB.SetAssign(0, "QA", 0.3)
+	layoutB.SetAssign(0, "QB", 0.15)
+	layoutB.SetAssign(0, "UA", 0.2)
+	layoutB.SetAssign(0, "UB", 0.2)
+	layoutB.AddFragments(1, "b")
+	layoutB.SetAssign(1, "QB", 0.15)
+	layoutB.SetAssign(1, "UB", 0.2)
+	if err := layoutB.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 8; i++ {
+			alloc := layoutA
+			if i%2 == 1 {
+				alloc = layoutB
+			}
+			if _, err := c.Resize(alloc, loader); err != nil {
+				t.Errorf("resize %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 8; i++ {
+			if err := c.Install(layoutB, loader); err != nil {
+				t.Errorf("install %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	for _, class := range []string{"QA", "QB"} {
+		table := strings.ToLower(class[1:])
+		if _, err := c.Execute(workload.Request{
+			SQL: fmt.Sprintf(`SELECT %s_v FROM %s WHERE %s_id = 1`, table, table, table), Class: class,
+		}); err != nil {
+			t.Fatalf("%s unroutable after concurrent resizes: %v", class, err)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"qcpa/internal/core"
 	"qcpa/internal/matching"
@@ -13,16 +14,69 @@ import (
 type MigrationReport struct {
 	// Mapping[v] is the physical backend hosting logical backend v of
 	// the new allocation.
-	Mapping []int
+	Mapping []int `json:"mapping"`
 	// CopiedTables counts table instances shipped between backends.
-	CopiedTables int
+	CopiedTables int `json:"copied_tables"`
 	// LoadedTables counts table instances that had to come from the
 	// loader (no backend had them).
-	LoadedTables int
+	LoadedTables int `json:"loaded_tables"`
 	// DroppedTables counts table instances removed.
-	DroppedTables int
-	// MovedRows is the total number of rows shipped or loaded.
-	MovedRows int64
+	DroppedTables int `json:"dropped_tables"`
+	// CopiedRows counts rows shipped from replicas that already held
+	// the table; LoadedRows counts rows fetched through the loader.
+	CopiedRows int64 `json:"copied_rows"`
+	LoadedRows int64 `json:"loaded_rows"`
+	// MovedRows is CopiedRows + LoadedRows (kept for compatibility with
+	// callers of the pre-split accounting).
+	MovedRows int64 `json:"moved_rows"`
+	// DeltaReplayed counts concurrent updates captured and replayed
+	// into in-flight tables (live path only; stop-the-world migrations
+	// have no concurrent updates by contract).
+	DeltaReplayed int `json:"delta_replayed"`
+	// CutoverPause is the longest per-table cutover barrier hold (live
+	// path only) — the only moment a live migration blocks updates.
+	CutoverPause time.Duration `json:"cutover_pause_ns"`
+}
+
+// noteCopied accounts one table shipped from a live replica.
+func (r *MigrationReport) noteCopied(rows int64) {
+	r.CopiedTables++
+	r.CopiedRows += rows
+	r.MovedRows += rows
+}
+
+// noteLoaded accounts one table fetched through the loader.
+func (r *MigrationReport) noteLoaded(rows int64) {
+	r.LoadedTables++
+	r.LoadedRows += rows
+	r.MovedRows += rows
+}
+
+// wantTables computes the desired table set per physical backend under
+// the matched mapping. Backends no logical index maps to (decommission
+// targets of a scale-in) want nothing.
+func wantTables(alloc *core.Allocation, mapping []int, n int) []map[string]bool {
+	want := make([]map[string]bool, n)
+	for i := range want {
+		want[i] = make(map[string]bool)
+	}
+	for v := 0; v < alloc.NumBackends(); v++ {
+		u := mapping[v]
+		for _, f := range alloc.Fragments(v) {
+			want[u][TableOfFragment(f)] = true
+		}
+	}
+	return want
+}
+
+// sortedTables returns a want set's tables in deterministic order.
+func sortedTables(tables map[string]bool) []string {
+	names := make([]string, 0, len(tables))
+	for t := range tables {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Migrate installs a new allocation without wiping the cluster: the new
@@ -34,15 +88,28 @@ type MigrationReport struct {
 //
 // The cluster must be idle during migration (the paper's allocator
 // stops the backends); Migrate takes the controller lock for the whole
-// operation.
+// operation. MigrateLive is the online alternative.
 func (c *Cluster) Migrate(newAlloc *core.Allocation, load Loader) (*MigrationReport, error) {
-	if newAlloc.NumBackends() != len(c.backends) {
-		return nil, fmt.Errorf("cluster: allocation has %d backends, cluster has %d",
-			newAlloc.NumBackends(), len(c.backends))
-	}
+	c.liveMu.Lock()
+	defer c.liveMu.Unlock()
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.migrateLocked(newAlloc, load)
+}
 
+// migrateLocked is Migrate's body. Called with c.mu held (and liveMu
+// serializing against concurrent reallocations) — Resize's equal-count
+// path calls it directly so no other controller operation can slip in
+// between its planning and the migration, which the old unlock/relock
+// delegation allowed.
+//
+//qcpa:locks mu
+func (c *Cluster) migrateLocked(newAlloc *core.Allocation, load Loader) (*MigrationReport, error) {
+	backends := c.all()
+	if newAlloc.NumBackends() != len(backends) {
+		return nil, fmt.Errorf("cluster: allocation has %d backends, cluster has %d",
+			newAlloc.NumBackends(), len(backends))
+	}
 	if c.alloc == nil {
 		return nil, fmt.Errorf("cluster: no installed allocation; use Install first")
 	}
@@ -51,70 +118,49 @@ func (c *Cluster) Migrate(newAlloc *core.Allocation, load Loader) (*MigrationRep
 		return nil, err
 	}
 	rep := &MigrationReport{Mapping: plan.Mapping}
-
-	// Desired table set per physical backend.
-	want := make([]map[string]bool, len(c.backends))
-	for v := 0; v < newAlloc.NumBackends(); v++ {
-		u := plan.Mapping[v]
-		if want[u] == nil {
-			want[u] = make(map[string]bool)
-		}
-		for _, f := range newAlloc.Fragments(v) {
-			want[u][TableOfFragment(f)] = true
-		}
-	}
-	for i := range want {
-		if want[i] == nil {
-			want[i] = make(map[string]bool)
-		}
-	}
+	want := wantTables(newAlloc, plan.Mapping, len(backends))
 
 	// Copy missing tables. Sources are the CURRENT holders (before any
 	// drops).
 	holders := func(table string) *backend {
-		for _, b := range c.backends {
-			if b.tables[table] && b.engine.Table(table) != nil {
+		for _, b := range backends {
+			if b.holds(table) && b.engine.Table(table) != nil {
 				return b
 			}
 		}
 		return nil
 	}
 	for u, tables := range want {
-		names := make([]string, 0, len(tables))
-		for t := range tables {
-			names = append(names, t)
-		}
-		sort.Strings(names)
-		for _, table := range names {
-			if c.backends[u].tables[table] {
+		for _, table := range sortedTables(tables) {
+			if backends[u].holds(table) {
 				continue
 			}
 			if src := holders(table); src != nil {
-				rows, err := copyTable(src.engine, c.backends[u].engine, table)
+				rows, err := copyTable(src.engine, backends[u].engine, table)
 				if err != nil {
 					return nil, err
 				}
-				rep.CopiedTables++
-				rep.MovedRows += rows
+				rep.noteCopied(rows)
 			} else {
 				if load == nil {
 					return nil, fmt.Errorf("cluster: table %q unavailable and no loader given", table)
 				}
-				if err := load(c.backends[u].engine, []string{table}); err != nil {
+				if err := load(backends[u].engine, []string{table}); err != nil {
 					return nil, err
 				}
-				rep.LoadedTables++
-				if t := c.backends[u].engine.Table(table); t != nil {
-					rep.MovedRows += int64(t.NumRows())
+				var rows int64
+				if t := backends[u].engine.Table(table); t != nil {
+					rows = int64(t.NumRows())
 				}
+				rep.noteLoaded(rows)
 			}
-			c.backends[u].tables[table] = true
+			backends[u].addTable(table)
 		}
 	}
 
 	// Drop tables not wanted any more.
-	for u, b := range c.backends {
-		for table := range b.tables {
+	for u, b := range backends {
+		for _, table := range sortedTables(b.tableSet()) {
 			if want[u][table] {
 				continue
 			}
@@ -123,7 +169,7 @@ func (c *Cluster) Migrate(newAlloc *core.Allocation, load Loader) (*MigrationRep
 					return nil, err
 				}
 			}
-			delete(b.tables, table)
+			b.removeTable(table)
 			rep.DroppedTables++
 		}
 	}
@@ -131,20 +177,7 @@ func (c *Cluster) Migrate(newAlloc *core.Allocation, load Loader) (*MigrationRep
 	// Install the new routing metadata (logical -> physical order: the
 	// allocation's class routing works on table names, which are
 	// physical-agnostic).
-	c.alloc = newAlloc
-	c.classFrags = make(map[string][]string)
-	for _, cl := range newAlloc.Classification().Classes() {
-		tables := map[string]bool{}
-		for _, f := range cl.Fragments() {
-			tables[TableOfFragment(f)] = true
-		}
-		list := make([]string, 0, len(tables))
-		for t := range tables {
-			list = append(list, t)
-		}
-		sort.Strings(list)
-		c.classFrags[cl.Name] = list
-	}
+	c.installRoutingLocked(newAlloc)
 	return rep, nil
 }
 

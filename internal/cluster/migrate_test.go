@@ -141,6 +141,14 @@ func TestMigrateCopiesLiveData(t *testing.T) {
 	if rep.MovedRows != 20 {
 		t.Fatalf("moved rows = %d, want 20", rep.MovedRows)
 	}
+	// The copy came from a live replica, not the loader — the split
+	// accounting must say so, and MovedRows must stay the sum.
+	if rep.CopiedRows != 20 || rep.LoadedRows != 0 {
+		t.Fatalf("copied/loaded rows = %d/%d, want 20/0", rep.CopiedRows, rep.LoadedRows)
+	}
+	if rep.MovedRows != rep.CopiedRows+rep.LoadedRows {
+		t.Fatalf("MovedRows %d != CopiedRows %d + LoadedRows %d", rep.MovedRows, rep.CopiedRows, rep.LoadedRows)
+	}
 	// Both copies carry the mutation (shipped from the live replica).
 	for i := 0; i < 2; i++ {
 		r, err := c.Backend(i).Exec(`SELECT a_v FROM a WHERE a_id = 7`)

@@ -2,7 +2,6 @@ package cluster
 
 import (
 	"fmt"
-	"sort"
 
 	"qcpa/internal/core"
 	"qcpa/internal/matching"
@@ -17,22 +16,31 @@ import (
 // uniquely-held tables have been copied off.
 //
 // Like Migrate, Resize requires a quiesced cluster and holds the
-// controller lock throughout.
+// controller lock throughout. ResizeLive is the online alternative.
 func (c *Cluster) Resize(newAlloc *core.Allocation, load Loader) (*MigrationReport, error) {
+	c.liveMu.Lock()
+	defer c.liveMu.Unlock()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.alloc == nil {
 		return nil, fmt.Errorf("cluster: no installed allocation; use Install first")
 	}
-	nOld := len(c.backends)
-	nNew := newAlloc.NumBackends()
-	if nNew == nOld {
-		c.mu.Unlock()
-		rep, err := c.Migrate(newAlloc, load)
-		c.mu.Lock()
-		return rep, err
+	if newAlloc.NumBackends() == len(c.all()) {
+		// Same backend count: a plain migration — executed without
+		// dropping c.mu, so no Install/Fail/Recover can interleave
+		// between this decision and the migration itself (the old
+		// unlock-call-relock delegation left exactly that gap).
+		return c.migrateLocked(newAlloc, load)
 	}
+	return c.resizeLocked(newAlloc, load)
+}
 
+// resizeLocked is Resize's body for a changed backend count. Called
+// with c.mu held (and liveMu serializing against reallocations).
+//
+//qcpa:locks mu
+func (c *Cluster) resizeLocked(newAlloc *core.Allocation, load Loader) (*MigrationReport, error) {
+	nNew := newAlloc.NumBackends()
 	plan, decommissioned, err := matching.PlanMigration(c.alloc, newAlloc)
 	if err != nil {
 		return nil, err
@@ -40,12 +48,19 @@ func (c *Cluster) Resize(newAlloc *core.Allocation, load Loader) (*MigrationRepo
 	rep := &MigrationReport{Mapping: plan.Mapping}
 
 	// Grow the physical pool so every mapped index exists.
-	for len(c.backends) <= maxOf(plan.Mapping) {
-		name := fmt.Sprintf("B%d", len(c.backends)+1)
-		if i := len(c.backends); i < nNew {
-			name = newAlloc.Backends()[i].Name
+	backends := c.all()
+	if m := maxOf(plan.Mapping); m >= len(backends) {
+		grown := make([]*backend, len(backends), m+1)
+		copy(grown, backends)
+		for len(grown) <= m {
+			name := fmt.Sprintf("B%d", len(grown)+1)
+			if i := len(grown); i < nNew {
+				name = newAlloc.Backends()[i].Name
+			}
+			grown = append(grown, c.newBackend(name))
 		}
-		c.backends = append(c.backends, c.newBackend(name))
+		c.setNodes(grown)
+		backends = grown
 	}
 
 	// Desired tables per physical backend (decommissioned ones want
@@ -54,71 +69,57 @@ func (c *Cluster) Resize(newAlloc *core.Allocation, load Loader) (*MigrationRepo
 	for _, d := range decommissioned {
 		dead[d] = true
 	}
-	want := make([]map[string]bool, len(c.backends))
-	for i := range want {
-		want[i] = make(map[string]bool)
-	}
-	for v := 0; v < nNew; v++ {
-		u := plan.Mapping[v]
-		for _, f := range newAlloc.Fragments(v) {
-			want[u][TableOfFragment(f)] = true
-		}
-	}
+	want := wantTables(newAlloc, plan.Mapping, len(backends))
 
 	// Ship missing tables (live copy preferred).
 	holders := func(table string) *backend {
-		for i, b := range c.backends {
-			if !dead[i] && b.tables[table] && b.engine.Table(table) != nil {
+		for i, b := range backends {
+			if !dead[i] && b.holds(table) && b.engine.Table(table) != nil {
 				return b
 			}
 		}
 		// A decommissioned backend may be the last holder.
-		for _, b := range c.backends {
-			if b.tables[table] && b.engine.Table(table) != nil {
+		for _, b := range backends {
+			if b.holds(table) && b.engine.Table(table) != nil {
 				return b
 			}
 		}
 		return nil
 	}
 	for u, tables := range want {
-		names := make([]string, 0, len(tables))
-		for t := range tables {
-			names = append(names, t)
-		}
-		sort.Strings(names)
-		for _, table := range names {
-			if c.backends[u].tables[table] {
+		for _, table := range sortedTables(tables) {
+			if backends[u].holds(table) {
 				continue
 			}
-			if src := holders(table); src != nil && src != c.backends[u] {
-				rows, err := copyTable(src.engine, c.backends[u].engine, table)
+			if src := holders(table); src != nil && src != backends[u] {
+				rows, err := copyTable(src.engine, backends[u].engine, table)
 				if err != nil {
 					return nil, err
 				}
-				rep.CopiedTables++
-				rep.MovedRows += rows
+				rep.noteCopied(rows)
 			} else {
 				if load == nil {
 					return nil, fmt.Errorf("cluster: table %q unavailable and no loader given", table)
 				}
-				if err := load(c.backends[u].engine, []string{table}); err != nil {
+				if err := load(backends[u].engine, []string{table}); err != nil {
 					return nil, err
 				}
-				rep.LoadedTables++
-				if t := c.backends[u].engine.Table(table); t != nil {
-					rep.MovedRows += int64(t.NumRows())
+				var rows int64
+				if t := backends[u].engine.Table(table); t != nil {
+					rows = int64(t.NumRows())
 				}
+				rep.noteLoaded(rows)
 			}
-			c.backends[u].tables[table] = true
+			backends[u].addTable(table)
 		}
 	}
 
 	// Drop surplus tables on surviving backends.
-	for u, b := range c.backends {
+	for u, b := range backends {
 		if dead[u] {
 			continue
 		}
-		for table := range b.tables {
+		for _, table := range sortedTables(b.tableSet()) {
 			if want[u][table] {
 				continue
 			}
@@ -127,7 +128,7 @@ func (c *Cluster) Resize(newAlloc *core.Allocation, load Loader) (*MigrationRepo
 					return nil, err
 				}
 			}
-			delete(b.tables, table)
+			b.removeTable(table)
 			rep.DroppedTables++
 		}
 	}
@@ -137,19 +138,19 @@ func (c *Cluster) Resize(newAlloc *core.Allocation, load Loader) (*MigrationRepo
 	// backend v.
 	ordered := make([]*backend, nNew)
 	for v := 0; v < nNew; v++ {
-		ordered[v] = c.backends[plan.Mapping[v]]
+		ordered[v] = backends[plan.Mapping[v]]
 	}
 	used := make(map[*backend]bool, nNew)
 	for _, b := range ordered {
 		used[b] = true
 	}
-	for _, b := range c.backends {
+	c.setNodes(ordered)
+	for _, b := range backends {
 		if !used[b] {
 			close(b.updateCh)
 			b.wg.Wait()
 		}
 	}
-	c.backends = ordered
 	for v, b := range ordered {
 		b.name = newAlloc.Backends()[v].Name
 	}
@@ -159,20 +160,7 @@ func (c *Cluster) Resize(newAlloc *core.Allocation, load Loader) (*MigrationRepo
 	}
 
 	// Install routing metadata.
-	c.alloc = newAlloc
-	c.classFrags = make(map[string][]string)
-	for _, cl := range newAlloc.Classification().Classes() {
-		tables := map[string]bool{}
-		for _, f := range cl.Fragments() {
-			tables[TableOfFragment(f)] = true
-		}
-		list := make([]string, 0, len(tables))
-		for t := range tables {
-			list = append(list, t)
-		}
-		sort.Strings(list)
-		c.classFrags[cl.Name] = list
-	}
+	c.installRoutingLocked(newAlloc)
 	return rep, nil
 }
 

@@ -35,7 +35,7 @@ func TestPolicyParityWithRuntime(t *testing.T) {
 		ref := kind.New()
 		refRNG := rand.New(rand.NewSource(9))
 		for _, pending := range parityPendings {
-			for i, b := range c.backends {
+			for i, b := range c.all() {
 				for b.metrics.Pending() < int64(pending[i]) {
 					b.metrics.IncPending()
 				}
@@ -43,8 +43,8 @@ func TestPolicyParityWithRuntime(t *testing.T) {
 					b.metrics.DecPending()
 				}
 			}
-			want := c.backends[ref.Pick(len(c.backends), func(i int) int { return pending[i] }, refRNG)]
-			if got := c.pickRead(c.backends); got != want {
+			want := c.all()[ref.Pick(len(c.all()), func(i int) int { return pending[i] }, refRNG)]
+			if got := c.pickRead(c.all()); got != want {
 				t.Fatalf("%s: cluster picked %s, runtime reference picked %s (pending %v)",
 					kind, got.name, want.name, pending)
 			}

@@ -7,26 +7,52 @@
 package matching
 
 import (
-	"errors"
+	"fmt"
 	"math"
 )
+
+// MatrixError is the typed validation error of Hungarian: the cost
+// matrix was not square or contained a non-finite entry. Callers match
+// it with errors.As to distinguish malformed input from solver
+// failures.
+type MatrixError struct {
+	// Reason is "not square" or "non-finite cost".
+	Reason string
+	// N is the matrix dimension (its row count).
+	N int
+	// Row is the offending row. For a shape violation Col is -1 and
+	// Len is the row's length; for a non-finite entry Col names the
+	// cell and Value carries it.
+	Row, Col int
+	Len      int
+	Value    float64
+}
+
+// Error formats the violation with its location.
+func (e *MatrixError) Error() string {
+	if e.Col < 0 {
+		return fmt.Sprintf("matching: cost matrix is not square (row %d has %d entries, want %d)", e.Row, e.Len, e.N)
+	}
+	return fmt.Sprintf("matching: cost matrix contains non-finite cost %v at [%d][%d]", e.Value, e.Row, e.Col)
+}
 
 // Hungarian computes a minimum-cost perfect matching on a square cost
 // matrix using the O(n³) Kuhn-Munkres algorithm with potentials. It
 // returns, for each row, the assigned column, plus the total cost.
-// Costs may be any finite float64 values (negative allowed).
+// Costs may be any finite float64 values (negative allowed); a
+// non-square matrix or a NaN/±Inf entry returns a *MatrixError.
 func Hungarian(cost [][]float64) ([]int, float64, error) {
 	n := len(cost)
 	if n == 0 {
 		return nil, 0, nil
 	}
-	for _, row := range cost {
+	for i, row := range cost {
 		if len(row) != n {
-			return nil, 0, errors.New("matching: cost matrix is not square")
+			return nil, 0, &MatrixError{Reason: "not square", N: n, Row: i, Col: -1, Len: len(row)}
 		}
-		for _, c := range row {
+		for j, c := range row {
 			if math.IsNaN(c) || math.IsInf(c, 0) {
-				return nil, 0, errors.New("matching: cost matrix contains NaN or Inf")
+				return nil, 0, &MatrixError{Reason: "non-finite cost", N: n, Row: i, Col: j, Value: c}
 			}
 		}
 	}

@@ -1,8 +1,10 @@
 package matching
 
 import (
+	"errors"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -70,6 +72,43 @@ func TestHungarianErrors(t *testing.T) {
 	if a, total, err := Hungarian(nil); err != nil || len(a) != 0 || total != 0 {
 		t.Error("empty matrix should be trivially solved")
 	}
+}
+
+// TestHungarianMatrixError pins the typed validation error: callers
+// distinguish malformed input from solver failures with errors.As and
+// read the violation's exact location from the fields.
+func TestHungarianMatrixError(t *testing.T) {
+	t.Run("not square", func(t *testing.T) {
+		_, _, err := Hungarian([][]float64{{1, 2}, {3}})
+		var me *MatrixError
+		if !errors.As(err, &me) {
+			t.Fatalf("error %T is not a *MatrixError: %v", err, err)
+		}
+		if me.Reason != "not square" || me.N != 2 || me.Row != 1 || me.Col != -1 || me.Len != 1 {
+			t.Fatalf("fields = %+v", me)
+		}
+		if !strings.Contains(me.Error(), "row 1 has 1 entries, want 2") {
+			t.Fatalf("message = %q", me.Error())
+		}
+	})
+	t.Run("non-finite", func(t *testing.T) {
+		for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+			_, _, err := Hungarian([][]float64{{1, 2}, {3, bad}})
+			var me *MatrixError
+			if !errors.As(err, &me) {
+				t.Fatalf("error %T is not a *MatrixError: %v", err, err)
+			}
+			if me.Reason != "non-finite cost" || me.Row != 1 || me.Col != 1 {
+				t.Fatalf("fields = %+v", me)
+			}
+			if v := me.Value; !(math.IsNaN(bad) && math.IsNaN(v)) && v != bad {
+				t.Fatalf("Value = %v, want %v", v, bad)
+			}
+			if !strings.Contains(me.Error(), "at [1][1]") {
+				t.Fatalf("message = %q", me.Error())
+			}
+		}
+	})
 }
 
 // TestHungarianPropertyVsBruteForce: the Hungarian optimum must equal

@@ -1,0 +1,62 @@
+package runtime
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestBackoffDelayBoundaries exercises the overflow edges of the
+// exponential window: a Base big enough that the 32x default max would
+// wrap, a Max pinned at MaxInt64, and attempt counts far past the
+// doubling range. Every delay must be non-negative and within the
+// window — a wrapped multiply used to produce negative "delays" (nil
+// rng) or a rand.Int63n panic (with rng).
+func TestBackoffDelayBoundaries(t *testing.T) {
+	huge := time.Duration(math.MaxInt64)
+	cases := []struct {
+		name    string
+		b       Backoff
+		attempt int
+		// wantMax bounds the returned delay; wantMid is the exact
+		// nil-rng midpoint (-1 to skip the exact check).
+		wantMax time.Duration
+		wantMid time.Duration
+	}{
+		{"zero value disabled", Backoff{}, 5, 0, 0},
+		{"negative base disabled", Backoff{Base: -time.Second}, 3, 0, 0},
+		{"first attempt", Backoff{Base: time.Second}, 0, time.Second, time.Second / 2},
+		{"doubling", Backoff{Base: time.Second}, 3, 8 * time.Second, 4 * time.Second},
+		{"default max reached", Backoff{Base: time.Second}, 100, 32 * time.Second, 16 * time.Second},
+		{"explicit max clamps", Backoff{Base: time.Second, Max: 3 * time.Second}, 100, 3 * time.Second, 3 * time.Second / 2},
+		{"base beyond default-max overflow", Backoff{Base: huge / 16}, 100, huge, -1},
+		{"max pinned at MaxInt64", Backoff{Base: time.Second, Max: huge}, 200, huge, -1},
+		{"base at MaxInt64", Backoff{Base: huge}, 1, huge, huge / 2},
+		{"attempt past 63 doublings", Backoff{Base: 1, Max: huge}, 200, huge, -1},
+	}
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mid := tc.b.Delay(tc.attempt, nil)
+			if mid < 0 {
+				t.Fatalf("nil-rng delay negative: %v", mid)
+			}
+			if mid > tc.wantMax {
+				t.Fatalf("nil-rng delay %v above window max %v", mid, tc.wantMax)
+			}
+			if tc.wantMid >= 0 && mid != tc.wantMid {
+				t.Fatalf("nil-rng delay = %v, want midpoint %v", mid, tc.wantMid)
+			}
+			for i := 0; i < 50; i++ {
+				d := tc.b.Delay(tc.attempt, rng)
+				if d < 0 {
+					t.Fatalf("delay negative: %v", d)
+				}
+				if d > tc.wantMax {
+					t.Fatalf("delay %v above window max %v", d, tc.wantMax)
+				}
+			}
+		})
+	}
+}

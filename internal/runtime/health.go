@@ -3,6 +3,7 @@ package runtime
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"strings"
 	"sync/atomic"
@@ -164,10 +165,25 @@ func (b Backoff) Delay(attempt int, rng *rand.Rand) time.Duration {
 	}
 	max := b.Max
 	if max <= 0 {
-		max = 32 * b.Base
+		// The 32×Base default must not wrap for a huge Base (Duration
+		// is int64; 32× overflows past ~9.2 years of nanoseconds).
+		if b.Base > math.MaxInt64/32 {
+			max = math.MaxInt64
+		} else {
+			max = 32 * b.Base
+		}
 	}
 	window := b.Base
 	for i := 0; i < attempt && window < max; i++ {
+		// Clamp before doubling: for a large max (say MaxInt64),
+		// window*2 wraps negative long before the loop condition stops
+		// it, turning the jitter draw into a rand.Int63n panic — or, for
+		// the nil-rng midpoint, into a negative "delay" that makes the
+		// retry loop spin.
+		if window > max/2 {
+			window = max
+			break
+		}
 		window *= 2
 	}
 	if window > max {
@@ -175,6 +191,10 @@ func (b Backoff) Delay(attempt int, rng *rand.Rand) time.Duration {
 	}
 	if rng == nil {
 		return window / 2
+	}
+	if int64(window) == math.MaxInt64 {
+		// Int63n's argument would overflow to MinInt64.
+		return time.Duration(rng.Int63())
 	}
 	return time.Duration(rng.Int63n(int64(window) + 1))
 }

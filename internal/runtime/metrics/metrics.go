@@ -92,6 +92,15 @@ type Registry struct {
 	unavailable atomic.Int64
 	redoAppends atomic.Int64
 	catchup     stats.ExpHistogram // milliseconds
+
+	// Live-migration series.
+	migRuns       atomic.Int64
+	migAborts     atomic.Int64
+	migTables     atomic.Int64
+	migCopiedRows atomic.Int64
+	migLoadedRows atomic.Int64
+	migDelta      atomic.Int64
+	cutover       stats.ExpHistogram // microseconds
 }
 
 // NewRegistry returns an empty registry.
@@ -112,6 +121,48 @@ func (r *Registry) ObserveRedoAppend() { r.redoAppends.Add(1) }
 
 // ObserveCatchUp records one completed recovery and its catch-up time.
 func (r *Registry) ObserveCatchUp(d time.Duration) { r.catchup.Observe(d.Milliseconds()) }
+
+// ObserveMigrationStart records a live migration beginning.
+func (r *Registry) ObserveMigrationStart() { r.migRuns.Add(1) }
+
+// ObserveMigrationAbort records a live migration that failed (cleanly —
+// the cluster kept its old routing).
+func (r *Registry) ObserveMigrationAbort() { r.migAborts.Add(1) }
+
+// ObserveMigrationTable records one table cut over by a live migration
+// and the rows it moved; loaded marks a loader fetch rather than a
+// replica-to-replica copy.
+func (r *Registry) ObserveMigrationTable(rows int64, loaded bool) {
+	r.migTables.Add(1)
+	if loaded {
+		r.migLoadedRows.Add(rows)
+	} else {
+		r.migCopiedRows.Add(rows)
+	}
+}
+
+// ObserveMigrationDelta records captured concurrent updates replayed
+// into an in-flight table.
+func (r *Registry) ObserveMigrationDelta(n int) { r.migDelta.Add(int64(n)) }
+
+// ObserveCutoverPause records one cutover barrier hold — the only
+// moment a live migration blocks foreground updates.
+func (r *Registry) ObserveCutoverPause(d time.Duration) { r.cutover.Observe(d.Microseconds()) }
+
+// Migration captures the live-migration series.
+func (r *Registry) Migration() MigrationSnapshot {
+	return MigrationSnapshot{
+		Runs:          r.migRuns.Load(),
+		Aborts:        r.migAborts.Load(),
+		Tables:        r.migTables.Load(),
+		CopiedRows:    r.migCopiedRows.Load(),
+		LoadedRows:    r.migLoadedRows.Load(),
+		DeltaReplayed: r.migDelta.Load(),
+		Cutovers:      r.cutover.Count(),
+		MeanCutoverUS: r.cutover.Mean(),
+		MaxCutoverUS:  r.cutover.Max(),
+	}
+}
 
 // Fanout captures the fan-out series.
 func (r *Registry) Fanout() FanoutSnapshot {
@@ -189,11 +240,27 @@ type ReliabilitySnapshot struct {
 	MaxCatchupMS  int64   `json:"max_catchup_ms"`
 }
 
+// MigrationSnapshot summarizes the live-migration series: runs and
+// clean aborts, tables and rows moved, delta entries replayed into
+// in-flight tables, and the cutover pause histogram.
+type MigrationSnapshot struct {
+	Runs          int64   `json:"runs"`
+	Aborts        int64   `json:"aborts"`
+	Tables        int64   `json:"tables"`
+	CopiedRows    int64   `json:"copied_rows"`
+	LoadedRows    int64   `json:"loaded_rows"`
+	DeltaReplayed int64   `json:"delta_replayed"`
+	Cutovers      int64   `json:"cutovers"`
+	MeanCutoverUS float64 `json:"mean_cutover_us"`
+	MaxCutoverUS  int64   `json:"max_cutover_us"`
+}
+
 // Snapshot is the full metrics export: one entry per backend plus the
-// controller-level fan-out and reliability series.
+// controller-level fan-out, reliability, and migration series.
 type Snapshot struct {
 	Policy      string              `json:"policy,omitempty"`
 	Backends    []BackendSnapshot   `json:"backends"`
 	Fanout      FanoutSnapshot      `json:"rowa_fanout"`
 	Reliability ReliabilitySnapshot `json:"reliability"`
+	Migration   MigrationSnapshot   `json:"migration"`
 }

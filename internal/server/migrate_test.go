@@ -1,0 +1,139 @@
+package server
+
+import (
+	"net"
+	"testing"
+
+	"qcpa/internal/cluster"
+	"qcpa/internal/core"
+	"qcpa/internal/sqlmini"
+)
+
+// startMigratableServer is startServer with a planner configured: the
+// planner alternately returns the initial split layout and full
+// replication, so every "migrate" has tables to move.
+func startMigratableServer(t *testing.T) (*cluster.Cluster, string) {
+	t.Helper()
+	cl := core.NewClassification()
+	cl.AddFragment(core.Fragment{ID: "a", Size: 1})
+	cl.AddFragment(core.Fragment{ID: "b", Size: 1})
+	cl.MustAddClass(core.NewClass("QA", core.Read, 0.4, "a"))
+	cl.MustAddClass(core.NewClass("QB", core.Read, 0.3, "b"))
+	cl.MustAddClass(core.NewClass("UB", core.Update, 0.3, "b"))
+	alloc := core.NewAllocation(cl, core.UniformBackends(2))
+	alloc.AddFragments(0, "a", "b")
+	alloc.SetAssign(0, "QA", 0.4)
+	alloc.SetAssign(0, "UB", 0.3)
+	alloc.AddFragments(1, "b")
+	alloc.SetAssign(1, "QB", 0.3)
+	alloc.SetAssign(1, "UB", 0.3)
+	if err := alloc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := cluster.New(cluster.Config{Backends: core.UniformBackends(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	load := func(e *sqlmini.Engine, tables []string) error {
+		for _, tb := range tables {
+			if e.Table(tb) != nil {
+				continue
+			}
+			if err := e.CreateTable(tb, []sqlmini.Column{
+				{Name: tb + "_id", Type: sqlmini.KindInt, PrimaryKey: true},
+				{Name: tb + "_v", Type: sqlmini.KindInt},
+			}); err != nil {
+				return err
+			}
+			rows := make([]sqlmini.Row, 5)
+			for i := range rows {
+				rows[i] = sqlmini.Row{sqlmini.Int(int64(i)), sqlmini.Int(int64(i * 2))}
+			}
+			if err := e.BulkInsert(tb, rows); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := c.Install(alloc, load); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ServeConfig(ln, c, Config{
+		Planner: func(n int) (*core.Allocation, error) {
+			full := core.FullReplication(cl, core.UniformBackends(n))
+			if err := full.Validate(); err != nil {
+				return nil, err
+			}
+			return full, nil
+		},
+		Loader: load,
+	})
+	t.Cleanup(func() { srv.Close() })
+	return c, ln.Addr().String()
+}
+
+func TestMigrateOverTCP(t *testing.T) {
+	c, addr := startMigratableServer(t)
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	rep, err := client.Migrate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full replication needs a on the second backend: one live copy.
+	if rep.CopiedTables != 1 || rep.CopiedRows != 5 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if c.Backend(1).Table("a") == nil {
+		t.Fatal("migrate did not place a on the second backend")
+	}
+	st, err := client.MigrationStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Active || st.Err != "" || st.TablesDone != 1 {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestResizeOverTCP(t *testing.T) {
+	c, addr := startMigratableServer(t)
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	rep, err := client.Resize(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumBackends() != 3 {
+		t.Fatalf("backends = %d, want 3", c.NumBackends())
+	}
+	if rep.CopiedTables == 0 {
+		t.Fatalf("scale-out copied nothing: %+v", rep)
+	}
+	if _, err := client.Resize(0); err == nil {
+		t.Fatal("resize to 0 backends accepted")
+	}
+}
+
+func TestMigrateWithoutPlannerRejected(t *testing.T) {
+	_, _, addr := startServer(t)
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.Migrate(); err == nil {
+		t.Fatal("migrate without a planner accepted")
+	}
+}

@@ -34,6 +34,16 @@
 // "cmd": "recover" brings it back and returns the catch-up report
 // (updates replayed, tables resynced, checksums verified).
 //
+// Online reallocation is driven over the same protocol: "cmd":
+// "migrate" asks the configured planner for a fresh allocation (from
+// the recorded query history) and installs it with the live-migration
+// engine — the cluster keeps serving while tables copy in throttled
+// batches; "cmd": "resize" with "backends": N does the same at a new
+// backend count (live scale-out/scale-in); "cmd": "migration" reports
+// the progress of the run in flight (phase, tables done, rows copied,
+// delta replayed, worst cutover pause) and can be polled from another
+// connection while a migrate/resize blocks its own.
+//
 // Query execution runs under the server's base context (canceled on
 // Close) plus the cluster's configured per-request timeout.
 package server
@@ -48,6 +58,7 @@ import (
 	"sync"
 
 	"qcpa/internal/cluster"
+	"qcpa/internal/core"
 	"qcpa/internal/runtime/metrics"
 	"qcpa/internal/sqlmini"
 	"qcpa/internal/workload"
@@ -55,13 +66,29 @@ import (
 
 // Request is one client message.
 type Request struct {
-	Cmd   string `json:"cmd,omitempty"` // "", "history", "stats", "metrics", "health", "fail", "recover"
+	Cmd   string `json:"cmd,omitempty"` // "", "history", "stats", "metrics", "health", "fail", "recover", "migrate", "resize", "migration"
 	SQL   string `json:"sql,omitempty"`
 	Class string `json:"class,omitempty"`
 	Write bool   `json:"write,omitempty"`
 	// Backend names the target of the administrative "fail" and
 	// "recover" commands.
 	Backend string `json:"backend,omitempty"`
+	// Backends is the target backend count of the "resize" command.
+	Backends int `json:"backends,omitempty"`
+}
+
+// Config carries the server's reallocation hooks. The zero value
+// serves queries and health commands but rejects "migrate"/"resize"
+// (no planner to compute allocations with).
+type Config struct {
+	// Planner computes a fresh allocation for n backends, typically by
+	// reclassifying the cluster's recorded history. Required for the
+	// "migrate" and "resize" commands.
+	Planner func(n int) (*core.Allocation, error)
+	// Loader fetches tables no live replica holds during migrations.
+	Loader cluster.Loader
+	// Live tunes the live-migration engine (batch size, throttle).
+	Live cluster.LiveOptions
 }
 
 // HistoryEntry mirrors the journal lines returned by cmd "history".
@@ -89,11 +116,16 @@ type Response struct {
 	Health *cluster.HealthReport `json:"health,omitempty"`
 	// CatchUp reports a completed cmd "recover".
 	CatchUp *cluster.CatchUpReport `json:"catch_up,omitempty"`
+	// Report summarizes a completed cmd "migrate" or "resize".
+	Report *cluster.MigrationReport `json:"report,omitempty"`
+	// Migration is the progress snapshot of cmd "migration".
+	Migration *cluster.MigrationStatus `json:"migration,omitempty"`
 }
 
 // Server serves a cluster over a listener.
 type Server struct {
 	cluster *cluster.Cluster
+	cfg     Config
 	ln      net.Listener
 	baseCtx context.Context
 	cancel  context.CancelFunc
@@ -107,8 +139,13 @@ type Server struct {
 // Close stops the accept loop, cancels in-flight queries, and waits
 // for their connections.
 func Serve(ln net.Listener, c *cluster.Cluster) *Server {
+	return ServeConfig(ln, c, Config{})
+}
+
+// ServeConfig is Serve with reallocation hooks configured.
+func ServeConfig(ln net.Listener, c *cluster.Cluster, cfg Config) *Server {
 	baseCtx, cancel := context.WithCancel(context.Background())
-	s := &Server{cluster: c, ln: ln, baseCtx: baseCtx, cancel: cancel, conns: make(map[net.Conn]struct{})}
+	s := &Server{cluster: c, cfg: cfg, ln: ln, baseCtx: baseCtx, cancel: cancel, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -265,8 +302,44 @@ func (s *Server) execute(req Request) Response {
 			return Response{Error: err.Error()}
 		}
 		return Response{OK: true, Backend: req.Backend, CatchUp: rep}
+	case "migrate":
+		rep, err := s.reallocate(s.cluster.NumBackends())
+		if err != nil {
+			return Response{Error: err.Error()}
+		}
+		return Response{OK: true, Report: rep}
+	case "resize":
+		if req.Backends <= 0 {
+			return Response{Error: "resize needs a positive \"backends\" count"}
+		}
+		rep, err := s.reallocate(req.Backends)
+		if err != nil {
+			return Response{Error: err.Error()}
+		}
+		return Response{OK: true, Report: rep}
+	case "migration":
+		st := s.cluster.Migration()
+		return Response{OK: true, Migration: &st}
 	}
 	return Response{Error: fmt.Sprintf("unknown cmd %q", req.Cmd)}
+}
+
+// reallocate plans a fresh allocation for n backends and installs it
+// with the live engine. It runs synchronously on the requesting
+// connection; other connections keep executing queries throughout and
+// can poll {"cmd":"migration"} for progress.
+func (s *Server) reallocate(n int) (*cluster.MigrationReport, error) {
+	if s.cfg.Planner == nil {
+		return nil, errors.New("server: no planner configured for online reallocation")
+	}
+	alloc, err := s.cfg.Planner(n)
+	if err != nil {
+		return nil, fmt.Errorf("server: planning allocation: %w", err)
+	}
+	if n == s.cluster.NumBackends() {
+		return s.cluster.MigrateLive(alloc, s.cfg.Loader, s.cfg.Live)
+	}
+	return s.cluster.ResizeLive(alloc, s.cfg.Loader, s.cfg.Live)
 }
 
 // jsonValue converts an engine value into a JSON-friendly Go value.
@@ -385,4 +458,44 @@ func (c *Client) Recover(backend string) (*cluster.CatchUpReport, error) {
 		return nil, errors.New(resp.Error)
 	}
 	return resp.CatchUp, nil
+}
+
+// Migrate asks the controller to replan from its recorded history and
+// install the new allocation live. Blocks until the migration
+// finishes; poll MigrationStatus from another client for progress.
+func (c *Client) Migrate() (*cluster.MigrationReport, error) {
+	resp, err := c.Do(Request{Cmd: "migrate"})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, errors.New(resp.Error)
+	}
+	return resp.Report, nil
+}
+
+// Resize asks the controller to replan at a new backend count and
+// scale live.
+func (c *Client) Resize(backends int) (*cluster.MigrationReport, error) {
+	resp, err := c.Do(Request{Cmd: "resize", Backends: backends})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, errors.New(resp.Error)
+	}
+	return resp.Report, nil
+}
+
+// MigrationStatus fetches the progress of the migration in flight (or
+// the outcome of the last finished one).
+func (c *Client) MigrationStatus() (*cluster.MigrationStatus, error) {
+	resp, err := c.Do(Request{Cmd: "migration"})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, errors.New(resp.Error)
+	}
+	return resp.Migration, nil
 }

@@ -82,6 +82,13 @@ type Options struct {
 	// the availability and throughput effects of an outage, not the
 	// catch-up data motion (that is the live cluster's redo-log path).
 	Downtimes []Downtime
+	// Migrations lists background live-migration windows: while a
+	// window is open, the backend's service times are multiplied by its
+	// Slowdown — the foreground cost of the throttled copy stream the
+	// live cluster's MigrateLive/ResizeLive impose on a destination.
+	// Unlike Downtimes the backend stays fully available (the live
+	// engine never takes replicas out of service); it just runs slower.
+	Migrations []Migration
 }
 
 // Downtime takes backend Backend out of service for the simulated time
@@ -89,6 +96,15 @@ type Options struct {
 type Downtime struct {
 	Backend  int
 	From, To float64
+}
+
+// Migration slows backend Backend by factor Slowdown (> 1) during the
+// simulated time window [From, To) — the background load of a live
+// migration copying tables onto it.
+type Migration struct {
+	Backend  int
+	From, To float64
+	Slowdown float64
 }
 
 // Result summarizes a run.
@@ -335,6 +351,18 @@ func (s *simulator) enqueue(b int, j job) {
 	}
 }
 
+// migrationSlowdown is the combined service-time multiplier of every
+// migration window open on backend b at time t (1 when none are).
+func (s *simulator) migrationSlowdown(b int, t float64) float64 {
+	m := 1.0
+	for _, w := range s.opts.Migrations {
+		if w.Backend == b && t >= w.From && t < w.To && w.Slowdown > 1 {
+			m *= w.Slowdown
+		}
+	}
+	return m
+}
+
 func (s *simulator) startNext(b int) {
 	if len(s.queues[b]) == 0 {
 		s.current[b] = nil
@@ -343,7 +371,7 @@ func (s *simulator) startNext(b int) {
 	j := s.queues[b][0]
 	s.queues[b] = s.queues[b][1:]
 	s.current[b] = &j
-	service := j.req.Cost / s.speeds[b] * s.factor[b]
+	service := j.req.Cost / s.speeds[b] * s.factor[b] * s.migrationSlowdown(b, s.now)
 	s.busyTime[b] += service
 	s.seq++
 	heap.Push(&s.events, event{time: s.now + service, backend: b, seq: s.seq})

@@ -458,3 +458,53 @@ func TestDowntimeWriteSkipsDeadReplica(t *testing.T) {
 		t.Fatalf("down writer did work: %.3f", res.BusyTime[1])
 	}
 }
+
+// TestMigrationWindowSlowsBackend: a migration window is background
+// load, not an outage — nothing becomes unavailable, but the run under
+// migration must take longer than the clean run, and a window on an
+// unused backend must change nothing.
+func TestMigrationWindowSlowsBackend(t *testing.T) {
+	cl := readOnlyCls()
+	a := core.FullReplication(cl, core.UniformBackends(2))
+	clean, err := RunClosedLoop(Options{Alloc: a}, drawFrom(cl), 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowed, err := RunClosedLoop(Options{
+		Alloc:      a,
+		Migrations: []Migration{{Backend: 0, From: 0, To: math.Inf(1), Slowdown: 3}},
+	}, drawFrom(cl), 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slowed.Unavailable != 0 {
+		t.Fatalf("migration window rejected %d requests; it must not affect availability", slowed.Unavailable)
+	}
+	if slowed.Completed != clean.Completed {
+		t.Fatalf("completed %d vs %d", slowed.Completed, clean.Completed)
+	}
+	if slowed.Makespan <= clean.Makespan {
+		t.Fatalf("migration window did not slow the run: %v vs clean %v", slowed.Makespan, clean.Makespan)
+	}
+	// Least-pending scheduling shifts reads toward the unencumbered
+	// backend while the window is open.
+	if slowed.BusyTime[0] <= clean.BusyTime[0] {
+		t.Fatalf("slowed backend busy time %v not above clean %v", slowed.BusyTime[0], clean.BusyTime[0])
+	}
+
+	// A window outside the simulated horizon (or with Slowdown <= 1)
+	// must leave the run bit-identical.
+	same, err := RunClosedLoop(Options{
+		Alloc: a,
+		Migrations: []Migration{
+			{Backend: 0, From: 1e12, To: math.Inf(1), Slowdown: 3},
+			{Backend: 1, From: 0, To: math.Inf(1), Slowdown: 1},
+		},
+	}, drawFrom(cl), 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.Makespan != clean.Makespan || same.Throughput != clean.Throughput {
+		t.Fatalf("inert windows changed the run: %+v vs %+v", same, clean)
+	}
+}

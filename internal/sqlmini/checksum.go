@@ -1,7 +1,6 @@
 package sqlmini
 
 import (
-	"fmt"
 	"hash/fnv"
 )
 
@@ -16,7 +15,7 @@ func (e *Engine) TableChecksum(name string) (uint64, error) {
 	defer e.mu.RUnlock()
 	t, ok := e.tables[name]
 	if !ok {
-		return 0, fmt.Errorf("sqlmini: unknown table %q", name)
+		return 0, unknownTableError(name)
 	}
 	return tableChecksumLocked(t), nil
 }
@@ -37,7 +36,7 @@ func (e *Engine) Checksums(names []string) (map[string]uint64, error) {
 	for _, n := range names {
 		t, ok := e.tables[n]
 		if !ok {
-			return nil, fmt.Errorf("sqlmini: unknown table %q", n)
+			return nil, unknownTableError(n)
 		}
 		out[n] = tableChecksumLocked(t)
 	}

@@ -196,7 +196,7 @@ func (e *Engine) ExecStmtContext(ctx context.Context, st Statement) (*Result, er
 		e.mu.Lock()
 		defer e.mu.Unlock()
 		if _, ok := e.tables[s.Table]; !ok {
-			return nil, fmt.Errorf("sqlmini: unknown table %q", s.Table)
+			return nil, unknownTableError(s.Table)
 		}
 		delete(e.tables, s.Table)
 		return &Result{}, nil
@@ -245,7 +245,7 @@ func (e *Engine) BulkInsert(table string, rows []Row) error {
 	defer e.mu.Unlock()
 	t, ok := e.tables[table]
 	if !ok {
-		return fmt.Errorf("sqlmini: unknown table %q", table)
+		return unknownTableError(table)
 	}
 	for _, r := range rows {
 		cp := make(Row, len(r))

@@ -399,7 +399,7 @@ const cancelCheckRows = 4096
 func (e *Engine) execSelect(ctx context.Context, st *SelectStmt) (*Result, error) {
 	base, ok := e.tables[st.Table]
 	if !ok {
-		return nil, fmt.Errorf("sqlmini: unknown table %q", st.Table)
+		return nil, unknownTableError(st.Table)
 	}
 	b := &binder{}
 	alias := st.Alias
@@ -442,7 +442,7 @@ func (e *Engine) execSelect(ctx context.Context, st *SelectStmt) (*Result, error
 	for _, j := range st.Joins {
 		jt, ok := e.tables[j.Table]
 		if !ok {
-			return nil, fmt.Errorf("sqlmini: unknown table %q", j.Table)
+			return nil, unknownTableError(j.Table)
 		}
 		jAlias := j.Alias
 		if jAlias == "" {
@@ -966,7 +966,7 @@ func groupRows(rows []Row, groupExprs []Expr, aggs []*Agg) (map[string]*group, [
 func (e *Engine) execInsert(st *InsertStmt) (*Result, error) {
 	t, ok := e.tables[st.Table]
 	if !ok {
-		return nil, fmt.Errorf("sqlmini: unknown table %q", st.Table)
+		return nil, unknownTableError(st.Table)
 	}
 	colIdx := make([]int, 0, len(st.Columns))
 	if len(st.Columns) == 0 {
@@ -1015,7 +1015,7 @@ func (e *Engine) execInsert(st *InsertStmt) (*Result, error) {
 func (e *Engine) execUpdate(st *UpdateStmt) (*Result, error) {
 	t, ok := e.tables[st.Table]
 	if !ok {
-		return nil, fmt.Errorf("sqlmini: unknown table %q", st.Table)
+		return nil, unknownTableError(st.Table)
 	}
 	b := &binder{}
 	b.addTable(st.Table, t)
@@ -1110,7 +1110,7 @@ func (e *Engine) execUpdate(st *UpdateStmt) (*Result, error) {
 func (e *Engine) execDelete(st *DeleteStmt) (*Result, error) {
 	t, ok := e.tables[st.Table]
 	if !ok {
-		return nil, fmt.Errorf("sqlmini: unknown table %q", st.Table)
+		return nil, unknownTableError(st.Table)
 	}
 	b := &binder{}
 	b.addTable(st.Table, t)

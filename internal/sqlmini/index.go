@@ -27,7 +27,7 @@ func (e *Engine) CreateIndex(table, column string) error {
 	defer e.mu.Unlock()
 	t, ok := e.tables[table]
 	if !ok {
-		return fmt.Errorf("sqlmini: unknown table %q", table)
+		return unknownTableError(table)
 	}
 	ci := t.ColumnIndex(column)
 	if ci < 0 {

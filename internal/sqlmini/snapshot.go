@@ -53,7 +53,7 @@ func (e *Engine) SnapshotTables(w io.Writer, tables []string) error {
 	for _, n := range sorted {
 		t, ok := e.tables[n]
 		if !ok {
-			return fmt.Errorf("sqlmini: unknown table %q", n)
+			return unknownTableError(n)
 		}
 		snap.Tables = append(snap.Tables, snapshotTable{Name: n, Cols: t.Cols, Rows: t.rows})
 	}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race lint check chaos chaos-migrate bench bench-smoke clean
+.PHONY: all build test vet race lint check chaos chaos-migrate chaos-group bench bench-smoke clean
 
 all: check
 
@@ -43,6 +43,15 @@ chaos:
 # replica serving).
 chaos-migrate:
 	$(GO) test -race -run 'MigrateLive|ResizeLive|ResizeSameCount' -count=2 -timeout 120s ./internal/cluster/
+
+# chaos-group runs the group-commit suite under the race detector:
+# backends killed mid-round while concurrent writers stream batched
+# ROWA rounds (no half-committed group may ever become visible), a
+# pinned snapshot view held across a live-migration cutover, and the
+# same workload fanned out with different worker counts (replicas must
+# stay bit-identical either way).
+chaos-group:
+	$(GO) test -race -run 'GroupCommit|GroupChaos|ApplyRound|LongScan|PinnedView' -count=2 -timeout 120s ./internal/cluster/ ./internal/sqlmini/
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

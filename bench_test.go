@@ -243,6 +243,8 @@ func BenchmarkSqlminiJoinAggregate(b *testing.B) {
 
 func BenchmarkDriftDetection(b *testing.B) { benchFigure(b, "E22") }
 
+func BenchmarkMixedThroughput(b *testing.B) { benchFigure(b, "E23") }
+
 func BenchmarkAblationHorizontal(b *testing.B) { benchFigure(b, "A5") }
 
 func BenchmarkAblationHeterogeneity(b *testing.B) { benchFigure(b, "A6") }

@@ -58,6 +58,8 @@ func main() {
 		redoCap  = flag.Int("redo-cap", 0, "per-backend redo-log cap before falling back to full resync, 0 = default (server mode)")
 		migBatch = flag.Int("migrate-batch", 0, "rows per live-migration restore batch, 0 = default (server mode)")
 		migPause = flag.Duration("migrate-pause", 0, "pause between live-migration batches, 0 = full speed (server mode)")
+		groupMax = flag.Int("group-batch", 0, "max updates per group-commit round, 0 = default (server mode)")
+		groupWait = flag.Duration("group-wait", 0, "group-commit linger for batch building, 0 = commit immediately (server mode)")
 	)
 	flag.Parse()
 
@@ -66,7 +68,8 @@ func main() {
 		runClient(*connect, *sql, *class, *cmd, *backend, *backends, *write)
 	case *listen != "":
 		runServer(*listen, *backends, *strategy, *policy,
-			cluster.Config{Timeout: *timeout, MaxRetries: *retries, Backoff: *backoff, RedoLogCap: *redoCap},
+			cluster.Config{Timeout: *timeout, MaxRetries: *retries, Backoff: *backoff, RedoLogCap: *redoCap,
+				GroupCommit: cluster.GroupCommitConfig{MaxBatch: *groupMax, MaxWait: *groupWait}},
 			cluster.LiveOptions{BatchRows: *migBatch, BatchPause: *migPause})
 	default:
 		flag.Usage()
@@ -181,14 +184,17 @@ func runClient(addr, sql, class, cmd, backend string, backends int, write bool) 
 	case resp.Metrics != nil:
 		m := resp.Metrics
 		fmt.Printf("policy %s\n", m.Policy)
-		fmt.Printf("%-6s %-10s %8s %8s %7s %8s %10s %12s %12s\n",
-			"node", "state", "reads", "writes", "errors", "pending", "failovers", "read-p95(us)", "write-p95(us)")
+		fmt.Printf("%-6s %-10s %8s %8s %7s %8s %10s %8s %12s %12s\n",
+			"node", "state", "reads", "writes", "errors", "pending", "failovers", "epoch", "read-p95(us)", "write-p95(us)")
 		for _, b := range m.Backends {
-			fmt.Printf("%-6s %-10s %8d %8d %7d %8d %10d %12d %12d\n",
-				b.Name, b.State, b.Reads, b.Writes, b.Errors, b.Pending, b.Failovers, b.ReadLatency.P95US, b.WriteLatency.P95US)
+			fmt.Printf("%-6s %-10s %8d %8d %7d %8d %10d %8d %12d %12d\n",
+				b.Name, b.State, b.Reads, b.Writes, b.Errors, b.Pending, b.Failovers, b.Epoch, b.ReadLatency.P95US, b.WriteLatency.P95US)
 		}
 		fmt.Printf("ROWA fan-out: %d writes, mean width %.2f, max width %d\n",
 			m.Fanout.Writes, m.Fanout.MeanWidth, m.Fanout.MaxWidth)
+		g := m.GroupCommit
+		fmt.Printf("group commit: %d rounds, %d updates, mean batch %.2f (max %d), mean wait %.0fus (max %dus)\n",
+			g.Rounds, g.Updates, g.MeanBatch, g.MaxBatch, g.MeanWaitUS, g.MaxWaitUS)
 		r := m.Reliability
 		fmt.Printf("reliability: %d retries, %d unavailable, %d redo appends, %d catch-ups (mean %.1fms, max %dms)\n",
 			r.Retries, r.Unavailable, r.RedoAppends, r.Catchups, r.MeanCatchupMS, r.MaxCatchupMS)

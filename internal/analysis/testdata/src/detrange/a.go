@@ -130,3 +130,38 @@ func sliceRangeIsFine(xs []float64) float64 {
 	}
 	return total
 }
+
+// --- epoch publication cases ---
+//
+// Publishing a copy-on-write read view ranges over the engine's table
+// map. The per-key clone into the next view is order-insensitive and
+// must pass; any publication artifact derived from visit order (an
+// order-dependent hash chain, a "last table wins" epoch tag) must be
+// flagged, because two replicas publishing the same round would
+// disagree.
+
+type tableView struct{ rows int }
+
+func publishViewClone(tables map[string]*tableView) map[string]*tableView {
+	next := make(map[string]*tableView, len(tables))
+	for name, tv := range tables {
+		next[name] = tv
+	}
+	return next
+}
+
+func epochHashChain(tables map[string]*tableView) int {
+	h := 17
+	for _, tv := range tables { // want "plain assignment to a variable outside the loop"
+		h = h*31 + tv.rows
+	}
+	return h
+}
+
+func epochRowXor(tables map[string]*tableView) int {
+	h := 0
+	for _, tv := range tables {
+		h ^= tv.rows
+	}
+	return h
+}

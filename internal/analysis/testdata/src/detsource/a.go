@@ -51,3 +51,23 @@ func deadline(o options, d time.Duration) time.Time {
 func pureTimeMath(t, u time.Time) time.Duration {
 	return t.Sub(u) // deterministic given inputs: fine
 }
+
+// --- epoch publication cases ---
+//
+// Publishing a read-view epoch must be a pure counter increment:
+// stamping the view with the wall clock at publish time makes two
+// replicas of the same round publish different views. A caller-injected
+// clock keeps the stamp out of the deterministic core.
+
+type publishedView struct {
+	epoch int64
+	born  time.Time
+}
+
+func publishStamped(epoch int64) publishedView {
+	return publishedView{epoch: epoch, born: time.Now()} // want "wall-clock read time.Now"
+}
+
+func publishInjected(epoch int64, now func() time.Time) publishedView {
+	return publishedView{epoch: epoch, born: now()} // injected clock: fine
+}

@@ -7,11 +7,16 @@
 // Processing model (Section 2): every query is an atomic unit executed
 // entirely by one backend that stores all data fragments of the query's
 // class; reads are scheduled least-pending-request-first among the
-// eligible backends; updates follow the ROWA protocol — they execute on
-// every backend holding their data, and all backends apply conflicting
-// updates in the same global order (the controller enqueues updates
-// under a dispatch lock, and each backend drains its update queue with
-// a single applier, so per-backend FIFO order equals the global order).
+// eligible backends and execute lock-free against each engine's latest
+// published snapshot; updates follow the ROWA protocol — they execute
+// on every backend holding their data, and all backends apply
+// conflicting updates in the same global order. Concurrent updates are
+// batched into group-committed rounds (see group.go): a single
+// dispatcher admits a bounded batch per dispatch-lock hold, fixes a
+// deterministic within-round order, and each backend drains its update
+// queue with a single applier — per-backend FIFO round order equals the
+// global round order, and every round publishes exactly one new read
+// epoch.
 package cluster
 
 import (
@@ -90,6 +95,9 @@ type Config struct {
 	// backend then recovers by re-copying its tables from a live
 	// replica instead of replaying.
 	RedoLogCap int
+	// GroupCommit tunes the group-committed ROWA rounds (batch bound
+	// and optional linger) — see group.go.
+	GroupCommit GroupCommitConfig
 }
 
 // failThreshold is the number of consecutive read failures after which
@@ -121,9 +129,14 @@ type backend struct {
 	// new updates enqueue directly again while checksum verification
 	// finishes. Flipped only under the cluster's dispatch lock.
 	direct atomic.Bool
-	// redo, redoLost, and downSince are guarded by Cluster.dispatchMu:
-	// redo appends must interleave with the global update order.
-	redo      []*updateJob
+	// redo, redoLen, redoLost, and downSince are guarded by
+	// Cluster.dispatchMu: redo appends must interleave with the global
+	// update order. The log is round-structured — replay re-applies
+	// the same round boundaries the live replicas committed — and
+	// redoLen counts the statements across all logged rounds (the
+	// RedoLogCap unit).
+	redo      []*replayRound
+	redoLen   int
 	redoLost  bool
 	downSince time.Time
 	// capture maps tables this backend is receiving through a live
@@ -206,17 +219,16 @@ func (b *backend) acceptsWrites() bool {
 	return false
 }
 
-// updateJob is one queue entry for a backend's applier. Plain updates
-// carry a statement; recovery enqueues control jobs (checksum barriers,
-// snapshot sources, restores) through the same queue so they observe a
-// well-defined position in the global update order.
+// updateJob is one queue entry for a backend's applier. Committed
+// group rounds carry their ordered statements in round; recovery
+// enqueues control jobs (checksum barriers, snapshot sources, restores)
+// through the same queue so they observe a well-defined position in the
+// global round order.
 type updateJob struct {
-	stmt     sqlmini.Statement
-	sql      string
-	affected int
-	done     chan error
+	round *roundJob // one group-committed round (or a replayed one)
+	done  chan error
 
-	// Control-job fields (at most one set; stmt is nil then).
+	// Control-job fields (at most one set; round is nil then).
 	checksum []string          // compute checksums of these tables
 	sums     map[string]uint64 // checksum result, valid after done
 	snapshot *snapshotWait     // serialize these tables at this queue position
@@ -256,7 +268,23 @@ type Cluster struct {
 	alloc      *core.Allocation
 	classFrags map[string][]string // class -> required tables
 
-	dispatchMu sync.Mutex // global update order
+	dispatchMu sync.Mutex // global update (round) order
+	// roundTick numbers committed rounds; redo/delta appends carry it
+	// so logged statements regroup into the exact rounds the live
+	// replicas applied. Guarded by dispatchMu.
+	roundTick uint64
+
+	// Group-commit dispatcher state (see group.go): entries pend on
+	// groupPending under groupMu until the dispatcher (groupLoop)
+	// admits them into a round; groupCond wakes it, groupFull cuts a
+	// MaxWait linger short, groupSeq stamps arrival order.
+	groupMu      sync.Mutex
+	groupCond    *sync.Cond
+	groupPending []*groupEntry
+	groupClosed  bool
+	groupFull    chan struct{}
+	groupWG      sync.WaitGroup
+	groupSeq     atomic.Uint64
 
 	journalMu sync.Mutex
 	journal   map[string]*journalLine
@@ -307,6 +335,7 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.RedoLogCap <= 0 {
 		cfg.RedoLogCap = 4096
 	}
+	cfg.GroupCommit = cfg.GroupCommit.withDefaults()
 	c := &Cluster{
 		cfg:       cfg,
 		policy:    cfg.Policy.New(),
@@ -314,12 +343,16 @@ func New(cfg Config) (*Cluster, error) {
 		metrics:   metrics.NewRegistry(),
 		journal:   make(map[string]*journalLine),
 		stmtCache: make(map[string]sqlmini.Statement),
+		groupFull: make(chan struct{}, 1),
 	}
+	c.groupCond = sync.NewCond(&c.groupMu)
 	bs := make([]*backend, 0, len(cfg.Backends))
 	for _, b := range cfg.Backends {
 		bs = append(bs, c.newBackend(b.Name))
 	}
 	c.setNodes(bs)
+	c.groupWG.Add(1)
+	go c.groupLoop()
 	return c, nil
 }
 
@@ -340,16 +373,18 @@ func (c *Cluster) newBackend(name string) *backend {
 }
 
 // applyUpdates drains the backend's update queue in FIFO order — the
-// single applier guarantees that this backend applies updates in
-// exactly the order the controller enqueued them. Besides plain
-// updates it serves recovery's control jobs: checksum barriers,
+// single applier guarantees that this backend applies rounds in
+// exactly the order the controller enqueued them. Besides committed
+// rounds it serves recovery's control jobs: checksum barriers,
 // snapshot sources, and restores, which thereby observe an exact
-// position in the global update order (every update is either wholly
+// position in the global round order (every round is either wholly
 // before or wholly after them on all replicas).
 func (b *backend) applyUpdates() {
 	defer b.wg.Done()
 	for job := range b.updateCh {
 		switch {
+		case job.round != nil:
+			b.applyRound(job)
 		case job.checksum != nil:
 			sums, err := b.engine.Checksums(job.checksum)
 			job.sums = sums
@@ -373,17 +408,37 @@ func (b *backend) applyUpdates() {
 			err := b.applyDrop(job.drop)
 			b.metrics.DecPending()
 			job.done <- err
-		default:
-			start := time.Now()
-			r, err := b.engine.ExecStmt(job.stmt)
-			if err == nil {
-				job.affected = r.Affected
-			}
-			b.metrics.DecPending()
-			b.metrics.ObserveWrite(time.Since(start), err != nil)
-			job.done <- err
 		}
 	}
+}
+
+// applyRound applies one committed round through the engine's
+// ApplyRound — all statements in order under one engine hold, then ONE
+// published read epoch — and reports each statement's outcome to the
+// writer waiting on its entry. Completion is signaled strictly after
+// the publish, so an acknowledged write is readable on this replica.
+// A statement error does not stop the round (replicas must stay in
+// lockstep; the waiting writer quarantines diverged replicas).
+func (b *backend) applyRound(job *updateJob) {
+	rj := job.round
+	stmts := make([]sqlmini.Statement, len(rj.stmts))
+	for i, rs := range rj.stmts {
+		stmts[i] = rs.stmt
+	}
+	results := b.engine.ApplyRound(stmts)
+	var firstErr error
+	for i, rs := range rj.stmts {
+		r := results[i]
+		b.metrics.ObserveWrite(r.Duration, r.Err != nil)
+		if r.Err != nil && firstErr == nil {
+			firstErr = r.Err
+		}
+		if rs.entry != nil {
+			rs.entry.complete(b, r.Err, r.Affected)
+		}
+	}
+	b.metrics.DecPending()
+	job.done <- firstErr
 }
 
 // applyRestore installs snapshots produced by source backends' barrier
@@ -426,11 +481,13 @@ func (b *backend) applyDrop(tables []string) error {
 	return nil
 }
 
-// Close shuts the backends down.
+// Close shuts the backends down. The group dispatcher drains first —
+// in-flight rounds still need the appliers' queues open.
 func (c *Cluster) Close() {
 	if c.stopped.Swap(true) {
 		return
 	}
+	c.closeGroup()
 	for _, b := range c.all() {
 		close(b.updateCh)
 		b.wg.Wait()
@@ -490,6 +547,7 @@ func (c *Cluster) Install(alloc *core.Allocation, load Loader) error {
 		b.health.ResetFailures()
 		b.direct.Store(false)
 		b.redo = nil
+		b.redoLen = 0
 		b.redoLost = false
 		b.downSince = time.Time{}
 		b.capture = nil
@@ -736,153 +794,80 @@ func (c *Cluster) executeWrite(ctx context.Context, stmt sqlmini.Statement, sql,
 	if wt := sqlmini.WriteTable(stmt); wt != "" {
 		routeTables = []string{wt}
 	}
-	// The dispatch lock fixes the global order: it is held until every
-	// live replica has this update in its queue — and every Down (or
-	// still-replaying) replica has it in its redo log — so conflicting
-	// updates reach every common backend in the same sequence whether
-	// applied now or replayed later. The holder scan happens under the
-	// same hold, so a live-migration cutover is either wholly before
-	// this update (the new replica is a target) or wholly after it (the
-	// update lands in the migration's delta capture below). Within one
-	// update the enqueues fan out through a bounded worker pool — a
-	// replica with a full queue delays only its own enqueue instead of
-	// serializing the whole fan-out.
-	backends := c.all()
-	c.dispatchMu.Lock()
-	var all []*backend
-	for _, b := range backends {
-		if b.holdsAny(routeTables) {
-			all = append(all, b)
-		}
+	// Hand the update to the group-commit dispatcher (group.go): it
+	// rides a bounded round that fixes the deterministic global order,
+	// routes it under one dispatchMu hold shared with the rest of its
+	// round, and fans round jobs out to every live holder (with redo
+	// and delta capture for the absent ones). The entry's done channel
+	// closes once every target replica applied — and published — its
+	// round, so an acknowledged write is immediately readable.
+	e := &groupEntry{
+		stmt:        stmt,
+		sql:         sql,
+		class:       class,
+		tables:      tables,
+		routeTables: routeTables,
+		seq:         c.groupSeq.Add(1),
+		submitted:   time.Now(),
+		affected:    -1,
+		done:        make(chan struct{}),
 	}
-	if len(all) == 0 {
-		c.dispatchMu.Unlock()
-		return nil, fmt.Errorf("cluster: no backend holds tables %v for update", routeTables)
+	if err := c.enqueueGroup(e); err != nil {
+		return nil, err
 	}
-	var targets []*backend
-	for _, b := range all {
-		if b.acceptsWrites() {
-			targets = append(targets, b)
-		}
+	select {
+	case <-e.done:
+	case <-ctx.Done():
+		// The update is (or will be) committed into a round in global
+		// order; the replicas finish applying it (staying consistent),
+		// the caller just stops waiting.
+		return nil, ctx.Err()
 	}
-	if len(targets) == 0 {
-		// No live replica may apply the update: reject it rather than
-		// logging it nowhere-but-redo (the redo invariant is that every
-		// logged update was applied on at least one live replica).
-		c.dispatchMu.Unlock()
-		c.metrics.ObserveUnavailable()
-		return nil, &runtime.UnavailableError{Class: class, Tables: tables}
+	if e.routeErr != nil {
+		return nil, e.routeErr
 	}
-	for _, b := range all {
-		if !b.acceptsWrites() {
-			c.appendRedoLocked(b, stmt, sql)
-		}
-	}
-	// Live-migration delta capture: a backend mid-copy of one of the
-	// written tables records the update for catch-up replay. Captured
-	// tables are disjoint from held tables (the destination holds the
-	// table only after cutover), so no update is both applied directly
-	// and captured.
-	for _, b := range backends {
-		if len(b.capture) == 0 {
-			continue
-		}
-		for _, t := range routeTables {
-			if dl, ok := b.capture[t]; ok && !b.holds(t) {
-				c.appendDeltaLocked(dl, stmt, sql)
-				break
-			}
-		}
-	}
-	c.metrics.ObserveFanout(len(targets))
-	jobs := make([]*updateJob, len(targets))
-	for i := range targets {
-		jobs[i] = &updateJob{stmt: stmt, sql: sql, done: make(chan error, 1)}
-	}
-	if workers := c.cfg.FanoutWorkers; workers > 1 && len(targets) > 1 {
-		if workers > len(targets) {
-			workers = len(targets)
-		}
-		var next atomic.Int64
-		var ewg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			ewg.Add(1)
-			go func() {
-				defer ewg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= len(targets) {
-						return
-					}
-					targets[i].metrics.IncPending()
-					targets[i].updateCh <- jobs[i]
-				}
-			}()
-		}
-		ewg.Wait()
-	} else {
-		for i, b := range targets {
-			b.metrics.IncPending()
-			b.updateCh <- jobs[i]
-		}
-	}
-	c.dispatchMu.Unlock()
-	var firstErr error
-	failed := make([]bool, len(jobs))
-	errCount, affected := 0, -1
-	for i, j := range jobs {
-		select {
-		case err := <-j.done:
-			if err != nil {
-				errCount++
-				failed[i] = true
-				if firstErr == nil {
-					firstErr = fmt.Errorf("cluster: backend %s: %w", targets[i].name, err)
-				}
-			} else if affected < 0 {
-				affected = j.affected
-			}
-		case <-ctx.Done():
-			// The update is already enqueued everywhere in global order;
-			// the replicas finish applying it (staying consistent), the
-			// caller just stops waiting.
-			return nil, ctx.Err()
-		}
-	}
-	if errCount == len(jobs) {
+	if e.errCount == e.targets {
 		// Every live replica rejected the update identically (a
 		// statement error): the replicas still agree, surface it.
-		return nil, firstErr
+		return nil, e.firstErr
 	}
-	if errCount > 0 {
+	if e.errCount > 0 {
 		// Partial failure: the erroring replicas missed an update the
 		// others applied — they have diverged. Quarantine them (Down
 		// with a lost redo log) so recovery re-copies their tables.
-		for i, bad := range failed {
-			if bad {
-				c.quarantine(targets[i])
-			}
+		// Quarantine runs here, on the waiting writer — never on an
+		// applier goroutine, which must not block on dispatchMu.
+		for _, bad := range e.failed {
+			c.quarantine(bad)
 		}
 	}
-	return &Result{Backend: fmt.Sprintf("%d replicas", len(targets)), Affected: affected}, nil
+	return &Result{Backend: fmt.Sprintf("%d replicas", e.targets), Affected: e.affected}, nil
 }
 
-// appendRedoLocked logs an update a non-writable backend missed.
-// Overflow beyond Config.RedoLogCap marks the log lost (and frees it):
-// the backend will recover by full table re-copy instead of replay.
-// Called with dispatchMu held — the log order IS the global order.
+// appendRedoLocked logs an update a non-writable backend missed, under
+// the round tick it committed with, so replay re-applies the exact
+// round boundaries the live replicas saw. Overflow beyond
+// Config.RedoLogCap statements marks the log lost (and frees it): the
+// backend will recover by full table re-copy instead of replay. Called
+// with dispatchMu held — the log order IS the global order.
 //
 //qcpa:locks dispatchMu
-func (c *Cluster) appendRedoLocked(b *backend, stmt sqlmini.Statement, sql string) {
+func (c *Cluster) appendRedoLocked(b *backend, tick uint64, stmt sqlmini.Statement, sql string) {
 	if b.redoLost {
 		return
 	}
-	if len(b.redo) >= c.cfg.RedoLogCap {
+	if b.redoLen >= c.cfg.RedoLogCap {
 		b.redo = nil
+		b.redoLen = 0
 		b.redoLost = true
 		return
 	}
-	b.redo = append(b.redo, &updateJob{stmt: stmt, sql: sql})
+	if n := len(b.redo); n == 0 || b.redo[n-1].tick != tick {
+		b.redo = append(b.redo, &replayRound{tick: tick})
+	}
+	last := b.redo[len(b.redo)-1]
+	last.stmts = append(last.stmts, replayStmt{stmt: stmt, sql: sql})
+	b.redoLen++
 	c.metrics.ObserveRedoAppend()
 }
 
@@ -1000,9 +985,11 @@ func (c *Cluster) Metrics() *metrics.Snapshot {
 		Reliability: c.metrics.Reliability(),
 	}
 	snap.Migration = c.metrics.Migration()
+	snap.GroupCommit = c.metrics.GroupCommit()
 	for _, b := range c.all() {
 		bs := b.metrics.Snapshot(b.name)
 		bs.State = b.health.State().String()
+		bs.Epoch = b.engine.Epoch()
 		snap.Backends = append(snap.Backends, bs)
 	}
 	return snap

@@ -79,6 +79,7 @@ func (c *Cluster) quarantine(b *backend) {
 	b.direct.Store(false)
 	c.dispatchMu.Lock()
 	b.redo = nil
+	b.redoLen = 0
 	b.redoLost = true
 	if b.downSince.IsZero() {
 		b.downSince = time.Now()
@@ -159,7 +160,9 @@ func (c *Cluster) replayRedo(b *backend, rep *CatchUpReport) bool {
 			return false
 		}
 		batch := b.redo
+		n := b.redoLen
 		b.redo = nil
+		b.redoLen = 0
 		if len(batch) == 0 {
 			// Drained: accept writes directly from here on.
 			b.direct.Store(true)
@@ -167,18 +170,22 @@ func (c *Cluster) replayRedo(b *backend, rep *CatchUpReport) bool {
 			return true
 		}
 		c.dispatchMu.Unlock()
-		for _, job := range batch {
-			job.done = make(chan error, 1)
+		// Replay round by round: each logged round applies through one
+		// ApplyRound, preserving the epoch boundaries the live replicas
+		// published when they committed it.
+		jobs := make([]*updateJob, len(batch))
+		for i, rr := range batch {
+			jobs[i] = rr.job()
 			b.metrics.IncPending()
-			b.updateCh <- job
+			b.updateCh <- jobs[i]
 		}
-		for _, job := range batch {
+		for _, job := range jobs {
 			// Individual replay errors are not fatal here: checksum
 			// verification is the arbiter of whether the replica
 			// converged.
 			<-job.done
 		}
-		rep.Replayed += len(batch)
+		rep.Replayed += n
 	}
 }
 
@@ -214,6 +221,7 @@ func (c *Cluster) resync(b *backend, rep *CatchUpReport) error {
 	// From this enqueue on the backend is caught up "as of" this point
 	// in the global order: later updates queue behind the restore.
 	b.redo = nil
+	b.redoLen = 0
 	b.redoLost = false
 	b.direct.Store(true)
 	c.dispatchMu.Unlock()
@@ -359,7 +367,7 @@ func (c *Cluster) Health() *HealthReport {
 		bh := BackendHealth{
 			Name:     b.name,
 			State:    b.health.State().String(),
-			RedoLen:  len(b.redo),
+			RedoLen:  b.redoLen,
 			RedoLost: b.redoLost,
 		}
 		if !b.downSince.IsZero() {

@@ -87,10 +87,13 @@ type cloneWait struct {
 }
 
 // deltaLog captures the ROWA updates to one in-flight table during a
-// live migration. Guarded by Cluster.dispatchMu: appends interleave
-// with the global update order, so replay order equals global order.
+// live migration, grouped by the round they committed with so replay
+// re-applies the same round boundaries. Guarded by Cluster.dispatchMu:
+// appends interleave with the global update order, so replay order
+// equals global order. n counts statements across all captured rounds.
 type deltaLog struct {
-	jobs []*updateJob
+	rounds []*replayRound
+	n      int
 	// lost marks an overflowed capture: the copy attempt must restart
 	// from a fresh clone.
 	lost bool
@@ -101,21 +104,28 @@ type deltaLog struct {
 // could drain it.
 var errDeltaOverflow = errors.New("cluster: live-migration delta log overflowed")
 
-// appendDeltaLocked records an update for an in-flight table. Beyond
-// Config.RedoLogCap the log is marked lost (same policy as the redo
-// log): the copy restarts rather than replaying an unbounded backlog.
+// appendDeltaLocked records an update for an in-flight table under its
+// round tick. Beyond Config.RedoLogCap statements the log is marked
+// lost (same policy as the redo log): the copy restarts rather than
+// replaying an unbounded backlog.
 //
 //qcpa:locks dispatchMu
-func (c *Cluster) appendDeltaLocked(dl *deltaLog, stmt sqlmini.Statement, sql string) {
+func (c *Cluster) appendDeltaLocked(dl *deltaLog, tick uint64, stmt sqlmini.Statement, sql string) {
 	if dl.lost {
 		return
 	}
-	if len(dl.jobs) >= c.cfg.RedoLogCap {
-		dl.jobs = nil
+	if dl.n >= c.cfg.RedoLogCap {
+		dl.rounds = nil
+		dl.n = 0
 		dl.lost = true
 		return
 	}
-	dl.jobs = append(dl.jobs, &updateJob{stmt: stmt, sql: sql})
+	if n := len(dl.rounds); n == 0 || dl.rounds[n-1].tick != tick {
+		dl.rounds = append(dl.rounds, &replayRound{tick: tick})
+	}
+	last := dl.rounds[len(dl.rounds)-1]
+	last.stmts = append(last.stmts, replayStmt{stmt: stmt, sql: sql})
+	dl.n++
 }
 
 // MigrationStatus is a point-in-time view of the live migration in
@@ -508,8 +518,10 @@ func (c *Cluster) tryCopyTableLive(dest *backend, table string, load Loader, opt
 			c.dropPartial(dest, table)
 			return errDeltaOverflow
 		}
-		batch := dl.jobs
-		dl.jobs = nil
+		batch := dl.rounds
+		n := dl.n
+		dl.rounds = nil
+		dl.n = 0
 		if len(batch) == 0 {
 			dest.addTable(table)
 			delete(dest.capture, table)
@@ -523,19 +535,23 @@ func (c *Cluster) tryCopyTableLive(dest *backend, table string, load Loader, opt
 			return fmt.Errorf("destination went %s during catch-up", dest.health.State())
 		}
 		c.setStatusPhase("catchup", dest.name, table)
-		for _, job := range batch {
-			job.done = make(chan error, 1)
+		// Replay round by round: each captured round applies through one
+		// ApplyRound on the destination, preserving the epoch boundaries
+		// the live replicas published.
+		jobs := make([]*updateJob, len(batch))
+		for i, rr := range batch {
+			jobs[i] = rr.job()
 			dest.metrics.IncPending()
-			dest.updateCh <- job
+			dest.updateCh <- jobs[i]
 		}
-		for _, job := range batch {
+		for _, job := range jobs {
 			// Individual replay errors are not fatal: the checksum
 			// verification below is the arbiter of convergence (same
 			// policy as redo-log replay).
 			<-job.done
 		}
-		replayed += len(batch)
-		c.statusAddDelta(len(batch))
+		replayed += n
+		c.statusAddDelta(n)
 	}
 
 	// Phase 4: verify with the rejoin barrier job. The replica already

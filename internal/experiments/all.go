@@ -123,6 +123,7 @@ func AllExperiments() []Experiment {
 		{"A3", AblationScheduler, "lp_qps", lastOf("least-pending")},
 		{"A4", AblationMatching, "hungarian_moved", lastOf("hungarian")},
 		{"E22", DriftDetection, "mismatch_triggers", lastOf("night-only allocation")},
+		{"E23", MixedThroughput, "mixed_read_qps", lastOf("10% updates")},
 		{"A5", AblationHorizontal, "horizontal_degree", lastOf("horizontal")},
 		{"A6", AblationHeterogeneity, "aware_rps", lastOf("aware (Eq. 7 loads)")},
 	}

@@ -524,6 +524,34 @@ func TestDriftDetection(t *testing.T) {
 	}
 }
 
+// TestMixedThroughput: read throughput on the real cluster must not
+// collapse as concurrent clients grow — snapshot reads execute without
+// the engine lock and updates batch into group-committed rounds, so
+// the read-heavy mix at 8 clients must at least hold the 1-client
+// rate (the ≥2x scaling headline needs multi-core hosts; this floor
+// is what a 1-core CI runner can assert deterministically).
+func TestMixedThroughput(t *testing.T) {
+	tab, err := MixedThroughput(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"10% updates", "50% updates"} {
+		s := tab.Get(name)
+		if s == nil || len(s.Y) != 4 {
+			t.Fatalf("series %q missing or wrong length", name)
+		}
+		for i, y := range s.Y {
+			if y <= 0 {
+				t.Fatalf("%s point %d is %v, want > 0", name, i, y)
+			}
+		}
+	}
+	light := tab.Get("10% updates")
+	if light.Y[len(light.Y)-1] < light.Y[0]*0.9 {
+		t.Fatalf("read throughput fell with clients: %v", light.Y)
+	}
+}
+
 // TestAblationHeterogeneity: the heterogeneity-aware allocation must
 // not lose to treating the unequal cluster as uniform.
 func TestAblationHeterogeneity(t *testing.T) {

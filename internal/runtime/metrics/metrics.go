@@ -93,6 +93,11 @@ type Registry struct {
 	redoAppends atomic.Int64
 	catchup     stats.ExpHistogram // milliseconds
 
+	// Group-commit series: per-round batch sizes and per-update commit
+	// wait (submit to round dispatch).
+	groupBatch stats.ExpHistogram // updates per round
+	groupWait  stats.ExpHistogram // microseconds
+
 	// Live-migration series.
 	migRuns       atomic.Int64
 	migAborts     atomic.Int64
@@ -121,6 +126,26 @@ func (r *Registry) ObserveRedoAppend() { r.redoAppends.Add(1) }
 
 // ObserveCatchUp records one completed recovery and its catch-up time.
 func (r *Registry) ObserveCatchUp(d time.Duration) { r.catchup.Observe(d.Milliseconds()) }
+
+// ObserveGroupRound records one committed group round and the number of
+// updates it admitted.
+func (r *Registry) ObserveGroupRound(size int) { r.groupBatch.Observe(int64(size)) }
+
+// ObserveGroupWait records one update's wait from submission to its
+// round's dispatch — the latency cost of batching.
+func (r *Registry) ObserveGroupWait(d time.Duration) { r.groupWait.Observe(d.Microseconds()) }
+
+// GroupCommit captures the group-commit series.
+func (r *Registry) GroupCommit() GroupCommitSnapshot {
+	return GroupCommitSnapshot{
+		Rounds:     r.groupBatch.Count(),
+		Updates:    r.groupWait.Count(),
+		MeanBatch:  r.groupBatch.Mean(),
+		MaxBatch:   r.groupBatch.Max(),
+		MeanWaitUS: r.groupWait.Mean(),
+		MaxWaitUS:  r.groupWait.Max(),
+	}
+}
 
 // ObserveMigrationStart records a live migration beginning.
 func (r *Registry) ObserveMigrationStart() { r.migRuns.Add(1) }
@@ -217,6 +242,10 @@ type BackendSnapshot struct {
 	Errors       int64           `json:"errors"`
 	Pending      int64           `json:"pending"`
 	Failovers    int64           `json:"failovers,omitempty"`
+	// Epoch is the backend engine's published read epoch — one per
+	// committed round (or standalone write). Replicas that applied the
+	// same rounds report comparable advancement.
+	Epoch        int64           `json:"epoch"`
 	ReadLatency  LatencySnapshot `json:"read_latency"`
 	WriteLatency LatencySnapshot `json:"write_latency"`
 }
@@ -255,12 +284,26 @@ type MigrationSnapshot struct {
 	MaxCutoverUS  int64   `json:"max_cutover_us"`
 }
 
+// GroupCommitSnapshot summarizes the group-commit series: committed
+// rounds, updates that rode them, batch sizes, and per-update commit
+// wait.
+type GroupCommitSnapshot struct {
+	Rounds     int64   `json:"rounds"`
+	Updates    int64   `json:"updates"`
+	MeanBatch  float64 `json:"mean_batch"`
+	MaxBatch   int64   `json:"max_batch"`
+	MeanWaitUS float64 `json:"mean_wait_us"`
+	MaxWaitUS  int64   `json:"max_wait_us"`
+}
+
 // Snapshot is the full metrics export: one entry per backend plus the
-// controller-level fan-out, reliability, and migration series.
+// controller-level fan-out, reliability, group-commit, and migration
+// series.
 type Snapshot struct {
 	Policy      string              `json:"policy,omitempty"`
 	Backends    []BackendSnapshot   `json:"backends"`
 	Fanout      FanoutSnapshot      `json:"rowa_fanout"`
 	Reliability ReliabilitySnapshot `json:"reliability"`
+	GroupCommit GroupCommitSnapshot `json:"group_commit"`
 	Migration   MigrationSnapshot   `json:"migration"`
 }

@@ -18,6 +18,14 @@ type Table struct {
 	rows    []Row
 	pk      map[string]int // pk key() -> row index
 	indexes []*secondaryIndex
+
+	// Copy-on-write bookkeeping (see view.go). rowsShared/pkShared
+	// report whether the current rows header / pk map is still shared
+	// with a published read view; view caches the tableView cut at the
+	// last publish (nil once the table is touched in a new epoch).
+	rowsShared bool
+	pkShared   bool
+	view       *tableView
 }
 
 func newTable(name string, cols []Column) (*Table, error) {
@@ -79,7 +87,6 @@ func (t *Table) appendRow(r Row) error {
 		t.pk[k] = len(t.rows)
 	}
 	t.rows = append(t.rows, r)
-	t.markDirty()
 	return nil
 }
 
@@ -99,12 +106,19 @@ func (t *Table) DataBytes() int64 {
 }
 
 // Engine is an embedded single-node database instance. It is safe for
-// concurrent use: reads take a shared lock, writes an exclusive lock
-// (one writer at a time, mirroring the serial update application of the
-// CDBS processing model).
+// concurrent use: SELECT runs lock-free against the latest published
+// copy-on-write snapshot (see view.go), while writes take an exclusive
+// lock (one writer at a time, mirroring the serial update application
+// of the CDBS processing model) and publish a new read epoch on
+// commit.
 type Engine struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
+	// view is the latest published read snapshot; epochSeq and dirty
+	// (both guarded by mu) drive publication — see view.go.
+	view     atomic.Pointer[readView]
+	epochSeq int64
+	dirty    bool
 	// fault is the optional fault injector (nil when absent); see
 	// fault.go. Checked once per statement at the top of
 	// ExecStmtContext.
@@ -113,7 +127,9 @@ type Engine struct {
 
 // New returns an empty engine.
 func New() *Engine {
-	return &Engine{tables: make(map[string]*Table)}
+	e := &Engine{tables: make(map[string]*Table)}
+	e.view.Store(&readView{tables: map[string]*tableView{}})
+	return e
 }
 
 // Result is the outcome of executing a statement.
@@ -152,10 +168,13 @@ func (e *Engine) ExecStmt(st Statement) (*Result, error) {
 
 // ExecStmtContext executes a parsed statement under a context. Long
 // SELECT scans observe cancellation between row batches and return
-// ctx.Err(). Writes check the context only before starting: once an
-// update begins applying it runs to completion, because the cluster's
-// ROWA replicas apply updates in a fixed global order and a mid-write
-// abort on one replica would diverge the others.
+// ctx.Err(); they run lock-free against the latest published snapshot
+// and never block (or are blocked by) writers. Writes check the
+// context only before starting: once an update begins applying it runs
+// to completion, because the cluster's ROWA replicas apply updates in
+// a fixed global order and a mid-write abort on one replica would
+// diverge the others. Each standalone write publishes its own read
+// epoch; group-committed batches publish once per round (ApplyRound).
 func (e *Engine) ExecStmtContext(ctx context.Context, st Statement) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -163,45 +182,13 @@ func (e *Engine) ExecStmtContext(ctx context.Context, st Statement) (*Result, er
 	if err := e.checkFault(); err != nil {
 		return nil, err
 	}
-	switch s := st.(type) {
-	case *SelectStmt:
-		e.mu.RLock()
-		defer e.mu.RUnlock()
-		return e.execSelect(ctx, s)
-	case *InsertStmt:
-		e.mu.Lock()
-		defer e.mu.Unlock()
-		return e.execInsert(s)
-	case *UpdateStmt:
-		e.mu.Lock()
-		defer e.mu.Unlock()
-		return e.execUpdate(s)
-	case *DeleteStmt:
-		e.mu.Lock()
-		defer e.mu.Unlock()
-		return e.execDelete(s)
-	case *CreateTableStmt:
-		e.mu.Lock()
-		defer e.mu.Unlock()
-		if _, dup := e.tables[s.Table]; dup {
-			return nil, fmt.Errorf("sqlmini: table %q already exists", s.Table)
-		}
-		t, err := newTable(s.Table, s.Columns)
-		if err != nil {
-			return nil, err
-		}
-		e.tables[s.Table] = t
-		return &Result{}, nil
-	case *DropTableStmt:
-		e.mu.Lock()
-		defer e.mu.Unlock()
-		if _, ok := e.tables[s.Table]; !ok {
-			return nil, unknownTableError(s.Table)
-		}
-		delete(e.tables, s.Table)
-		return &Result{}, nil
+	if s, ok := st.(*SelectStmt); ok {
+		return e.execSelect(ctx, s, e.loadView())
 	}
-	return nil, fmt.Errorf("sqlmini: unsupported statement %T", st)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	defer e.publishLocked()
+	return e.execWriteLocked(st)
 }
 
 // Table returns the named table for bulk operations, or nil.
@@ -235,11 +222,14 @@ func (e *Engine) CreateTable(name string, cols []Column) error {
 		return err
 	}
 	e.tables[name] = t
+	e.dirty = true
+	e.publishLocked()
 	return nil
 }
 
 // BulkInsert appends rows without going through SQL (the cluster's
-// data-loading path). Rows are validated and indexed like SQL inserts.
+// data-loading path). Rows are validated and indexed like SQL inserts;
+// the whole batch becomes readable in one published epoch.
 func (e *Engine) BulkInsert(table string, rows []Row) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -247,6 +237,9 @@ func (e *Engine) BulkInsert(table string, rows []Row) error {
 	if !ok {
 		return unknownTableError(table)
 	}
+	defer e.publishLocked()
+	e.dirty = true
+	t.prepareInsert()
 	for _, r := range rows {
 		cp := make(Row, len(r))
 		copy(cp, r)

@@ -395,12 +395,15 @@ func collectAggs(e Expr, out *[]*Agg) {
 // per-row profile.
 const cancelCheckRows = 4096
 
-// execSelect runs a SELECT. Caller holds the read lock.
-func (e *Engine) execSelect(ctx context.Context, st *SelectStmt) (*Result, error) {
-	base, ok := e.tables[st.Table]
+// execSelect runs a SELECT against one immutable read view. It takes
+// no engine lock: the view's rows, pk map and index buckets are frozen
+// at publish time, so the scan races with nothing.
+func (e *Engine) execSelect(ctx context.Context, st *SelectStmt, v *readView) (*Result, error) {
+	btv, ok := v.tables[st.Table]
 	if !ok {
 		return nil, unknownTableError(st.Table)
 	}
+	base := btv.t
 	b := &binder{}
 	alias := st.Alias
 	if alias == "" {
@@ -411,12 +414,12 @@ func (e *Engine) execSelect(ctx context.Context, st *SelectStmt) (*Result, error
 	res := &Result{}
 
 	// Build the joined row set table by table.
-	rows := make([]Row, 0, len(base.rows))
+	rows := make([]Row, 0, len(btv.rows))
 	// Fast path: WHERE pk = literal on a single table.
 	if len(st.Joins) == 0 && base.pkCol >= 0 {
-		if v, ok := pkLookup(st.Where, base, alias); ok {
-			if idx, hit := base.pk[v.key()]; hit {
-				rows = append(rows, base.rows[idx])
+		if pv, ok := pkLookup(st.Where, base, alias); ok {
+			if idx, hit := btv.pk[pv.key()]; hit && idx < len(btv.rows) {
+				rows = append(rows, btv.rows[idx])
 			}
 			res.Scanned++
 			return e.finishSelect(ctx, st, b, rows, res)
@@ -424,26 +427,25 @@ func (e *Engine) execSelect(ctx context.Context, st *SelectStmt) (*Result, error
 	}
 	// Fast path: WHERE col = literal on a secondary-indexed column.
 	if len(st.Joins) == 0 {
-		if col, v, ok := eqLookup(st.Where, base, alias); ok {
-			if matches, indexed := base.lookupIndex(col, v); indexed {
+		if col, cv, ok := eqLookup(st.Where, base, alias); ok {
+			if matches, indexed := btv.lookupIndex(col, cv); indexed {
 				for _, ri := range matches {
-					rows = append(rows, base.rows[ri])
+					rows = append(rows, btv.rows[ri])
 				}
 				res.Scanned += int64(len(matches))
 				return e.finishSelect(ctx, st, b, rows, res)
 			}
 		}
 	}
-	for _, r := range base.rows {
-		rows = append(rows, r)
-	}
-	res.Scanned += int64(len(base.rows))
+	rows = append(rows, btv.rows...)
+	res.Scanned += int64(len(btv.rows))
 
 	for _, j := range st.Joins {
-		jt, ok := e.tables[j.Table]
+		jtv, ok := v.tables[j.Table]
 		if !ok {
 			return nil, unknownTableError(j.Table)
 		}
+		jt := jtv.t
 		jAlias := j.Alias
 		if jAlias == "" {
 			jAlias = j.Table
@@ -456,12 +458,12 @@ func (e *Engine) execSelect(ctx context.Context, st *SelectStmt) (*Result, error
 		joined := make([]Row, 0, len(rows))
 		if eq {
 			// Build hash table on the smaller, probe with rows.
-			ht := make(map[string][]Row, len(jt.rows))
-			for _, rr := range jt.rows {
+			ht := make(map[string][]Row, len(jtv.rows))
+			for _, rr := range jtv.rows {
 				k := rr[rIdx-leftWidth].key()
 				ht[k] = append(ht[k], rr)
 			}
-			res.Scanned += int64(len(jt.rows))
+			res.Scanned += int64(len(jtv.rows))
 			for _, lr := range rows {
 				for _, rr := range ht[lr[lIdx].key()] {
 					nr := make(Row, 0, leftWidth+len(rr))
@@ -477,7 +479,7 @@ func (e *Engine) execSelect(ctx context.Context, st *SelectStmt) (*Result, error
 			}
 			ec := &evalCtx{}
 			for _, lr := range rows {
-				for _, rr := range jt.rows {
+				for _, rr := range jtv.rows {
 					if res.Scanned%cancelCheckRows == 0 {
 						if err := ctx.Err(); err != nil {
 							return nil, err
@@ -984,6 +986,7 @@ func (e *Engine) execInsert(st *InsertStmt) (*Result, error) {
 	}
 	ctx := &evalCtx{}
 	res := &Result{}
+	t.prepareInsert()
 	for _, exprs := range st.Rows {
 		if len(exprs) != len(colIdx) {
 			return nil, fmt.Errorf("sqlmini: INSERT expects %d values, got %d", len(colIdx), len(exprs))
@@ -1048,7 +1051,13 @@ func (e *Engine) execUpdate(st *UpdateStmt) (*Result, error) {
 	ctx := &evalCtx{}
 
 	apply := func(idx int) error {
-		ctx.row = t.rows[idx]
+		// Copy-on-write: unshare the header slice, then replace the
+		// touched row with a private copy before assigning into it — the
+		// original Row may still back a published read view.
+		t.prepareMutate()
+		nr := make(Row, len(t.rows[idx]))
+		copy(nr, t.rows[idx])
+		ctx.row = nr
 		for _, s := range sets {
 			v, err := eval(s.expr, ctx)
 			if err != nil {
@@ -1059,7 +1068,7 @@ func (e *Engine) execUpdate(st *UpdateStmt) (*Result, error) {
 				return err
 			}
 			if s.col == t.pkCol {
-				old := t.rows[idx][s.col].key()
+				old := nr[s.col].key()
 				nk := cv.key()
 				if nk != old {
 					if _, dup := t.pk[nk]; dup {
@@ -1069,9 +1078,9 @@ func (e *Engine) execUpdate(st *UpdateStmt) (*Result, error) {
 					t.pk[nk] = idx
 				}
 			}
-			t.rows[idx][s.col] = cv
+			nr[s.col] = cv
 		}
-		t.markDirty()
+		t.rows[idx] = nr
 		res.Affected++
 		return nil
 	}
@@ -1124,6 +1133,9 @@ func (e *Engine) execDelete(st *DeleteStmt) (*Result, error) {
 	}
 	res := &Result{}
 	ctx := &evalCtx{}
+	// Copy-on-write: unshare the header slice before compacting it in
+	// place (published views keep the original headers).
+	t.prepareMutate()
 	kept := t.rows[:0]
 	for _, r := range t.rows {
 		res.Scanned++
@@ -1149,6 +1161,5 @@ func (e *Engine) execDelete(st *DeleteStmt) (*Result, error) {
 			t.pk[r[t.pkCol].key()] = i
 		}
 	}
-	t.markDirty()
 	return res, nil
 }

@@ -5,12 +5,14 @@ import (
 	"sync"
 )
 
-// secondaryIndex is a hash index over one column, rebuilt lazily: any
-// write to the table marks it dirty and the next indexed lookup
-// rebuilds it. This favors the CDBS read patterns (long read phases
-// between reallocation-driven reloads) without complicating the write
-// path. The index's own mutex serializes lazy rebuilds among
-// concurrent readers (who hold only the engine's shared lock).
+// secondaryIndex is a hash index over one column, built lazily per
+// read view: the Table holds the index definitions (col only), and
+// each published tableView carries its own instances whose buckets are
+// built from the view's immutable rows on the first indexed lookup.
+// This favors the CDBS read patterns (long read phases between
+// reallocation-driven reloads) without complicating the write path.
+// The index's own mutex serializes the lazy build among concurrent
+// readers of the same view.
 type secondaryIndex struct {
 	mu      sync.Mutex
 	col     int
@@ -42,6 +44,11 @@ func (e *Engine) CreateIndex(table, column string) error {
 		}
 	}
 	t.indexes = append(t.indexes, &secondaryIndex{col: ci, dirty: true})
+	// Republish so the new index definition reaches readers: views cut
+	// before this point simply scan.
+	t.view = nil
+	e.dirty = true
+	e.publishLocked()
 	return nil
 }
 
@@ -60,30 +67,20 @@ func (e *Engine) Indexes(table string) []string {
 	return out
 }
 
-// markDirty flags every secondary index of the table for rebuild.
-// Callers hold the engine write lock.
-func (t *Table) markDirty() {
-	for _, idx := range t.indexes {
-		idx.mu.Lock()
-		idx.dirty = true
-		idx.mu.Unlock()
-	}
-}
-
 // lookupIndex returns the matching row indices for column = v via a
-// secondary index, rebuilding it if stale. The boolean reports whether
-// an index on that column exists. Callers hold at least the engine
-// read lock (so the rows are stable); the index mutex serializes the
-// rebuild among concurrent readers.
-func (t *Table) lookupIndex(col int, v Value) ([]int, bool) {
-	for _, idx := range t.indexes {
+// secondary index, building this view's buckets on first use. The
+// boolean reports whether an index on that column exists. The view's
+// rows are immutable, so the buckets are built exactly once; the index
+// mutex serializes that build among concurrent readers of the view.
+func (tv *tableView) lookupIndex(col int, v Value) ([]int, bool) {
+	for _, idx := range tv.indexes {
 		if idx.col != col {
 			continue
 		}
 		idx.mu.Lock()
 		if idx.dirty {
-			idx.buckets = make(map[string][]int, len(t.rows))
-			for i, r := range t.rows {
+			idx.buckets = make(map[string][]int, len(tv.rows))
+			for i, r := range tv.rows {
 				k := r[col].key()
 				idx.buckets[k] = append(idx.buckets[k], i)
 			}

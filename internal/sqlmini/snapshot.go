@@ -77,6 +77,7 @@ func (e *Engine) Restore(r io.Reader) error {
 			return fmt.Errorf("sqlmini: table %q already exists", st.Name)
 		}
 	}
+	defer e.publishLocked()
 	for _, st := range snap.Tables {
 		t, err := newTable(st.Name, st.Cols)
 		if err != nil {
@@ -90,6 +91,7 @@ func (e *Engine) Restore(r io.Reader) error {
 			}
 		}
 		e.tables[st.Name] = t
+		e.dirty = true
 	}
 	return nil
 }

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race lint check chaos chaos-migrate chaos-group bench bench-smoke clean
+.PHONY: all build test vet race lint check chaos chaos-migrate chaos-group chaos-overload bench bench-smoke clean
 
 all: check
 
@@ -52,6 +52,14 @@ chaos-migrate:
 # stay bit-identical either way).
 chaos-group:
 	$(GO) test -race -run 'GroupCommit|GroupChaos|ApplyRound|LongScan|PinnedView' -count=2 -timeout 120s ./internal/cluster/ ./internal/sqlmini/
+
+# chaos-overload runs the wire-path overload suite under the race
+# detector: a request swarm at several times admission capacity, every
+# request resolving as exactly one of success, typed shed (with a
+# retry-after hint), or typed drain — zero silent drops — plus graceful
+# drain with goroutine-leak and out-of-order pipelining checks.
+chaos-overload:
+	$(GO) test -race -run 'Overload|Drain|Pipelin|TooLarge|Oversized|Deadline|Circuit|Retr|Breaker|ConnLimit' -count=2 -timeout 120s ./internal/server/
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

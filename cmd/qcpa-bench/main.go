@@ -113,6 +113,11 @@ func writeBaseline(opts experiments.Options, want map[string]bool, quick bool, p
 	}
 	report.Figures = figs
 	report.Micro = bench.RunMicro(os.Stderr)
+	over, err := bench.RunOverload(quick, os.Stderr)
+	if err != nil {
+		return err
+	}
+	report.Overload = over
 	if err := report.Write(path); err != nil {
 		return err
 	}

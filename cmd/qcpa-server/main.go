@@ -60,6 +60,11 @@ func main() {
 		migPause = flag.Duration("migrate-pause", 0, "pause between live-migration batches, 0 = full speed (server mode)")
 		groupMax = flag.Int("group-batch", 0, "max updates per group-commit round, 0 = default (server mode)")
 		groupWait = flag.Duration("group-wait", 0, "group-commit linger for batch building, 0 = commit immediately (server mode)")
+		maxConns  = flag.Int("max-conns", 0, "max accepted connections, 0 = default 1024, -1 = unlimited (server mode)")
+		maxInfl   = flag.Int("max-inflight", 0, "max requests executing concurrently, 0 = default 256, -1 = unlimited (server mode)")
+		connInfl  = flag.Int("conn-inflight", 0, "max pipelined requests per connection, 0 = default 32, -1 = unlimited (server mode)")
+		queueCap  = flag.Int("queue-depth", 0, "admission wait-queue depth before shedding, 0 = default 2x max-inflight, -1 = unlimited (server mode)")
+		drainWait = flag.Duration("drain-timeout", 0, "how long Close waits for inflight requests, 0 = default 5s (server mode)")
 	)
 	flag.Parse()
 
@@ -70,7 +75,9 @@ func main() {
 		runServer(*listen, *backends, *strategy, *policy,
 			cluster.Config{Timeout: *timeout, MaxRetries: *retries, Backoff: *backoff, RedoLogCap: *redoCap,
 				GroupCommit: cluster.GroupCommitConfig{MaxBatch: *groupMax, MaxWait: *groupWait}},
-			cluster.LiveOptions{BatchRows: *migBatch, BatchPause: *migPause})
+			cluster.LiveOptions{BatchRows: *migBatch, BatchPause: *migPause},
+			server.Limits{MaxConns: *maxConns, MaxInflight: *maxInfl, ConnInflight: *connInfl,
+				QueueDepth: *queueCap, DrainTimeout: *drainWait})
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -82,7 +89,7 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func runServer(addr string, n int, strategy, policy string, cfg cluster.Config, live cluster.LiveOptions) {
+func runServer(addr string, n int, strategy, policy string, cfg cluster.Config, live cluster.LiveOptions, limits server.Limits) {
 	kind, err := runtime.ParseKind(policy)
 	if err != nil {
 		fatal(err)
@@ -147,7 +154,8 @@ func runServer(addr string, n int, strategy, policy string, cfg cluster.Config, 
 		Loader: func(e *sqlmini.Engine, tables []string) error {
 			return tpcapp.Load(e, tables, loadRows, 42)
 		},
-		Live: live,
+		Live:   live,
+		Limits: limits,
 	})
 	fmt.Printf("qcpa-server: serving %d backends on %s (policy %s)\n", n, srv.Addr(), kind)
 	fmt.Printf("allocation:\n%s\n", alloc)
@@ -198,6 +206,10 @@ func runClient(addr, sql, class, cmd, backend string, backends int, write bool) 
 		r := m.Reliability
 		fmt.Printf("reliability: %d retries, %d unavailable, %d redo appends, %d catch-ups (mean %.1fms, max %dms)\n",
 			r.Retries, r.Unavailable, r.RedoAppends, r.Catchups, r.MeanCatchupMS, r.MaxCatchupMS)
+		if a := m.Admission; a != nil {
+			fmt.Printf("admission: %d conns (%d total, %d rejected), %d admitted, %d shed, %d drained, %d too-large, %d expired, queue depth %d, queue-wait p95 %dus\n",
+				a.Conns, a.ConnsTotal, a.ConnsRejected, a.Admitted, a.Shed, a.Drained, a.TooLarge, a.DeadlineExpired, a.Queued, a.QueueWait.P95US)
+		}
 	case resp.Health != nil:
 		h := resp.Health
 		fmt.Printf("%-6s %-11s %8s %9s %10s\n", "node", "state", "redo", "redo-lost", "down-ms")

@@ -42,6 +42,7 @@ type Report struct {
 	Options    experiments.Options `json:"options"`
 	Figures    []FigureResult      `json:"figures"`
 	Micro      []MicroResult       `json:"micro"`
+	Overload   *OverloadResult     `json:"overload,omitempty"`
 }
 
 // NewReport stamps the environment fields.

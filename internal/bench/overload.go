@@ -1,0 +1,227 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"qcpa/internal/cluster"
+	"qcpa/internal/core"
+	"qcpa/internal/server"
+	"qcpa/internal/sqlmini"
+)
+
+// OverloadResult records the connection-scale overload benchmark: many
+// pipelined clients offering several times the server's admission
+// capacity, verifying that admitted requests keep a bounded tail, that
+// rejections are typed with a retry-after hint, and that no request is
+// silently dropped.
+type OverloadResult struct {
+	// Conns and Streams describe the offered load: Conns connections,
+	// each with Streams concurrent pipelined requests.
+	Conns   int `json:"conns"`
+	Streams int `json:"streams"`
+	// Factor is offered concurrency over admission capacity
+	// (MaxInflight + QueueDepth).
+	Factor float64 `json:"factor"`
+	// Requests is everything sent; every one of them resolved as
+	// admitted, shed, or a transport error — the three fields sum to
+	// Requests (zero silent drops).
+	Requests        int `json:"requests"`
+	Admitted        int `json:"admitted"`
+	Shed            int `json:"shed"`
+	TransportErrors int `json:"transport_errors"`
+	// ShedTypedFraction is the share of rejections that carried a
+	// positive retry_after_ms hint.
+	ShedTypedFraction float64 `json:"shed_typed_fraction"`
+	// AdmittedP50US / AdmittedP99US are client-observed latencies of
+	// admitted requests (queue wait + execution + wire).
+	AdmittedP50US int64 `json:"admitted_p50_us"`
+	AdmittedP99US int64 `json:"admitted_p99_us"`
+	// Throughput is admitted requests per second of wall time.
+	Throughput float64 `json:"admitted_per_sec"`
+	WallMillis float64 `json:"wall_ms"`
+}
+
+// RunOverload drives the wire path at ~4x admission capacity and
+// reports how the edge held up. Quick mode shrinks the run, not the
+// overload factor.
+func RunOverload(quick bool, w io.Writer) (*OverloadResult, error) {
+	const (
+		maxInflight = 8
+		queueDepth  = 8
+		conns       = 16
+		streams     = 4 // per-connection pipelined workers
+		serviceTime = 2 * time.Millisecond
+	)
+	duration := 2 * time.Second
+	if quick {
+		duration = 500 * time.Millisecond
+	}
+
+	cl := core.NewClassification()
+	cl.AddFragment(core.Fragment{ID: "a", Size: 1})
+	cl.MustAddClass(core.NewClass("QA", core.Read, 1, "a"))
+	alloc := core.NewAllocation(cl, core.UniformBackends(1))
+	alloc.AddFragments(0, "a")
+	alloc.SetAssign(0, "QA", 1)
+	if err := alloc.Validate(); err != nil {
+		return nil, err
+	}
+	c, err := cluster.New(cluster.Config{Backends: core.UniformBackends(1)})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	load := func(e *sqlmini.Engine, tables []string) error {
+		for _, tb := range tables {
+			if err := e.CreateTable(tb, []sqlmini.Column{
+				{Name: tb + "_id", Type: sqlmini.KindInt, PrimaryKey: true},
+				{Name: tb + "_v", Type: sqlmini.KindInt},
+			}); err != nil {
+				return err
+			}
+			if err := e.BulkInsert(tb, []sqlmini.Row{{sqlmini.Int(1), sqlmini.Int(2)}}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := c.Install(alloc, load); err != nil {
+		return nil, err
+	}
+	// A fixed per-statement service time makes capacity well-defined:
+	// the admission gate, not engine speed, decides who gets through.
+	c.Backend(0).SetFault(&sqlmini.Fault{Latency: serviceTime})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := server.ServeConfig(ln, c, server.Config{Limits: server.Limits{
+		MaxConns:     conns + 8,
+		MaxInflight:  maxInflight,
+		QueueDepth:   queueDepth,
+		ConnInflight: streams + 1,
+		RetryAfter:   5 * time.Millisecond,
+	}})
+	defer srv.Close()
+	addr := ln.Addr().String()
+
+	type tally struct {
+		admitted  int
+		shed      int
+		shedTyped int
+		transport int
+		lat       []int64 // admitted latencies, us
+	}
+	var (
+		mu    sync.Mutex
+		total tally
+		wg    sync.WaitGroup
+	)
+	start := time.Now()
+	deadline := start.Add(duration)
+	for i := 0; i < conns; i++ {
+		// Retries and the breaker are off: the point is to observe raw
+		// shed behavior, not to hide it behind client patience.
+		client, err := server.DialOptions(addr, server.ClientOptions{
+			MaxRetries: -1, BreakerThreshold: -1, Seed: int64(i + 1),
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer client.Close()
+		for s := 0; s < streams; s++ {
+			wg.Add(1)
+			go func(cli *server.Client) {
+				defer wg.Done()
+				var local tally
+				for time.Now().Before(deadline) {
+					start := time.Now()
+					resp, err := cli.Do(server.Request{SQL: `SELECT a_v FROM a WHERE a_id = 1`, Class: "QA"})
+					switch {
+					case err == nil && resp.OK:
+						local.admitted++
+						local.lat = append(local.lat, time.Since(start).Microseconds())
+					case resp != nil && resp.Code == server.CodeOverload:
+						local.shed++
+						if resp.RetryAfterMS > 0 {
+							local.shedTyped++
+						}
+						// Honor the hint like a well-behaved client so
+						// the shed loop does not busy-spin the wire.
+						time.Sleep(time.Duration(resp.RetryAfterMS) * time.Millisecond)
+					default:
+						local.transport++
+						if err != nil {
+							return // connection is gone
+						}
+					}
+				}
+				mu.Lock()
+				total.admitted += local.admitted
+				total.shed += local.shed
+				total.shedTyped += local.shedTyped
+				total.transport += local.transport
+				total.lat = append(total.lat, local.lat...)
+				mu.Unlock()
+			}(client)
+		}
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	res := &OverloadResult{
+		Conns:           conns,
+		Streams:         streams,
+		Factor:          float64(conns*streams) / float64(maxInflight+queueDepth),
+		Requests:        total.admitted + total.shed + total.transport,
+		Admitted:        total.admitted,
+		Shed:            total.shed,
+		TransportErrors: total.transport,
+		WallMillis:      float64(wall) / float64(time.Millisecond),
+	}
+	if total.shed > 0 {
+		res.ShedTypedFraction = float64(total.shedTyped) / float64(total.shed)
+	}
+	if wall > 0 {
+		res.Throughput = float64(total.admitted) / wall.Seconds()
+	}
+	if len(total.lat) > 0 {
+		sort.Slice(total.lat, func(i, j int) bool { return total.lat[i] < total.lat[j] })
+		res.AdmittedP50US = total.lat[len(total.lat)/2]
+		res.AdmittedP99US = total.lat[len(total.lat)*99/100]
+	}
+	if err := sanity(res); err != nil {
+		return nil, err
+	}
+	if w != nil {
+		fmt.Fprintf(w, "overload %.1fx: %d requests, %d admitted (p50 %dus, p99 %dus), %d shed (%.0f%% typed), %d transport errors\n",
+			res.Factor, res.Requests, res.Admitted, res.AdmittedP50US, res.AdmittedP99US,
+			res.Shed, res.ShedTypedFraction*100, res.TransportErrors)
+	}
+	return res, nil
+}
+
+// sanity enforces the benchmark's contract so a regression fails the
+// baseline run instead of silently recording garbage.
+func sanity(r *OverloadResult) error {
+	if r.Factor < 4 {
+		return fmt.Errorf("bench: overload factor %.2f < 4", r.Factor)
+	}
+	if r.TransportErrors > 0 {
+		return fmt.Errorf("bench: %d requests died without a response", r.TransportErrors)
+	}
+	if r.Shed > 0 && r.ShedTypedFraction < 0.99 {
+		return fmt.Errorf("bench: only %.1f%% of rejections carried retry-after", r.ShedTypedFraction*100)
+	}
+	if r.Admitted == 0 {
+		return errors.New("bench: nothing admitted under overload")
+	}
+	return nil
+}

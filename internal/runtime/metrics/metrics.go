@@ -82,6 +82,88 @@ func (b *Backend) Snapshot(name string) BackendSnapshot {
 	}
 }
 
+// Admission holds the server edge's overload-protection series: live
+// and rejected connections, admitted/shed/drained request counts, the
+// admission queue-depth gauge, and the queue-wait histogram. Like the
+// backend counters, every write path is a handful of atomics so the
+// wire hot path stays cheap.
+type Admission struct {
+	conns         atomic.Int64 // live connections (gauge)
+	connsTotal    atomic.Int64 // connections ever accepted
+	connsRejected atomic.Int64 // connections refused at the MaxConns cap
+	admitted      atomic.Int64 // requests that won an execution slot
+	shed          atomic.Int64 // requests rejected with the typed overload error
+	drained       atomic.Int64 // requests rejected with the typed draining error
+	tooLarge      atomic.Int64 // oversized request lines answered and resynced
+	expired       atomic.Int64 // requests whose deadline passed while queued
+	queued        atomic.Int64 // admission queue depth (gauge)
+	queueWait     stats.ExpHistogram // microseconds from enqueue to slot grant
+}
+
+// NewAdmission returns a zeroed admission metrics block.
+func NewAdmission() *Admission { return &Admission{} }
+
+// ConnOpened notes an accepted connection.
+func (a *Admission) ConnOpened() { a.conns.Add(1); a.connsTotal.Add(1) }
+
+// ConnClosed notes a connection leaving.
+func (a *Admission) ConnClosed() { a.conns.Add(-1) }
+
+// ConnRejected notes a connection refused at the connection cap.
+func (a *Admission) ConnRejected() { a.connsRejected.Add(1) }
+
+// QueueEnter notes a request joining the admission wait queue and
+// returns the new depth (the shed decision input).
+func (a *Admission) QueueEnter() int64 { return a.queued.Add(1) }
+
+// QueueLeave notes a request leaving the wait queue (admitted,
+// rejected, or expired).
+func (a *Admission) QueueLeave() { a.queued.Add(-1) }
+
+// Queued returns the current admission queue depth.
+func (a *Admission) Queued() int64 { return a.queued.Load() }
+
+// ObserveAdmitted records a request winning an execution slot after
+// waiting d in the queue (zero for the uncontended fast path).
+func (a *Admission) ObserveAdmitted(d time.Duration) {
+	a.admitted.Add(1)
+	a.queueWait.Observe(d.Microseconds())
+}
+
+// ObserveShed records a request rejected with the typed overload error.
+func (a *Admission) ObserveShed() { a.shed.Add(1) }
+
+// ObserveDrained records a request rejected because the server is
+// draining.
+func (a *Admission) ObserveDrained() { a.drained.Add(1) }
+
+// ObserveTooLarge records an oversized request line that was answered
+// with the typed too-large error and resynced past.
+func (a *Admission) ObserveTooLarge() { a.tooLarge.Add(1) }
+
+// ObserveDeadlineExpired records a request whose deadline passed before
+// it won an execution slot.
+func (a *Admission) ObserveDeadlineExpired() { a.expired.Add(1) }
+
+// Shed returns the shed counter (tests and the overload bench read it).
+func (a *Admission) Shed() int64 { return a.shed.Load() }
+
+// Snapshot captures the admission series.
+func (a *Admission) Snapshot() AdmissionSnapshot {
+	return AdmissionSnapshot{
+		Conns:           a.conns.Load(),
+		ConnsTotal:      a.connsTotal.Load(),
+		ConnsRejected:   a.connsRejected.Load(),
+		Admitted:        a.admitted.Load(),
+		Shed:            a.shed.Load(),
+		Drained:         a.drained.Load(),
+		TooLarge:        a.tooLarge.Load(),
+		DeadlineExpired: a.expired.Load(),
+		Queued:          a.queued.Load(),
+		QueueWait:       latencySnapshot(&a.queueWait),
+	}
+}
+
 // Registry holds the controller-level metrics that are not tied to one
 // backend: the ROWA fan-out width histogram and the fault-tolerance
 // series (read retries, unavailable requests, redo-log appends, and
@@ -296,9 +378,28 @@ type GroupCommitSnapshot struct {
 	MaxWaitUS  int64   `json:"max_wait_us"`
 }
 
+// AdmissionSnapshot summarizes the server edge's overload-protection
+// series: connection counts, admitted/shed/drained requests, oversized
+// lines, queued-past-deadline expiries, the queue-depth gauge, and the
+// queue-wait histogram.
+type AdmissionSnapshot struct {
+	Conns           int64           `json:"conns"`
+	ConnsTotal      int64           `json:"conns_total"`
+	ConnsRejected   int64           `json:"conns_rejected"`
+	Admitted        int64           `json:"admitted"`
+	Shed            int64           `json:"shed"`
+	Drained         int64           `json:"drained"`
+	TooLarge        int64           `json:"too_large"`
+	DeadlineExpired int64           `json:"deadline_expired"`
+	Queued          int64           `json:"queued"`
+	QueueWait       LatencySnapshot `json:"queue_wait"`
+}
+
 // Snapshot is the full metrics export: one entry per backend plus the
 // controller-level fan-out, reliability, group-commit, and migration
-// series.
+// series. Admission is filled in by the serving tier (the cluster has
+// no edge of its own) and omitted when the snapshot comes straight
+// from a cluster.
 type Snapshot struct {
 	Policy      string              `json:"policy,omitempty"`
 	Backends    []BackendSnapshot   `json:"backends"`
@@ -306,4 +407,5 @@ type Snapshot struct {
 	Reliability ReliabilitySnapshot `json:"reliability"`
 	GroupCommit GroupCommitSnapshot `json:"group_commit"`
 	Migration   MigrationSnapshot   `json:"migration"`
+	Admission   *AdmissionSnapshot  `json:"admission,omitempty"`
 }

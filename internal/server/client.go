@@ -1,0 +1,502 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"qcpa/internal/cluster"
+	"qcpa/internal/runtime"
+)
+
+// ClientOptions tunes the client's overload reaction. The zero value
+// selects sensible defaults; negative MaxRetries disables retries and
+// negative BreakerThreshold disables the circuit breaker.
+type ClientOptions struct {
+	// MaxRetries bounds the resends of one Do call after typed
+	// retryable rejections (overload, unavailable). Default 3; -1
+	// disables retries.
+	MaxRetries int
+	// Backoff shapes the jitter added on top of the server's
+	// retry_after_ms hint; its Max caps the total per-attempt delay.
+	// Default {Base: 10ms, Max: 2s}.
+	Backoff runtime.Backoff
+	// RetryBudget caps banked retries across the whole client: every
+	// retry spends one token, every success refunds a tenth. A client
+	// out of budget stops retrying (meltdown protection — retries must
+	// stay a small fraction of successful traffic). Default 10.
+	RetryBudget float64
+	// BreakerThreshold is the consecutive-failure count that opens the
+	// circuit breaker. Default 8; -1 disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects before
+	// allowing one half-open probe. Default 1s.
+	BreakerCooldown time.Duration
+	// Seed seeds the retry jitter stream (default 1).
+	Seed int64
+}
+
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 3
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.Backoff.Base == 0 {
+		o.Backoff.Base = 10 * time.Millisecond
+	}
+	if o.Backoff.Max == 0 {
+		o.Backoff.Max = 2 * time.Second
+	}
+	if o.RetryBudget == 0 {
+		o.RetryBudget = 10
+	}
+	if o.BreakerThreshold == 0 {
+		o.BreakerThreshold = 8
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Client is a pipelined client for the controller protocol, safe for
+// concurrent use: every request carries an id, writes are serialized,
+// and a background reader demultiplexes responses by id — N goroutines
+// calling Do share one connection with their requests in flight
+// simultaneously.
+//
+// The client is overload-aware: typed overload/unavailable rejections
+// are retried with the server's retry_after_ms hint plus capped
+// full-jitter backoff, retries are bounded by a per-client budget, and
+// a circuit breaker stops sending entirely (ErrCircuitOpen) after a
+// streak of failures until a cooldown passes.
+type Client struct {
+	opts ClientOptions
+	conn net.Conn
+	rng  *rand.Rand // concurrency-safe (runtime.NewLockedRand)
+
+	wmu sync.Mutex // serializes request writes
+
+	mu      sync.Mutex
+	nextID  uint64
+	waiters map[uint64]chan *Response
+	readErr error
+	closed  bool
+
+	breaker breaker
+	budget  retryBudget
+	readWG  sync.WaitGroup
+}
+
+// Dial connects to a controller with default options.
+func Dial(addr string) (*Client, error) { return DialOptions(addr, ClientOptions{}) }
+
+// DialOptions connects to a controller with explicit overload-reaction
+// options.
+func DialOptions(addr string, opts ClientOptions) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn, opts), nil
+}
+
+// NewClient wraps an established connection (tests and in-process
+// benchmarks dial their own).
+func NewClient(conn net.Conn, opts ClientOptions) *Client {
+	opts = opts.withDefaults()
+	c := &Client{
+		opts:    opts,
+		conn:    conn,
+		rng:     runtime.NewLockedRand(opts.Seed),
+		waiters: make(map[uint64]chan *Response),
+	}
+	c.breaker.threshold = opts.BreakerThreshold
+	c.breaker.cooldown = opts.BreakerCooldown
+	c.budget.max = opts.RetryBudget
+	c.budget.tokens = opts.RetryBudget
+	c.readWG.Add(1)
+	go c.readLoop()
+	return c
+}
+
+// Close closes the connection; in-flight Do calls fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	c.readWG.Wait()
+	return err
+}
+
+// readLoop demultiplexes responses to their waiting Do calls by id. A
+// response without an id (a pre-id server, or an error generated
+// before the request parsed) is matched to the sole waiter when
+// exactly one is outstanding.
+func (c *Client) readLoop() {
+	defer c.readWG.Done()
+	br := bufio.NewReader(c.conn)
+	for {
+		line, err := br.ReadBytes('\n')
+		if err != nil {
+			c.failAll(err)
+			return
+		}
+		var resp Response
+		if err := json.Unmarshal(line, &resp); err != nil {
+			c.failAll(fmt.Errorf("server: undecodable response: %w", err))
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.waiters[resp.ID]
+		if ok {
+			delete(c.waiters, resp.ID)
+		} else if resp.ID == 0 && len(c.waiters) == 1 {
+			for id, w := range c.waiters {
+				ch, ok = w, true
+				delete(c.waiters, id)
+			}
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- &resp
+		}
+	}
+}
+
+// failAll terminates every outstanding waiter with the read error.
+func (c *Client) failAll(err error) {
+	c.mu.Lock()
+	if c.readErr == nil {
+		if c.closed {
+			err = errors.New("server: client closed")
+		}
+		c.readErr = err
+	}
+	waiters := c.waiters
+	c.waiters = make(map[uint64]chan *Response)
+	c.mu.Unlock()
+	for _, ch := range waiters {
+		close(ch)
+	}
+}
+
+// roundTrip sends one request and waits for its response. Transport
+// errors (dial lost, server gone) surface as plain errors.
+func (c *Client) roundTrip(req Request) (*Response, error) {
+	c.mu.Lock()
+	if c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		return nil, err
+	}
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errors.New("server: client closed")
+	}
+	c.nextID++
+	req.ID = c.nextID
+	ch := make(chan *Response, 1)
+	c.waiters[req.ID] = ch
+	c.mu.Unlock()
+
+	data, err := json.Marshal(&req)
+	if err != nil {
+		c.dropWaiter(req.ID)
+		return nil, err
+	}
+	data = append(data, '\n')
+	c.wmu.Lock()
+	_, err = c.conn.Write(data)
+	c.wmu.Unlock()
+	if err != nil {
+		c.dropWaiter(req.ID)
+		return nil, err
+	}
+	resp, ok := <-ch
+	if !ok || resp == nil {
+		c.mu.Lock()
+		err := c.readErr
+		c.mu.Unlock()
+		if err == nil {
+			err = errors.New("server: connection closed")
+		}
+		return nil, err
+	}
+	return resp, nil
+}
+
+func (c *Client) dropWaiter(id uint64) {
+	c.mu.Lock()
+	delete(c.waiters, id)
+	c.mu.Unlock()
+}
+
+// retryable reports whether a coded rejection is worth resending to
+// the same server: overload clears as the queue drains, unavailable
+// clears as backends recover. Draining never clears here.
+func retryable(code string) bool { return code == CodeOverload || code == CodeUnavailable }
+
+// Do sends one request and returns its response, retrying typed
+// overload/unavailable rejections with the server's retry-after hint
+// plus jitter (bounded by MaxRetries and the retry budget). Like the
+// pre-overload client, an application-level failure (statement error,
+// unknown command) returns the response with a nil error — callers
+// inspect resp.OK — but shed/drained requests return the response AND
+// the typed error, since they never executed.
+func (c *Client) Do(req Request) (*Response, error) {
+	return c.DoContext(context.Background(), req)
+}
+
+// DoContext is Do bounded by ctx: the context's deadline is propagated
+// to the server as deadline_ms (when the request does not already set
+// one) and retry sleeps abort on cancellation.
+func (c *Client) DoContext(ctx context.Context, req Request) (*Response, error) {
+	if dl, ok := ctx.Deadline(); ok && req.DeadlineMS == 0 {
+		ms := time.Until(dl).Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		req.DeadlineMS = ms
+	}
+	for attempt := 0; ; attempt++ {
+		if !c.breaker.allow() {
+			return nil, ErrCircuitOpen
+		}
+		resp, err := c.roundTrip(req)
+		if err != nil {
+			c.breaker.record(false)
+			return nil, err
+		}
+		if !resp.OK && resp.Code != "" && resp.Code != CodeBadRequest {
+			// A coded rejection counts against the breaker even when
+			// not retried here: a server shedding or draining is not
+			// healthy for this client.
+			c.breaker.record(false)
+			if !retryable(resp.Code) || attempt >= c.opts.MaxRetries || !c.budget.take() {
+				return resp, ResponseError(resp)
+			}
+			d := c.retryDelay(attempt, resp.RetryAfterMS)
+			timer := time.NewTimer(d)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				return resp, ctx.Err()
+			}
+			continue
+		}
+		c.breaker.record(true)
+		c.budget.refund()
+		return resp, nil
+	}
+}
+
+// retryDelay combines the server's retry-after hint with full-jitter
+// backoff, capped at Backoff.Max.
+func (c *Client) retryDelay(attempt int, hintMS int64) time.Duration {
+	d := time.Duration(hintMS) * time.Millisecond
+	d += c.opts.Backoff.Delay(attempt, c.rng)
+	if max := c.opts.Backoff.Max; max > 0 && d > max {
+		d = max
+	}
+	return d
+}
+
+// Query executes a read.
+func (c *Client) Query(sql, class string) (*Response, error) {
+	resp, err := c.Do(Request{SQL: sql, Class: class})
+	if err != nil {
+		return resp, err
+	}
+	if !resp.OK {
+		return resp, ResponseError(resp)
+	}
+	return resp, nil
+}
+
+// Exec executes a write (routed via ROWA to all replicas).
+func (c *Client) Exec(sql, class string) (*Response, error) {
+	resp, err := c.Do(Request{SQL: sql, Class: class, Write: true})
+	if err != nil {
+		return resp, err
+	}
+	if !resp.OK {
+		return resp, ResponseError(resp)
+	}
+	return resp, nil
+}
+
+// Health fetches the controller's availability report.
+func (c *Client) Health() (*cluster.HealthReport, error) {
+	resp, err := c.Do(Request{Cmd: "health"})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, ResponseError(resp)
+	}
+	return resp.Health, nil
+}
+
+// Fail administratively takes a backend out of service.
+func (c *Client) Fail(backend string) error {
+	resp, err := c.Do(Request{Cmd: "fail", Backend: backend})
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return ResponseError(resp)
+	}
+	return nil
+}
+
+// Recover brings a failed backend back and returns its catch-up
+// report.
+func (c *Client) Recover(backend string) (*cluster.CatchUpReport, error) {
+	resp, err := c.Do(Request{Cmd: "recover", Backend: backend})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, ResponseError(resp)
+	}
+	return resp.CatchUp, nil
+}
+
+// Migrate asks the controller to replan from its recorded history and
+// install the new allocation live. Blocks until the migration
+// finishes; poll MigrationStatus concurrently (same client is fine —
+// the connection pipelines) for progress.
+func (c *Client) Migrate() (*cluster.MigrationReport, error) {
+	resp, err := c.Do(Request{Cmd: "migrate"})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, ResponseError(resp)
+	}
+	return resp.Report, nil
+}
+
+// Resize asks the controller to replan at a new backend count and
+// scale live.
+func (c *Client) Resize(backends int) (*cluster.MigrationReport, error) {
+	resp, err := c.Do(Request{Cmd: "resize", Backends: backends})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, ResponseError(resp)
+	}
+	return resp.Report, nil
+}
+
+// MigrationStatus fetches the progress of the migration in flight (or
+// the outcome of the last finished one).
+func (c *Client) MigrationStatus() (*cluster.MigrationStatus, error) {
+	resp, err := c.Do(Request{Cmd: "migration"})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, ResponseError(resp)
+	}
+	return resp.Migration, nil
+}
+
+// breaker is a consecutive-failure circuit breaker: closed passes
+// everything, open rejects until cooldown, half-open admits exactly one
+// probe whose outcome closes or re-opens the circuit.
+type breaker struct {
+	threshold int // <= -1 disables
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	state    int // 0 closed, 1 open, 2 half-open (probe in flight)
+	failures int
+	openedAt time.Time
+}
+
+// allow reports whether a request may be sent now.
+func (b *breaker) allow() bool {
+	if b.threshold < 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case 0:
+		return true
+	case 1:
+		if time.Since(b.openedAt) >= b.cooldown {
+			b.state = 2 // half-open: admit one probe
+			return true
+		}
+		return false
+	default: // half-open, probe already in flight
+		return false
+	}
+}
+
+// record notes a request outcome: success closes the circuit, failure
+// advances the streak and opens it at the threshold (a failed half-open
+// probe re-opens immediately).
+func (b *breaker) record(ok bool) {
+	if b.threshold < 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		b.state = 0
+		b.failures = 0
+		return
+	}
+	b.failures++
+	if b.state == 2 || b.failures >= b.threshold {
+		b.state = 1
+		b.openedAt = time.Now()
+	}
+}
+
+// retryBudget is the client-wide retry token bucket: a retry spends a
+// token, a success refunds a tenth, so sustained retries are bounded to
+// ~10% of successful traffic once the initial bank drains.
+type retryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	max    float64
+}
+
+// take spends one retry token, reporting false when the budget is dry.
+func (rb *retryBudget) take() bool {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	if rb.tokens < 1 {
+		return false
+	}
+	rb.tokens--
+	return true
+}
+
+// refund banks a tenth of a token for a successful request.
+func (rb *retryBudget) refund() {
+	rb.mu.Lock()
+	if rb.tokens += 0.1; rb.tokens > rb.max {
+		rb.tokens = rb.max
+	}
+	rb.mu.Unlock()
+}

@@ -1,0 +1,412 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"net"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"qcpa/internal/cluster"
+	"qcpa/internal/core"
+	"qcpa/internal/sqlmini"
+)
+
+// startLimitedServer is startServer with explicit edge limits: the same
+// 2-backend cluster (tables a+b / b) behind ServeConfig.
+func startLimitedServer(t *testing.T, limits Limits) (*Server, *cluster.Cluster, string) {
+	t.Helper()
+	cl := core.NewClassification()
+	cl.AddFragment(core.Fragment{ID: "a", Size: 1})
+	cl.AddFragment(core.Fragment{ID: "b", Size: 1})
+	cl.MustAddClass(core.NewClass("QA", core.Read, 0.4, "a"))
+	cl.MustAddClass(core.NewClass("QB", core.Read, 0.3, "b"))
+	cl.MustAddClass(core.NewClass("UB", core.Update, 0.3, "b"))
+	alloc := core.NewAllocation(cl, core.UniformBackends(2))
+	alloc.AddFragments(0, "a", "b")
+	alloc.SetAssign(0, "QA", 0.4)
+	alloc.SetAssign(0, "UB", 0.3)
+	alloc.AddFragments(1, "b")
+	alloc.SetAssign(1, "QB", 0.3)
+	alloc.SetAssign(1, "UB", 0.3)
+	if err := alloc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := cluster.New(cluster.Config{Backends: core.UniformBackends(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	load := func(e *sqlmini.Engine, tables []string) error {
+		for _, tb := range tables {
+			if err := e.CreateTable(tb, []sqlmini.Column{
+				{Name: tb + "_id", Type: sqlmini.KindInt, PrimaryKey: true},
+				{Name: tb + "_v", Type: sqlmini.KindInt},
+			}); err != nil {
+				return err
+			}
+			rows := make([]sqlmini.Row, 5)
+			for i := range rows {
+				rows[i] = sqlmini.Row{sqlmini.Int(int64(i)), sqlmini.Int(int64(i * 2))}
+			}
+			if err := e.BulkInsert(tb, rows); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := c.Install(alloc, load); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ServeConfig(ln, c, Config{Limits: limits})
+	t.Cleanup(func() { srv.Close() })
+	return srv, c, ln.Addr().String()
+}
+
+// rawClient views the wire protocol directly, bypassing the Client's
+// id management — for tests that need explicit ids and raw lines.
+type rawClient struct {
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+func dialRaw(t *testing.T, addr string) *rawClient {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &rawClient{conn: conn, br: bufio.NewReaderSize(conn, 1<<20)}
+}
+
+func (rc *rawClient) writeLine(t *testing.T, line string) {
+	t.Helper()
+	if _, err := rc.conn.Write([]byte(line + "\n")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (rc *rawClient) readResponse(t *testing.T) *Response {
+	t.Helper()
+	rc.conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	line, err := rc.br.ReadBytes('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	if err := json.Unmarshal(line, &resp); err != nil {
+		t.Fatalf("undecodable response %q: %v", line, err)
+	}
+	return &resp
+}
+
+// TestOverloadEveryRequestAnswered is the chaos contract: a swarm at
+// several times admission capacity, every request resolving as exactly
+// one of success, typed shed, or typed drain — zero silent drops, and
+// every shed carrying a retry-after hint.
+func TestOverloadEveryRequestAnswered(t *testing.T) {
+	_, c, addr := startLimitedServer(t, Limits{
+		MaxInflight: 2, QueueDepth: 2, ConnInflight: 4, RetryAfter: 5 * time.Millisecond,
+	})
+	c.Backend(0).SetFault(&sqlmini.Fault{Latency: time.Millisecond})
+	c.Backend(1).SetFault(&sqlmini.Fault{Latency: time.Millisecond})
+
+	const conns, workers, perWorker = 8, 3, 30
+	var (
+		mu                        sync.Mutex
+		ok, shed, untypedShed, other int
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < conns; i++ {
+		client, err := DialOptions(addr, ClientOptions{MaxRetries: -1, BreakerThreshold: -1, Seed: int64(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer client.Close()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(cli *Client) {
+				defer wg.Done()
+				for n := 0; n < perWorker; n++ {
+					resp, err := cli.Do(Request{SQL: `SELECT a_v FROM a WHERE a_id = 1`, Class: "QA"})
+					mu.Lock()
+					switch {
+					case err == nil && resp.OK:
+						ok++
+					case resp != nil && resp.Code == CodeOverload:
+						shed++
+						if resp.RetryAfterMS <= 0 {
+							untypedShed++
+						}
+					default:
+						other++
+					}
+					mu.Unlock()
+				}
+			}(client)
+		}
+	}
+	wg.Wait()
+	total := ok + shed + other
+	if want := conns * workers * perWorker; total != want {
+		t.Fatalf("answered %d of %d requests", total, want)
+	}
+	if other != 0 {
+		t.Fatalf("%d requests resolved as neither success nor typed shed", other)
+	}
+	if untypedShed != 0 {
+		t.Fatalf("%d of %d sheds lacked a retry-after hint", untypedShed, shed)
+	}
+	if ok == 0 {
+		t.Fatal("nothing admitted under overload")
+	}
+	t.Logf("chaos: %d ok, %d shed (all typed)", ok, shed)
+}
+
+// TestCloseDrainsInflight exercises graceful drain: a slow admitted
+// request finishes successfully across Close, a request arriving during
+// the drain window gets the typed draining error, and the server leaks
+// no goroutines.
+func TestCloseDrainsInflight(t *testing.T) {
+	before := runtime.NumGoroutine()
+	srv, c, addr := startLimitedServer(t, Limits{DrainTimeout: 5 * time.Second, ConnInflight: 8})
+	c.Backend(0).SetFault(&sqlmini.Fault{Latency: 300 * time.Millisecond})
+
+	client, err := DialOptions(addr, ClientOptions{MaxRetries: -1, BreakerThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type outcome struct {
+		resp *Response
+		err  error
+	}
+	slow := make(chan outcome, 1)
+	go func() {
+		resp, err := client.Do(Request{SQL: `SELECT a_v FROM a WHERE a_id = 1`, Class: "QA"})
+		slow <- outcome{resp, err}
+	}()
+	time.Sleep(50 * time.Millisecond) // let the slow request get admitted
+
+	closed := make(chan error, 1)
+	go func() { closed <- srv.Close() }()
+	time.Sleep(50 * time.Millisecond) // let Close flip the draining flag
+
+	// A new request during the drain window: typed rejection, not a
+	// dropped connection.
+	resp, err := client.Do(Request{SQL: `SELECT a_v FROM a WHERE a_id = 1`, Class: "QA"})
+	var dr *DrainingError
+	if !errors.As(err, &dr) {
+		t.Fatalf("drain-window request: resp=%+v err=%v, want DrainingError", resp, err)
+	}
+	if resp == nil || resp.Code != CodeDraining {
+		t.Fatalf("drain-window response = %+v, want code %q", resp, CodeDraining)
+	}
+
+	// The admitted request still completes successfully.
+	got := <-slow
+	if got.err != nil || !got.resp.OK {
+		t.Fatalf("inflight request across Close: resp=%+v err=%v", got.resp, got.err)
+	}
+	if err := <-closed; err != nil {
+		t.Logf("Close: %v (listener close error is acceptable)", err)
+	}
+	client.Close()
+	c.Close()
+
+	// Goroutines must return to the baseline (give the runtime a moment
+	// to reap network pollers).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines %d > baseline %d after drain\n%s",
+				runtime.NumGoroutine(), before, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestOversizedRequestResync sends lines beyond MaxLineBytes — both one
+// that fits the read buffer and one that overflows it — and checks the
+// connection answers each with the typed too-large error, then keeps
+// serving (the old Scanner path silently killed the connection).
+func TestOversizedRequestResync(t *testing.T) {
+	srv, _, addr := startLimitedServer(t, Limits{MaxLineBytes: 1024})
+	rc := dialRaw(t, addr)
+
+	// Oversized but within the 64 KiB reader buffer.
+	rc.writeLine(t, `{"sql": "`+strings.Repeat("x", 2048)+`"}`)
+	if resp := rc.readResponse(t); resp.Code != CodeTooLarge {
+		t.Fatalf("small-oversize response = %+v, want code %q", resp, CodeTooLarge)
+	}
+	// Oversized beyond the reader buffer (exercises the ErrBufferFull
+	// discard path).
+	rc.writeLine(t, `{"sql": "`+strings.Repeat("y", 128<<10)+`"}`)
+	if resp := rc.readResponse(t); resp.Code != CodeTooLarge {
+		t.Fatalf("big-oversize response = %+v, want code %q", resp, CodeTooLarge)
+	}
+	// The connection is resynced: a normal request still works.
+	rc.writeLine(t, `{"id": 3, "sql": "SELECT a_v FROM a WHERE a_id = 2", "class": "QA"}`)
+	resp := rc.readResponse(t)
+	if !resp.OK || resp.ID != 3 {
+		t.Fatalf("post-resync response = %+v", resp)
+	}
+	if n := srv.Admission().TooLarge; n != 2 {
+		t.Fatalf("too_large counter = %d, want 2", n)
+	}
+}
+
+// TestDeadlinePropagation checks that deadline_ms (and its timeout_ms
+// alias) bounds a request end to end: a deadline that expires while the
+// request waits in the admission queue yields the typed deadline error.
+func TestDeadlinePropagation(t *testing.T) {
+	for _, field := range []string{"deadline_ms", "timeout_ms"} {
+		t.Run(field, func(t *testing.T) {
+			_, c, addr := startLimitedServer(t, Limits{
+				MaxInflight: 1, QueueDepth: 4, ConnInflight: 8,
+			})
+			c.Backend(0).SetFault(&sqlmini.Fault{Latency: 400 * time.Millisecond})
+
+			client, err := DialOptions(addr, ClientOptions{MaxRetries: -1, BreakerThreshold: -1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer client.Close()
+			hog := make(chan struct{})
+			go func() {
+				defer close(hog)
+				client.Do(Request{SQL: `SELECT a_v FROM a WHERE a_id = 1`, Class: "QA"})
+			}()
+			time.Sleep(50 * time.Millisecond) // hog owns the only slot
+
+			req := Request{SQL: `SELECT a_v FROM a WHERE a_id = 1`, Class: "QA"}
+			if field == "deadline_ms" {
+				req.DeadlineMS = 50
+			} else {
+				req.TimeoutMS = 50
+			}
+			start := time.Now()
+			resp, err := client.Do(req)
+			if err == nil || resp == nil || resp.Code != CodeDeadline {
+				t.Fatalf("resp=%+v err=%v, want code %q", resp, err, CodeDeadline)
+			}
+			var we *WireError
+			if !errors.As(err, &we) || we.Code != CodeDeadline {
+				t.Fatalf("err = %v (%T), want WireError{deadline}", err, err)
+			}
+			// The rejection must beat the hog's 400ms service time: the
+			// deadline fired in the queue, not after execution.
+			if d := time.Since(start); d > 300*time.Millisecond {
+				t.Fatalf("deadline rejection took %v", d)
+			}
+			<-hog
+		})
+	}
+}
+
+// TestPipelinedOutOfOrder drives one raw connection with two ids: a
+// slow request (QA, backend B1 has an injected latency) then a fast one
+// (QB on B2). The fast response must arrive first, proving requests
+// complete out of order through the per-connection writer.
+func TestPipelinedOutOfOrder(t *testing.T) {
+	_, c, addr := startLimitedServer(t, Limits{ConnInflight: 8})
+	c.Backend(0).SetFault(&sqlmini.Fault{Latency: 400 * time.Millisecond})
+
+	rc := dialRaw(t, addr)
+	rc.writeLine(t, `{"id": 1, "sql": "SELECT a_v FROM a WHERE a_id = 1", "class": "QA"}`)
+	time.Sleep(50 * time.Millisecond) // let the slow request occupy B1
+	rc.writeLine(t, `{"id": 2, "sql": "SELECT b_v FROM b WHERE b_id = 1", "class": "QB"}`)
+
+	first, second := rc.readResponse(t), rc.readResponse(t)
+	if first.ID != 2 || second.ID != 1 {
+		t.Fatalf("response order = %d, %d; want 2 (fast) before 1 (slow)", first.ID, second.ID)
+	}
+	if !first.OK || !second.OK {
+		t.Fatalf("responses failed: %+v / %+v", first, second)
+	}
+	if first.Backend != "B2" || second.Backend != "B1" {
+		t.Fatalf("backends = %s, %s; want B2, B1", first.Backend, second.Backend)
+	}
+}
+
+// TestConnLimitRejectsTyped checks a connection beyond MaxConns gets
+// one typed overload response instead of a silent close.
+func TestConnLimitRejectsTyped(t *testing.T) {
+	_, _, addr := startLimitedServer(t, Limits{MaxConns: 1})
+	keep := dialRaw(t, addr)
+	keep.writeLine(t, `{"id": 1, "sql": "SELECT a_v FROM a WHERE a_id = 1", "class": "QA"}`)
+	if resp := keep.readResponse(t); !resp.OK {
+		t.Fatalf("first connection should serve: %+v", resp)
+	}
+	over := dialRaw(t, addr)
+	resp := over.readResponse(t)
+	if resp.Code != CodeOverload || resp.RetryAfterMS <= 0 {
+		t.Fatalf("over-limit connection response = %+v, want typed overload with retry-after", resp)
+	}
+}
+
+// BenchmarkServerOverload measures round-trip cost through the full
+// wire path (admission, pipelined writer) at a modest concurrency.
+func BenchmarkServerOverload(b *testing.B) {
+	cl := core.NewClassification()
+	cl.AddFragment(core.Fragment{ID: "a", Size: 1})
+	cl.MustAddClass(core.NewClass("QA", core.Read, 1, "a"))
+	alloc := core.NewAllocation(cl, core.UniformBackends(1))
+	alloc.AddFragments(0, "a")
+	alloc.SetAssign(0, "QA", 1)
+	c, err := cluster.New(cluster.Config{Backends: core.UniformBackends(1)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	load := func(e *sqlmini.Engine, tables []string) error {
+		for _, tb := range tables {
+			if err := e.CreateTable(tb, []sqlmini.Column{
+				{Name: tb + "_id", Type: sqlmini.KindInt, PrimaryKey: true},
+				{Name: tb + "_v", Type: sqlmini.KindInt},
+			}); err != nil {
+				return err
+			}
+			if err := e.BulkInsert(tb, []sqlmini.Row{{sqlmini.Int(1), sqlmini.Int(2)}}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := c.Install(alloc, load); err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := ServeConfig(ln, c, Config{})
+	defer srv.Close()
+	client, err := DialOptions(ln.Addr().String(), ClientOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			resp, err := client.Do(Request{SQL: `SELECT a_v FROM a WHERE a_id = 1`, Class: "QA"})
+			if err != nil || !resp.OK {
+				b.Fatalf("resp=%+v err=%v", resp, err)
+			}
+		}
+	})
+}

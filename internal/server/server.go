@@ -2,29 +2,48 @@
 // paper's three-tier architecture (Figure 1): clients connect to the
 // controller, which schedules their queries onto the backends. The wire
 // protocol is newline-delimited JSON — one request object per line, one
-// response object per line, pipelinable per connection.
+// response object per line. Requests may carry a client-chosen "id"
+// that the server echoes in the response; a connection with ids may
+// pipeline freely: every request executes in its own goroutine and
+// responses complete OUT OF ORDER through a dedicated per-connection
+// writer. Without ids, responses are only matchable by having one
+// request outstanding at a time (the pre-pipelining discipline).
 //
 // Request:
 //
-//	{"sql": "SELECT ...", "class": "Q1", "write": false}
+//	{"id": 7, "sql": "SELECT ...", "class": "Q1", "write": false,
+//	 "deadline_ms": 250}
 //
 // Response:
 //
-//	{"ok": true, "backend": "B2", "columns": [...], "rows": [[...]],
-//	 "affected": 0, "duration_us": 123}
+//	{"id": 7, "ok": true, "backend": "B2", "columns": [...],
+//	 "rows": [[...]], "affected": 0, "duration_us": 123}
+//
+// The edge is overload-robust (see admission.go): accepted connections
+// are capped, each connection's inflight requests are bounded (a full
+// pipeline stops being read — TCP backpressure), and a global admission
+// semaphore with a bounded wait queue fronts execution. Beyond the
+// queue, requests are shed with a typed error carrying a retry hint:
+//
+//	{"id": 7, "ok": false, "code": "overload", "retry_after_ms": 50,
+//	 "error": "server: overloaded, retry after 50ms"}
+//
+// "deadline_ms" (or its alias "timeout_ms") bounds the request end to
+// end — queue wait included — as a context deadline propagated into
+// Cluster.ExecuteContext; expiry yields code "deadline". Close drains
+// gracefully: the listener closes, new requests get code "draining",
+// inflight requests finish within Limits.DrainTimeout (then they are
+// canceled), and every enqueued response is flushed before its
+// connection closes.
 //
 // A request with "cmd": "history" returns the controller's recorded
 // query journal instead (the input to reallocation); "cmd": "stats"
 // returns per-backend table sets; "cmd": "metrics" returns the runtime
 // layer's counters — per backend: reads, writes, errors, the pending
-// gauge, and read/write latency histograms (count/mean/p50/p95/p99/max
-// in microseconds) — plus the active scheduling policy and the ROWA
-// fan-out width series:
-//
-//	{"ok": true, "metrics": {"policy": "least-pending",
-//	 "backends": [{"name": "B1", "reads": 12, "writes": 3, "errors": 0,
-//	               "pending": 0, "read_latency": {...}, "write_latency": {...}}, ...],
-//	 "rowa_fanout": {"writes": 3, "mean_width": 2, "max_width": 2}}}
+// gauge, and read/write latency histograms — plus the active
+// scheduling policy, the ROWA fan-out width series, and the edge's
+// admission series (connections, admitted/shed/drained, queue depth,
+// queue-wait histogram).
 //
 // The fault-tolerance layer is administered over the same protocol:
 // "cmd": "health" returns per-backend health states, redo-log depths,
@@ -40,12 +59,8 @@
 // engine — the cluster keeps serving while tables copy in throttled
 // batches; "cmd": "resize" with "backends": N does the same at a new
 // backend count (live scale-out/scale-in); "cmd": "migration" reports
-// the progress of the run in flight (phase, tables done, rows copied,
-// delta replayed, worst cutover pause) and can be polled from another
-// connection while a migrate/resize blocks its own.
-//
-// Query execution runs under the server's base context (canceled on
-// Close) plus the cluster's configured per-request timeout.
+// the progress of the run in flight and, with pipelining, can be
+// polled on the SAME connection while a migrate/resize is executing.
 package server
 
 import (
@@ -56,9 +71,12 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"qcpa/internal/cluster"
 	"qcpa/internal/core"
+	"qcpa/internal/runtime"
 	"qcpa/internal/runtime/metrics"
 	"qcpa/internal/sqlmini"
 	"qcpa/internal/workload"
@@ -66,10 +84,23 @@ import (
 
 // Request is one client message.
 type Request struct {
+	// ID is echoed in the response so pipelined requests can complete
+	// out of order. 0 means "no id" (the response omits it too).
+	ID    uint64 `json:"id,omitempty"`
 	Cmd   string `json:"cmd,omitempty"` // "", "history", "stats", "metrics", "health", "fail", "recover", "migrate", "resize", "migration"
 	SQL   string `json:"sql,omitempty"`
 	Class string `json:"class,omitempty"`
 	Write bool   `json:"write,omitempty"`
+	// DeadlineMS bounds the request end to end (admission queue wait
+	// included), measured from arrival: the server derives a context
+	// deadline from it and propagates it into execution. Expiry yields
+	// code "deadline".
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// TimeoutMS is honored identically to DeadlineMS (the effective
+	// budget is the smaller of the two when both are set). It exists so
+	// a per-request timeout works even for clients that do not thread
+	// full deadline propagation.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	// Backend names the target of the administrative "fail" and
 	// "recover" commands.
 	Backend string `json:"backend,omitempty"`
@@ -77,9 +108,9 @@ type Request struct {
 	Backends int `json:"backends,omitempty"`
 }
 
-// Config carries the server's reallocation hooks. The zero value
-// serves queries and health commands but rejects "migrate"/"resize"
-// (no planner to compute allocations with).
+// Config carries the server's reallocation hooks and edge limits. The
+// zero value serves queries and health commands but rejects
+// "migrate"/"resize" (no planner to compute allocations with).
 type Config struct {
 	// Planner computes a fresh allocation for n backends, typically by
 	// reclassifying the cluster's recorded history. Required for the
@@ -89,6 +120,8 @@ type Config struct {
 	Loader cluster.Loader
 	// Live tunes the live-migration engine (batch size, throttle).
 	Live cluster.LiveOptions
+	// Limits bounds the edge (connections, inflight, queue, drain).
+	Limits Limits
 }
 
 // HistoryEntry mirrors the journal lines returned by cmd "history".
@@ -100,16 +133,24 @@ type HistoryEntry struct {
 
 // Response is one server message.
 type Response struct {
-	OK         bool              `json:"ok"`
-	Error      string            `json:"error,omitempty"`
-	Backend    string            `json:"backend,omitempty"`
-	Columns    []string          `json:"columns,omitempty"`
-	Rows       [][]interface{}   `json:"rows,omitempty"`
-	Affected   int               `json:"affected,omitempty"`
-	DurationUS int64             `json:"duration_us,omitempty"`
-	History    []HistoryEntry    `json:"history,omitempty"`
-	Tables     [][]string        `json:"tables,omitempty"`
-	Metrics    *metrics.Snapshot `json:"metrics,omitempty"`
+	// ID echoes the request's id (omitted when the request had none).
+	ID    uint64 `json:"id,omitempty"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	// Code classifies a failure mechanically — see the Code* constants
+	// in errors.go. Empty for plain statement/command errors.
+	Code string `json:"code,omitempty"`
+	// RetryAfterMS is the backoff hint of a CodeOverload (and
+	// CodeUnavailable) rejection.
+	RetryAfterMS int64             `json:"retry_after_ms,omitempty"`
+	Backend      string            `json:"backend,omitempty"`
+	Columns      []string          `json:"columns,omitempty"`
+	Rows         [][]interface{}   `json:"rows,omitempty"`
+	Affected     int               `json:"affected,omitempty"`
+	DurationUS   int64             `json:"duration_us,omitempty"`
+	History      []HistoryEntry    `json:"history,omitempty"`
+	Tables       [][]string        `json:"tables,omitempty"`
+	Metrics      *metrics.Snapshot `json:"metrics,omitempty"`
 	// Health is the availability report of cmd "health": per-backend
 	// states and redo-log depths, per-class live replica counts, and
 	// the k-safety at-risk map.
@@ -126,26 +167,52 @@ type Response struct {
 type Server struct {
 	cluster *cluster.Cluster
 	cfg     Config
+	limits  Limits
 	ln      net.Listener
 	baseCtx context.Context
 	cancel  context.CancelFunc
-	wg      sync.WaitGroup
-	mu      sync.Mutex
-	closed  bool
-	conns   map[net.Conn]struct{}
+	adm     *admission
+	mx      *metrics.Admission
+
+	// draining rejects new requests once Close begins; drainCh wakes
+	// admission waiters and blocked per-connection slot acquires.
+	draining atomic.Bool
+	drainCh  chan struct{}
+	// inflight counts requests between read and response-enqueue — the
+	// drain barrier Close waits on.
+	inflight sync.WaitGroup
+
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
 }
 
 // Serve starts accepting connections on ln; it returns immediately.
-// Close stops the accept loop, cancels in-flight queries, and waits
+// Close stops the accept loop, drains in-flight requests, and waits
 // for their connections.
 func Serve(ln net.Listener, c *cluster.Cluster) *Server {
 	return ServeConfig(ln, c, Config{})
 }
 
-// ServeConfig is Serve with reallocation hooks configured.
+// ServeConfig is Serve with reallocation hooks and edge limits
+// configured.
 func ServeConfig(ln net.Listener, c *cluster.Cluster, cfg Config) *Server {
 	baseCtx, cancel := context.WithCancel(context.Background())
-	s := &Server{cluster: c, cfg: cfg, ln: ln, baseCtx: baseCtx, cancel: cancel, conns: make(map[net.Conn]struct{})}
+	mx := metrics.NewAdmission()
+	limits := cfg.Limits.withDefaults()
+	s := &Server{
+		cluster: c,
+		cfg:     cfg,
+		limits:  limits,
+		ln:      ln,
+		baseCtx: baseCtx,
+		cancel:  cancel,
+		adm:     newAdmission(limits, mx),
+		mx:      mx,
+		drainCh: make(chan struct{}),
+		conns:   make(map[net.Conn]struct{}),
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -154,10 +221,15 @@ func ServeConfig(ln net.Listener, c *cluster.Cluster, cfg Config) *Server {
 // Addr returns the listener address.
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 
-// Close stops the server (the cluster itself is not closed): it stops
-// accepting, cancels in-flight queries, closes every live client
-// connection, and waits for their handlers. A client blocked on a read
-// gets its connection torn down instead of hanging forever.
+// Admission snapshots the edge's overload-protection counters.
+func (s *Server) Admission() metrics.AdmissionSnapshot { return s.mx.Snapshot() }
+
+// Close drains the server (the cluster itself is not closed): it stops
+// accepting, rejects new requests with the typed draining error, waits
+// up to Limits.DrainTimeout for inflight requests, cancels whatever is
+// still running, flushes every enqueued response, and tears the
+// connections down. A request admitted before Close always gets a
+// response (canceled stragglers get code "draining").
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -165,29 +237,66 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
-	conns := make([]net.Conn, 0, len(s.conns))
+	s.draining.Store(true)
+	s.mu.Unlock()
+	close(s.drainCh)
+	err := s.ln.Close()
+
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	timer := time.NewTimer(s.limits.DrainTimeout)
+	select {
+	case <-done:
+		timer.Stop()
+	case <-timer.C:
+		// Drain window exhausted: cancel the stragglers. They complete
+		// promptly with a typed draining response, which still flushes
+		// before the connection closes.
+	}
+	s.cancel()
+
+	// Stop the readers. Each handler then joins its request goroutines
+	// (their responses are already enqueued), closes the response
+	// channel, and its writer flushes everything before the connection
+	// closes — no admitted request goes unanswered.
+	s.mu.Lock()
 	for c := range s.conns {
-		conns = append(conns, c)
+		c.SetReadDeadline(time.Now())
 	}
 	s.mu.Unlock()
-	s.cancel()
-	err := s.ln.Close()
-	for _, c := range conns {
-		c.Close()
-	}
 	s.wg.Wait()
 	return err
 }
 
-// track registers a live connection; it reports false when the server
-// is already closing (the caller should drop the connection).
-func (s *Server) track(conn net.Conn) bool {
+// track registers a live connection. full reports a rejection at the
+// MaxConns cap; !ok && !full means the server is closing.
+func (s *Server) track(conn net.Conn) (ok, full bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false, false
+	}
+	if len(s.conns) >= s.limits.MaxConns {
+		return false, true
+	}
+	s.conns[conn] = struct{}{}
+	return true, false
+}
+
+// admitInflight registers one request with the drain barrier. It is
+// ordered against Close under mu: either the request is counted before
+// Close's inflight.Wait starts, or Close has begun and the request is
+// refused — never an Add racing a Wait on a zero counter.
+func (s *Server) admitInflight() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return false
 	}
-	s.conns[conn] = struct{}{}
+	s.inflight.Add(1)
 	return true
 }
 
@@ -195,6 +304,7 @@ func (s *Server) untrack(conn net.Conn) {
 	s.mu.Lock()
 	delete(s.conns, conn)
 	s.mu.Unlock()
+	s.mx.ConnClosed()
 }
 
 func (s *Server) acceptLoop() {
@@ -204,61 +314,272 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		ok, full := s.track(conn)
+		if !ok {
+			if full {
+				s.mx.ConnRejected()
+				s.wg.Add(1)
+				go s.rejectConn(conn)
+			} else {
+				conn.Close()
+			}
+			continue
+		}
+		s.mx.ConnOpened()
 		s.wg.Add(1)
 		go s.handle(conn)
 	}
 }
 
-func (s *Server) handle(conn net.Conn) {
+// rejectConn answers a connection beyond the MaxConns cap with one
+// typed overload response, then closes it — a shed connection is told
+// when to come back, never silently dropped.
+func (s *Server) rejectConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer conn.Close()
-	if !s.track(conn) {
+	conn.SetWriteDeadline(time.Now().Add(time.Second))
+	resp := Response{
+		Code:         CodeOverload,
+		RetryAfterMS: s.adm.retryAfterMS(0),
+		Error:        "server: connection limit reached",
+	}
+	data, err := json.Marshal(&resp)
+	if err != nil {
 		return
 	}
-	defer s.untrack(conn)
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	w := bufio.NewWriter(conn)
+	conn.Write(append(data, '\n'))
+}
+
+// connState is the per-connection plumbing shared by the reader, the
+// writer, and the request goroutines.
+type connState struct {
+	conn net.Conn
+	// resp carries completed responses to the writer. Capacity covers
+	// the connection's inflight bound plus the reader's inline error
+	// responses, so request goroutines never block here in the steady
+	// state.
+	resp chan *Response
+	// dead is closed by the writer when the connection failed mid-write:
+	// senders stop waiting, remaining responses are discarded.
+	dead       chan struct{}
+	writerDone chan struct{}
+	// reqs joins this connection's request goroutines before resp
+	// closes.
+	reqs sync.WaitGroup
+}
+
+// send enqueues one response unless the connection already died.
+func (cs *connState) send(r *Response) {
+	select {
+	case cs.resp <- r:
+	case <-cs.dead:
+	}
+}
+
+// writeLoop is the connection's dedicated writer: it serializes
+// responses in completion order, flushing whenever the queue runs dry.
+// A write error (or WriteTimeout expiry — a client that stopped
+// reading) kills the connection and turns the loop into a drain so
+// request goroutines never block on a dead peer.
+func (cs *connState) writeLoop(writeTimeout time.Duration) {
+	defer close(cs.writerDone)
+	w := bufio.NewWriter(cs.conn)
 	enc := json.NewEncoder(w)
-	for sc.Scan() {
-		line := sc.Bytes()
+	alive := true
+	fail := func() {
+		alive = false
+		close(cs.dead)
+		cs.conn.Close() // unblocks the reader too
+	}
+	for r := range cs.resp {
+		if !alive {
+			continue
+		}
+		if writeTimeout > 0 {
+			cs.conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+		}
+		if err := enc.Encode(r); err != nil {
+			fail()
+			continue
+		}
+		if len(cs.resp) == 0 {
+			if err := w.Flush(); err != nil {
+				fail()
+				continue
+			}
+		}
+	}
+	if alive {
+		w.Flush()
+	}
+}
+
+// handle is the per-connection reader: it parses request lines,
+// enforces the per-connection inflight bound, and hands each request
+// to its own goroutine so pipelined requests complete out of order.
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer s.untrack(conn)
+	cs := &connState{
+		conn:       conn,
+		resp:       make(chan *Response, minInt(s.limits.ConnInflight, 1024)+8),
+		dead:       make(chan struct{}),
+		writerDone: make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		cs.writeLoop(s.limits.WriteTimeout)
+	}()
+	connSem := make(chan struct{}, minInt(s.limits.ConnInflight, 1<<16))
+	br := bufio.NewReaderSize(conn, 64<<10)
+	for {
+		line, tooLong, err := readLine(br, s.limits.MaxLineBytes)
+		if tooLong {
+			s.mx.ObserveTooLarge()
+			cs.send(&Response{
+				Code:  CodeTooLarge,
+				Error: fmt.Sprintf("server: request line exceeds %d bytes", s.limits.MaxLineBytes),
+			})
+			if err != nil {
+				break
+			}
+			continue
+		}
+		if err != nil {
+			break
+		}
 		if len(line) == 0 {
 			continue
 		}
 		var req Request
-		var resp Response
-		if err := json.Unmarshal(line, &req); err != nil {
-			resp = Response{Error: "bad request: " + err.Error()}
-		} else {
-			resp = s.safeExecute(req)
+		if jerr := json.Unmarshal(line, &req); jerr != nil {
+			cs.send(&Response{ID: req.ID, Code: CodeBadRequest, Error: "bad request: " + jerr.Error()})
+			continue
 		}
-		if err := enc.Encode(&resp); err != nil {
-			return
+		if s.draining.Load() {
+			s.mx.ObserveDrained()
+			cs.send(&Response{ID: req.ID, Code: CodeDraining, Error: (&DrainingError{}).Error()})
+			continue
 		}
-		if err := w.Flush(); err != nil {
-			return
+		// Per-connection inflight bound: a full pipeline blocks the
+		// reader (TCP backpressure) rather than shedding.
+		select {
+		case connSem <- struct{}{}:
+		case <-s.drainCh:
+			s.mx.ObserveDrained()
+			cs.send(&Response{ID: req.ID, Code: CodeDraining, Error: (&DrainingError{}).Error()})
+			continue
+		}
+		if !s.admitInflight() {
+			// Close began between the draining check and here.
+			<-connSem
+			s.mx.ObserveDrained()
+			cs.send(&Response{ID: req.ID, Code: CodeDraining, Error: (&DrainingError{}).Error()})
+			continue
+		}
+		cs.reqs.Add(1)
+		s.wg.Add(1)
+		go s.serve(cs, req, connSem)
+	}
+	cs.reqs.Wait()
+	close(cs.resp)
+	<-cs.writerDone
+	conn.Close()
+}
+
+// serve runs one request: deadline derivation, global admission, then
+// execution. The response is enqueued before the inflight barrier is
+// released, so a graceful drain never leaves an admitted request
+// unanswered.
+func (s *Server) serve(cs *connState, req Request, connSem chan struct{}) {
+	defer s.wg.Done()
+	ctx, cancel := s.requestContext(&req)
+	var resp Response
+	if err := s.adm.acquire(ctx, s.drainCh); err != nil {
+		resp = s.rejectResponse(err)
+	} else {
+		resp = s.safeExecute(ctx, req)
+		s.adm.release()
+	}
+	cancel()
+	resp.ID = req.ID
+	cs.send(&resp)
+	<-connSem
+	s.inflight.Done()
+	cs.reqs.Done()
+}
+
+// requestContext derives the request's execution context from the
+// server's base context plus the client's deadline_ms/timeout_ms
+// budget (the smaller wins when both are set), measured from arrival so
+// admission queue wait counts against it.
+func (s *Server) requestContext(req *Request) (context.Context, context.CancelFunc) {
+	var budget time.Duration
+	if req.DeadlineMS > 0 {
+		budget = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	if req.TimeoutMS > 0 {
+		if t := time.Duration(req.TimeoutMS) * time.Millisecond; budget == 0 || t < budget {
+			budget = t
 		}
 	}
+	if budget > 0 {
+		return context.WithTimeout(s.baseCtx, budget)
+	}
+	return context.WithCancel(s.baseCtx)
+}
+
+// rejectResponse maps an admission failure to its typed wire form.
+func (s *Server) rejectResponse(err error) Response {
+	var ov *OverloadError
+	if errors.As(err, &ov) {
+		return Response{Code: CodeOverload, RetryAfterMS: ov.RetryAfterMS, Error: ov.Error()}
+	}
+	var dr *DrainingError
+	if errors.As(err, &dr) {
+		return Response{Code: CodeDraining, Error: dr.Error()}
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return Response{Code: CodeDeadline, Error: "server: deadline expired while queued for admission"}
+	}
+	// Base context canceled: the server is force-draining.
+	return Response{Code: CodeDraining, Error: (&DrainingError{}).Error()}
+}
+
+// errorResponse maps an execution failure to its wire form, typing the
+// mechanically-actionable classes.
+func (s *Server) errorResponse(err error) Response {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return Response{Code: CodeDeadline, Error: "server: deadline exceeded: " + err.Error()}
+	case errors.Is(err, context.Canceled):
+		// Only the base context can cancel (clients cannot): drain.
+		return Response{Code: CodeDraining, Error: (&DrainingError{}).Error()}
+	case errors.Is(err, runtime.ErrUnavailable):
+		return Response{Code: CodeUnavailable, RetryAfterMS: s.adm.retryAfterMS(0), Error: err.Error()}
+	}
+	return Response{Error: err.Error()}
 }
 
 // safeExecute shields the connection from a panicking request: the
 // client gets an error response and the connection (and server) lives
-// on, instead of one poisoned request killing the handler goroutine.
-func (s *Server) safeExecute(req Request) (resp Response) {
+// on, instead of one poisoned request killing its goroutine.
+func (s *Server) safeExecute(ctx context.Context, req Request) (resp Response) {
 	defer func() {
 		if r := recover(); r != nil {
 			resp = Response{Error: fmt.Sprintf("internal error: %v", r)}
 		}
 	}()
-	return s.execute(req)
+	return s.execute(ctx, req)
 }
 
-func (s *Server) execute(req Request) Response {
+func (s *Server) execute(ctx context.Context, req Request) Response {
 	switch req.Cmd {
 	case "":
-		res, err := s.cluster.ExecuteContext(s.baseCtx, workload.Request{SQL: req.SQL, Class: req.Class, Write: req.Write})
+		res, err := s.cluster.ExecuteContext(ctx, workload.Request{SQL: req.SQL, Class: req.Class, Write: req.Write})
 		if err != nil {
-			return Response{Error: err.Error()}
+			return s.errorResponse(err)
 		}
 		out := Response{
 			OK:         true,
@@ -288,7 +609,10 @@ func (s *Server) execute(req Request) Response {
 		}
 		return Response{OK: true, Tables: tables}
 	case "metrics":
-		return Response{OK: true, Metrics: s.cluster.Metrics()}
+		snap := s.cluster.Metrics()
+		adm := s.mx.Snapshot()
+		snap.Admission = &adm
+		return Response{OK: true, Metrics: snap}
 	case "health":
 		return Response{OK: true, Health: s.cluster.Health()}
 	case "fail":
@@ -305,7 +629,7 @@ func (s *Server) execute(req Request) Response {
 	case "migrate":
 		rep, err := s.reallocate(s.cluster.NumBackends())
 		if err != nil {
-			return Response{Error: err.Error()}
+			return s.errorResponse(err)
 		}
 		return Response{OK: true, Report: rep}
 	case "resize":
@@ -314,7 +638,7 @@ func (s *Server) execute(req Request) Response {
 		}
 		rep, err := s.reallocate(req.Backends)
 		if err != nil {
-			return Response{Error: err.Error()}
+			return s.errorResponse(err)
 		}
 		return Response{OK: true, Report: rep}
 	case "migration":
@@ -325,9 +649,9 @@ func (s *Server) execute(req Request) Response {
 }
 
 // reallocate plans a fresh allocation for n backends and installs it
-// with the live engine. It runs synchronously on the requesting
-// connection; other connections keep executing queries throughout and
-// can poll {"cmd":"migration"} for progress.
+// with the live engine. It runs synchronously in the requesting
+// request's goroutine; other requests — including {"cmd":"migration"}
+// polls on the same pipelined connection — keep executing throughout.
 func (s *Server) reallocate(n int) (*cluster.MigrationReport, error) {
 	if s.cfg.Planner == nil {
 		return nil, errors.New("server: no planner configured for online reallocation")
@@ -342,6 +666,66 @@ func (s *Server) reallocate(n int) (*cluster.MigrationReport, error) {
 	return s.cluster.ResizeLive(alloc, s.cfg.Loader, s.cfg.Live)
 }
 
+// readLine reads one newline-terminated line of at most max bytes.
+// An oversized line reports tooLong=true after discarding through the
+// terminating newline, so the connection resyncs on the next request
+// instead of dying (the old bufio.Scanner path killed it silently).
+func readLine(br *bufio.Reader, max int) (line []byte, tooLong bool, err error) {
+	var buf []byte
+	for {
+		frag, err := br.ReadSlice('\n')
+		// ReadSlice's fragment is only valid until the next read: copy.
+		buf = append(buf, frag...)
+		switch err {
+		case nil:
+			if len(buf) > max+1 { // +1: the newline itself
+				return nil, true, nil
+			}
+			return trimEOL(buf), false, nil
+		case bufio.ErrBufferFull:
+			if len(buf) > max {
+				return nil, true, discardToNewline(br)
+			}
+		default:
+			return nil, false, err
+		}
+	}
+}
+
+// discardToNewline skips the remainder of an oversized line.
+func discardToNewline(br *bufio.Reader) error {
+	for {
+		_, err := br.ReadSlice('\n')
+		switch err {
+		case nil:
+			return nil
+		case bufio.ErrBufferFull:
+			continue
+		default:
+			return err
+		}
+	}
+}
+
+// trimEOL strips the trailing newline (and optional carriage return),
+// matching the old bufio.ScanLines framing.
+func trimEOL(b []byte) []byte {
+	if n := len(b); n > 0 && b[n-1] == '\n' {
+		b = b[:n-1]
+	}
+	if n := len(b); n > 0 && b[n-1] == '\r' {
+		b = b[:n-1]
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
 // jsonValue converts an engine value into a JSON-friendly Go value.
 func jsonValue(v sqlmini.Value) interface{} {
 	switch v.K {
@@ -354,148 +738,4 @@ func jsonValue(v sqlmini.Value) interface{} {
 	default:
 		return nil
 	}
-}
-
-// Client is a synchronous client for the controller protocol. It is
-// safe for concurrent use; requests are serialized per connection.
-type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	r    *bufio.Reader
-}
-
-// Dial connects to a controller.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	return &Client{conn: conn, r: bufio.NewReader(conn)}, nil
-}
-
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
-
-// Do sends one request and reads its response.
-func (c *Client) Do(req Request) (*Response, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	data, err := json.Marshal(req)
-	if err != nil {
-		return nil, err
-	}
-	data = append(data, '\n')
-	if _, err := c.conn.Write(data); err != nil {
-		return nil, err
-	}
-	line, err := c.r.ReadBytes('\n')
-	if err != nil {
-		return nil, err
-	}
-	var resp Response
-	if err := json.Unmarshal(line, &resp); err != nil {
-		return nil, err
-	}
-	return &resp, nil
-}
-
-// Query executes a read.
-func (c *Client) Query(sql, class string) (*Response, error) {
-	resp, err := c.Do(Request{SQL: sql, Class: class})
-	if err != nil {
-		return nil, err
-	}
-	if !resp.OK {
-		return resp, errors.New(resp.Error)
-	}
-	return resp, nil
-}
-
-// Exec executes a write (routed via ROWA to all replicas).
-func (c *Client) Exec(sql, class string) (*Response, error) {
-	resp, err := c.Do(Request{SQL: sql, Class: class, Write: true})
-	if err != nil {
-		return nil, err
-	}
-	if !resp.OK {
-		return resp, errors.New(resp.Error)
-	}
-	return resp, nil
-}
-
-// Health fetches the controller's availability report.
-func (c *Client) Health() (*cluster.HealthReport, error) {
-	resp, err := c.Do(Request{Cmd: "health"})
-	if err != nil {
-		return nil, err
-	}
-	if !resp.OK {
-		return nil, errors.New(resp.Error)
-	}
-	return resp.Health, nil
-}
-
-// Fail administratively takes a backend out of service.
-func (c *Client) Fail(backend string) error {
-	resp, err := c.Do(Request{Cmd: "fail", Backend: backend})
-	if err != nil {
-		return err
-	}
-	if !resp.OK {
-		return errors.New(resp.Error)
-	}
-	return nil
-}
-
-// Recover brings a failed backend back and returns its catch-up
-// report.
-func (c *Client) Recover(backend string) (*cluster.CatchUpReport, error) {
-	resp, err := c.Do(Request{Cmd: "recover", Backend: backend})
-	if err != nil {
-		return nil, err
-	}
-	if !resp.OK {
-		return nil, errors.New(resp.Error)
-	}
-	return resp.CatchUp, nil
-}
-
-// Migrate asks the controller to replan from its recorded history and
-// install the new allocation live. Blocks until the migration
-// finishes; poll MigrationStatus from another client for progress.
-func (c *Client) Migrate() (*cluster.MigrationReport, error) {
-	resp, err := c.Do(Request{Cmd: "migrate"})
-	if err != nil {
-		return nil, err
-	}
-	if !resp.OK {
-		return nil, errors.New(resp.Error)
-	}
-	return resp.Report, nil
-}
-
-// Resize asks the controller to replan at a new backend count and
-// scale live.
-func (c *Client) Resize(backends int) (*cluster.MigrationReport, error) {
-	resp, err := c.Do(Request{Cmd: "resize", Backends: backends})
-	if err != nil {
-		return nil, err
-	}
-	if !resp.OK {
-		return nil, errors.New(resp.Error)
-	}
-	return resp.Report, nil
-}
-
-// MigrationStatus fetches the progress of the migration in flight (or
-// the outcome of the last finished one).
-func (c *Client) MigrationStatus() (*cluster.MigrationStatus, error) {
-	resp, err := c.Do(Request{Cmd: "migration"})
-	if err != nil {
-		return nil, err
-	}
-	if !resp.OK {
-		return nil, errors.New(resp.Error)
-	}
-	return resp.Migration, nil
 }

@@ -294,13 +294,25 @@ type (
 	ServerRequest = server.Request
 	// ServerResponse is one server message.
 	ServerResponse = server.Response
-	// Client is a synchronous controller client.
+	// Client is a pipelined, overload-aware controller client.
 	Client = server.Client
+	// ClientOptions tunes the client's retry/backoff/breaker reaction.
+	ClientOptions = server.ClientOptions
+	// ServerLimits bounds the server's edge (connections, inflight,
+	// admission queue, drain) — see DESIGN.md §12.
+	ServerLimits = server.Limits
+	// OverloadError is a typed admission-shed rejection with its
+	// retry-after hint.
+	OverloadError = server.OverloadError
+	// DrainingError is the typed rejection of a shutting-down server.
+	DrainingError = server.DrainingError
 )
 
 // Serve starts serving a cluster on a listener; Dial connects to a
-// served controller.
+// served controller (DialOptions with explicit overload-reaction
+// options).
 var (
-	Serve = server.Serve
-	Dial  = server.Dial
+	Serve       = server.Serve
+	Dial        = server.Dial
+	DialOptions = server.DialOptions
 )

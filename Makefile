@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race lint check chaos chaos-migrate chaos-group chaos-overload bench bench-smoke clean
+.PHONY: all build test vet race lint check chaos chaos-migrate chaos-group chaos-overload bench bench-smoke bench-planner clean
 
 all: check
 
@@ -69,6 +69,13 @@ bench:
 # into CI; the recorded baselines come from `qcpa-bench -json` instead.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+# bench-planner runs the two planner acceptance micros at real
+# benchtime with -benchmem (join ordering must beat textual order;
+# a plan-cache hit must allocate less than half of a cold build —
+# the ratio is pinned by TestPlanCacheHitAllocations).
+bench-planner:
+	$(GO) test -bench 'SqlminiJoinOrder|PlanCacheHit' -benchmem -run TestPlanCacheHitAllocations ./internal/bench/
 
 clean:
 	$(GO) clean ./...

@@ -248,3 +248,5 @@ func BenchmarkMixedThroughput(b *testing.B) { benchFigure(b, "E23") }
 func BenchmarkAblationHorizontal(b *testing.B) { benchFigure(b, "A5") }
 
 func BenchmarkAblationHeterogeneity(b *testing.B) { benchFigure(b, "A6") }
+
+func BenchmarkJoinOrderRobustness(b *testing.B) { benchFigure(b, "E24") }

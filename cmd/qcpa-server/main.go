@@ -206,6 +206,9 @@ func runClient(addr, sql, class, cmd, backend string, backends int, write bool) 
 		r := m.Reliability
 		fmt.Printf("reliability: %d retries, %d unavailable, %d redo appends, %d catch-ups (mean %.1fms, max %dms)\n",
 			r.Retries, r.Unavailable, r.RedoAppends, r.Catchups, r.MeanCatchupMS, r.MaxCatchupMS)
+		p := m.Planner
+		fmt.Printf("planner: %d plan hits, %d misses, %d invalidations, %d evictions, %d cached, %d join plans (%d reordered)\n",
+			p.PlanHits, p.PlanMisses, p.PlanInvalidations, p.PlanEvictions, p.PlanEntries, p.JoinPlans, p.JoinReordered)
 		if a := m.Admission; a != nil {
 			fmt.Printf("admission: %d conns (%d total, %d rejected), %d admitted, %d shed, %d drained, %d too-large, %d expired, queue depth %d, queue-wait p95 %dus\n",
 				a.Conns, a.ConnsTotal, a.ConnsRejected, a.Admitted, a.Shed, a.Drained, a.TooLarge, a.DeadlineExpired, a.Queued, a.QueueWait.P95US)

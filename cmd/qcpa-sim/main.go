@@ -181,6 +181,9 @@ func runCluster(n, requests, workers int, seed int64, policy runtime.Kind, chaos
 	r := m.Reliability
 	fmt.Printf("  reliability: %d retries, %d unavailable, %d redo appends, %d catch-ups (mean %.1fms, max %dms)\n",
 		r.Retries, r.Unavailable, r.RedoAppends, r.Catchups, r.MeanCatchupMS, r.MaxCatchupMS)
+	p := m.Planner
+	fmt.Printf("  planner: %d plan hits, %d misses, %d invalidations, %d evictions, %d cached, %d join plans (%d reordered)\n",
+		p.PlanHits, p.PlanMisses, p.PlanInvalidations, p.PlanEvictions, p.PlanEntries, p.JoinPlans, p.JoinReordered)
 }
 
 // runElastic demonstrates Section 5's elasticity on the real runtime:

@@ -12,11 +12,12 @@
 //
 // Analyzers:
 //
-//   - detrange:    range over a map in a determinism-critical package
-//     must be provably order-insensitive or carry a
-//     //qcpa:orderinsensitive waiver.
+//   - detrange:    range over a map in a determinism-critical file (a
+//     det-critical package, or a //qcpa:deterministic opt-in) must be
+//     provably order-insensitive or carry a //qcpa:orderinsensitive
+//     waiver.
 //   - detsource:   wall-clock reads and the global math/rand source are
-//     forbidden in determinism-critical packages.
+//     forbidden in determinism-critical files.
 //   - lockorder:   functions annotated //qcpa:locks <mu> may only be
 //     called with that mutex held.
 //   - atomicfield: struct fields must not mix atomic and plain access,
@@ -110,10 +111,34 @@ func DetCritical(path string) bool {
 //	//qcpa:locks <mutex>               declares (on a function's doc
 //	                                   comment) that the function must be
 //	                                   called with <mutex> held
+//	//qcpa:deterministic <reason>      opts a whole file into the
+//	                                   determinism contract (detrange,
+//	                                   detsource) even when its package
+//	                                   is not det-critical — e.g. the
+//	                                   sqlmini planner, whose plans must
+//	                                   be identical on every replica
 const (
 	dirOrderInsensitive = "orderinsensitive"
 	dirLocks            = "locks"
+	dirDeterministic    = "deterministic"
 )
+
+// fileDetCritical reports whether a file is bound by the determinism
+// contract: its package is det-critical, or the file opts in with a
+// //qcpa:deterministic directive anywhere in its comments.
+func (p *Pass) fileDetCritical(f *ast.File) bool {
+	if p.Pkg != nil && DetCritical(p.Pkg.Path()) {
+		return true
+	}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if dir, ok := parseDirective(c); ok && dir.name == dirDeterministic {
+				return true
+			}
+		}
+	}
+	return false
+}
 
 type directive struct {
 	name string // e.g. "orderinsensitive"

@@ -29,15 +29,21 @@ import (
 // line or the line above), stating why order cannot matter:
 //
 //	//qcpa:orderinsensitive <reason>
+//
+// Coverage is per file: every file of a det-critical package, plus any
+// file elsewhere carrying a //qcpa:deterministic opt-in (the sqlmini
+// planner files, whose plans must be identical on every replica).
 var DetRange = &Analyzer{
-	Name:      "detrange",
-	Doc:       "flags range over a map in determinism-critical packages unless provably order-insensitive or waived with //qcpa:orderinsensitive",
-	AppliesTo: DetCritical,
-	Run:       runDetRange,
+	Name: "detrange",
+	Doc:  "flags range over a map in determinism-critical files unless provably order-insensitive or waived with //qcpa:orderinsensitive",
+	Run:  runDetRange,
 }
 
 func runDetRange(pass *Pass) error {
 	for _, file := range pass.Files {
+		if !pass.fileDetCritical(file) {
+			continue
+		}
 		ast.Inspect(file, func(n ast.Node) bool {
 			fn := funcBodyOf(n)
 			if fn == nil {

@@ -20,11 +20,12 @@ import (
 // injectable clock option (o.Now = time.Now) is permitted: it is the
 // sanctioned, greppable escape hatch for wall-clock budgets, and every
 // actual read then goes through the injection point that tests replace.
+// Like detrange, coverage is per file: every file of a det-critical
+// package, plus any file opting in with //qcpa:deterministic.
 var DetSource = &Analyzer{
-	Name:      "detsource",
-	Doc:       "forbids wall-clock reads and the global math/rand source in determinism-critical packages",
-	AppliesTo: DetCritical,
-	Run:       runDetSource,
+	Name: "detsource",
+	Doc:  "forbids wall-clock reads and the global math/rand source in determinism-critical files",
+	Run:  runDetSource,
 }
 
 // globalRandFuncs are the math/rand top-level functions that draw from
@@ -52,6 +53,9 @@ var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
 
 func runDetSource(pass *Pass) error {
 	for _, file := range pass.Files {
+		if !pass.fileDetCritical(file) {
+			continue
+		}
 		ast.Inspect(file, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {

@@ -3,6 +3,8 @@
 // //qcpa:orderinsensitive waiver.
 package detrange
 
+//qcpa:deterministic testdata opts in since its package path is not det-critical
+
 import "sort"
 
 func unsortedCollect(m map[string]int) []string {

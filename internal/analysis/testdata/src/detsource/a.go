@@ -3,6 +3,8 @@
 // and injected-clock patterns that must pass.
 package detsource
 
+//qcpa:deterministic testdata opts in since its package path is not det-critical
+
 import (
 	"math/rand"
 	"time"

@@ -26,6 +26,8 @@ var micro = []struct {
 	{"Hungarian50", microHungarian},
 	{"ClassifyTPCHColumn", microClassify},
 	{"SqlminiPointQuery", microPointQuery},
+	{"SqlminiJoinOrder", microJoinOrder},
+	{"PlanCacheHit", microPlanCacheHit},
 }
 
 // RunMicro times every component microbenchmark and returns the

@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"qcpa/internal/sqlmini"
+)
+
+// plannerJoinSQL is a three-table join written in the worst textual
+// order: the two big tables first, the selective dimension table last.
+// Pre-planner this executed left to right, materializing the full
+// big1⋈big2 product before the dimension filter could prune anything;
+// the cost-based join order starts from the filtered dimension instead.
+const plannerJoinSQL = `SELECT b1.v FROM jbig1 b1 JOIN jbig2 b2 ON b2.b1_id = b1.id JOIN jdim d ON d.id = b1.dim_id WHERE d.tag = 't0'`
+
+// plannerJoinEngine builds the star-ish schema behind plannerJoinSQL:
+// two big tables of n rows linked by an equi edge, and a dim-row
+// dimension table whose tag column keeps 2/dim of the rows.
+func plannerJoinEngine(n, dim int) (*sqlmini.Engine, error) {
+	e := sqlmini.New()
+	for _, ddl := range []string{
+		`CREATE TABLE jbig1 (id INT PRIMARY KEY, dim_id INT, v INT)`,
+		`CREATE TABLE jbig2 (id INT PRIMARY KEY, b1_id INT, v INT)`,
+		`CREATE TABLE jdim (id INT PRIMARY KEY, tag TEXT)`,
+	} {
+		if _, err := e.Exec(ddl); err != nil {
+			return nil, err
+		}
+	}
+	rows1 := make([]sqlmini.Row, 0, n)
+	rows2 := make([]sqlmini.Row, 0, n)
+	for i := 0; i < n; i++ {
+		rows1 = append(rows1, sqlmini.Row{sqlmini.Int(int64(i)), sqlmini.Int(int64(i % dim)), sqlmini.Int(int64(i * 7))})
+		rows2 = append(rows2, sqlmini.Row{sqlmini.Int(int64(i)), sqlmini.Int(int64(i)), sqlmini.Int(int64(i * 3))})
+	}
+	dims := make([]sqlmini.Row, 0, dim)
+	for i := 0; i < dim; i++ {
+		dims = append(dims, sqlmini.Row{sqlmini.Int(int64(i)), sqlmini.Text(fmt.Sprintf("t%d", i%(dim/2)))})
+	}
+	for table, rows := range map[string][]sqlmini.Row{"jbig1": rows1, "jbig2": rows2, "jdim": dims} {
+		if err := e.BulkInsert(table, rows); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// microJoinOrder times the pessimally-ordered three-table join end to
+// end: the planner must rewrite it dimension-first for the run to stay
+// proportional to the filtered output instead of the full product.
+func microJoinOrder(b *testing.B) {
+	e, err := plannerJoinEngine(3000, 50)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := sqlmini.Parse(plannerJoinSQL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := e.ExecStmt(st)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Rows) == 0 {
+			b.Fatal("join produced no rows")
+		}
+	}
+}
+
+// microPlanCacheHit times the cached planning path: a warm plan-cache
+// lookup plus execution over a deliberately tiny dataset, so the
+// normalize-and-lookup cost is what dominates.
+func microPlanCacheHit(b *testing.B) {
+	e, err := plannerJoinEngine(12, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := sqlmini.Parse(plannerJoinSQL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := e.ExecStmt(st); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.ExecStmt(st); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -290,7 +290,7 @@ type Cluster struct {
 	journal   map[string]*journalLine
 
 	stmtMu    sync.RWMutex
-	stmtCache map[string]sqlmini.Statement
+	stmtCache map[string]*stmtEntry
 
 	migMu sync.Mutex // guards mig (live-migration progress)
 	mig   MigrationStatus
@@ -342,7 +342,7 @@ func New(cfg Config) (*Cluster, error) {
 		rng:       runtime.NewLockedRand(cfg.PolicySeed),
 		metrics:   metrics.NewRegistry(),
 		journal:   make(map[string]*journalLine),
-		stmtCache: make(map[string]sqlmini.Statement),
+		stmtCache: make(map[string]*stmtEntry),
 		groupFull: make(chan struct{}, 1),
 	}
 	c.groupCond = sync.NewCond(&c.groupMu)
@@ -871,29 +871,83 @@ func (c *Cluster) appendRedoLocked(b *backend, tick uint64, stmt sqlmini.Stateme
 	c.metrics.ObserveRedoAppend()
 }
 
+// stmtCacheCap bounds the prepared-statement cache; exceeding it evicts
+// the least-frequently-used eighth rather than flushing wholesale.
+const stmtCacheCap = 4096
+
+// stmtEntry is one cached parse with its use count. The counter is
+// atomic so cache hits can bump it under the read lock.
+type stmtEntry struct {
+	stmt sqlmini.Statement
+	uses atomic.Int64
+}
+
 // parse returns the cached parse of a statement — the prototype's
 // prepared-statement behavior: a workload's distinguishable queries are
 // parsed once, no matter how many backends or repetitions execute them.
-// The cache is bounded; an unbounded stream of distinct texts (e.g.
-// generated point lookups) flushes it wholesale rather than growing.
+// The cache is bounded: an unbounded stream of distinct texts (e.g.
+// generated point lookups) evicts the least-frequently-used eighth at
+// the cap (matching the journal's policy), so the hot classes a real
+// workload repeats stay parsed.
 func (c *Cluster) parse(sql string) (sqlmini.Statement, error) {
 	c.stmtMu.RLock()
-	stmt, ok := c.stmtCache[sql]
+	en, ok := c.stmtCache[sql]
 	c.stmtMu.RUnlock()
 	if ok {
-		return stmt, nil
+		en.uses.Add(1)
+		return en.stmt, nil
 	}
 	stmt, err := sqlmini.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
 	c.stmtMu.Lock()
-	if len(c.stmtCache) > 4096 {
-		c.stmtCache = make(map[string]sqlmini.Statement)
+	if en, ok := c.stmtCache[sql]; ok { // raced with another parser
+		en.uses.Add(1)
+		c.stmtMu.Unlock()
+		return en.stmt, nil
 	}
-	c.stmtCache[sql] = stmt
+	if len(c.stmtCache) > stmtCacheCap {
+		c.evictStmtLocked()
+	}
+	ne := &stmtEntry{stmt: stmt}
+	ne.uses.Store(1)
+	c.stmtCache[sql] = ne
 	c.stmtMu.Unlock()
 	return stmt, nil
+}
+
+// evictStmtLocked drops roughly the least-frequently-used eighth of the
+// statement cache (at least one entry). Like evictJournalLocked,
+// candidates at the count threshold go in sorted SQL order, not map
+// order, so which of several equally-cold entries leave is reproducible
+// run to run.
+//
+//qcpa:locks stmtMu
+func (c *Cluster) evictStmtLocked() {
+	counts := make([]int, 0, len(c.stmtCache))
+	for _, en := range c.stmtCache {
+		counts = append(counts, int(en.uses.Load()))
+	}
+	sort.Ints(counts)
+	quota := len(counts) / 8
+	if quota < 1 {
+		quota = 1
+	}
+	threshold := counts[quota-1]
+	cand := make([]string, 0, quota)
+	for sql, en := range c.stmtCache {
+		if int(en.uses.Load()) <= threshold {
+			cand = append(cand, sql)
+		}
+	}
+	sort.Strings(cand)
+	if len(cand) > quota {
+		cand = cand[:quota]
+	}
+	for _, sql := range cand {
+		delete(c.stmtCache, sql)
+	}
 }
 
 // record appends to the query history (Figure 3's journal). The
@@ -990,6 +1044,17 @@ func (c *Cluster) Metrics() *metrics.Snapshot {
 		bs := b.metrics.Snapshot(b.name)
 		bs.State = b.health.State().String()
 		bs.Epoch = b.engine.Epoch()
+		ps := b.engine.PlannerStats()
+		bs.Planner = metrics.PlannerSnapshot{
+			PlanHits:          ps.Hits,
+			PlanMisses:        ps.Misses,
+			PlanInvalidations: ps.Invalidations,
+			PlanEvictions:     ps.Evictions,
+			PlanEntries:       ps.Entries,
+			JoinPlans:         ps.JoinPlans,
+			JoinReordered:     ps.Reordered,
+		}
+		snap.Planner.Add(bs.Planner)
 		snap.Backends = append(snap.Backends, bs)
 	}
 	return snap

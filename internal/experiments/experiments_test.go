@@ -564,3 +564,27 @@ func TestAblationHeterogeneity(t *testing.T) {
 		t.Fatalf("aware %.0f clearly below naive %.0f", last(aware), last(naive))
 	}
 }
+
+// TestJoinOrderRobustness: with cost-based join ordering, the
+// pessimally-written star join (dimension table last in the SQL) must
+// run within 2x of the optimally-written form at every size — before
+// the planner it trailed by ~5x because joins executed in textual
+// order.
+func TestJoinOrderRobustness(t *testing.T) {
+	tab, err := JoinOrderRobustness(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pess, opt := tab.Get("pessimal order"), tab.Get("optimal order")
+	if pess == nil || opt == nil || len(pess.Y) != len(opt.Y) {
+		t.Fatalf("missing series: %+v", tab.Series)
+	}
+	for i := range pess.Y {
+		if pess.Y[i] <= 0 || opt.Y[i] <= 0 {
+			t.Fatalf("non-positive qps at point %d: pessimal %.1f, optimal %.1f", i, pess.Y[i], opt.Y[i])
+		}
+		if pess.Y[i] < opt.Y[i]/2 {
+			t.Fatalf("pessimal order %.1f qps vs optimal %.1f at point %d: planner failed to reorder", pess.Y[i], opt.Y[i], i)
+		}
+	}
+}

@@ -330,6 +330,35 @@ type BackendSnapshot struct {
 	Epoch        int64           `json:"epoch"`
 	ReadLatency  LatencySnapshot `json:"read_latency"`
 	WriteLatency LatencySnapshot `json:"write_latency"`
+	// Planner reports the backend engine's query-planner counters.
+	Planner PlannerSnapshot `json:"planner"`
+}
+
+// PlannerSnapshot is the wire form of a sqlmini engine's query-planner
+// counters: plan-cache traffic, invalidation/eviction churn, resident
+// plans, and join-ordering outcomes (how many multi-table plans were
+// built and how many ended up reordered away from the SQL text's join
+// order). On the top-level Snapshot it is the sum over all backends.
+type PlannerSnapshot struct {
+	PlanHits          int64 `json:"plan_hits"`
+	PlanMisses        int64 `json:"plan_misses"`
+	PlanInvalidations int64 `json:"plan_invalidations"`
+	PlanEvictions     int64 `json:"plan_evictions"`
+	PlanEntries       int64 `json:"plan_entries"`
+	JoinPlans         int64 `json:"join_plans"`
+	JoinReordered     int64 `json:"join_reordered"`
+}
+
+// Add accumulates another backend's planner counters (the cluster-wide
+// rollup).
+func (p *PlannerSnapshot) Add(o PlannerSnapshot) {
+	p.PlanHits += o.PlanHits
+	p.PlanMisses += o.PlanMisses
+	p.PlanInvalidations += o.PlanInvalidations
+	p.PlanEvictions += o.PlanEvictions
+	p.PlanEntries += o.PlanEntries
+	p.JoinPlans += o.JoinPlans
+	p.JoinReordered += o.JoinReordered
 }
 
 // FanoutSnapshot summarizes ROWA fan-out widths.
@@ -408,4 +437,6 @@ type Snapshot struct {
 	GroupCommit GroupCommitSnapshot `json:"group_commit"`
 	Migration   MigrationSnapshot   `json:"migration"`
 	Admission   *AdmissionSnapshot  `json:"admission,omitempty"`
+	// Planner sums the per-backend planner counters.
+	Planner PlannerSnapshot `json:"planner"`
 }

@@ -123,6 +123,12 @@ type Engine struct {
 	// fault.go. Checked once per statement at the top of
 	// ExecStmtContext.
 	fault atomic.Pointer[Fault]
+	// plans caches bound SELECT plans per normalized statement shape;
+	// planGen is the cache generation, bumped by InvalidatePlans so
+	// plans built against a pre-DDL schema can never be served after
+	// it. See plan.go. Lock order: e.mu before plans.mu.
+	plans   planCache
+	planGen atomic.Int64
 }
 
 // New returns an empty engine.
@@ -223,6 +229,7 @@ func (e *Engine) CreateTable(name string, cols []Column) error {
 	}
 	e.tables[name] = t
 	e.dirty = true
+	e.InvalidatePlans()
 	e.publishLocked()
 	return nil
 }

@@ -3,7 +3,6 @@ package sqlmini
 import (
 	"context"
 	"fmt"
-	"sort"
 	"strings"
 )
 
@@ -52,11 +51,13 @@ func (b *binder) resolve(r *ColRef) (int, error) {
 	return found, nil
 }
 
-// evalCtx carries the current joined row and, in aggregate mode, the
-// accumulated aggregate values keyed by expression identity.
+// evalCtx carries the current joined row, the statement's extracted
+// literal parameters (plan.go normalization), and, in aggregate mode,
+// the accumulated aggregate values keyed by expression identity.
 type evalCtx struct {
-	row  Row
-	aggs map[*Agg]Value
+	row    Row
+	params []Value
+	aggs   map[*Agg]Value
 }
 
 // eval evaluates an expression; ColRefs must have been rewritten to
@@ -67,6 +68,8 @@ func eval(e Expr, ctx *evalCtx) (Value, error) {
 		return x.V, nil
 	case *boundCol:
 		return ctx.row[x.idx], nil
+	case *boundParam:
+		return ctx.params[x.idx], nil
 	case *ColRef:
 		return Null, fmt.Errorf("sqlmini: unbound column %q", x.Column)
 	case *Agg:
@@ -296,6 +299,8 @@ func bind(e Expr, b *binder) (Expr, error) {
 		return x, nil
 	case *boundCol:
 		return x, nil
+	case *boundParam:
+		return x, nil
 	case *ColRef:
 		idx, err := b.resolve(x)
 		if err != nil {
@@ -397,139 +402,19 @@ const cancelCheckRows = 4096
 
 // execSelect runs a SELECT against one immutable read view. It takes
 // no engine lock: the view's rows, pk map and index buckets are frozen
-// at publish time, so the scan races with nothing.
+// at publish time, so the scan races with nothing. Planning (binding,
+// access-path and join-order choice, predicate pushdown) happens in
+// plan.go and is cached per normalized statement shape.
 func (e *Engine) execSelect(ctx context.Context, st *SelectStmt, v *readView) (*Result, error) {
-	btv, ok := v.tables[st.Table]
-	if !ok {
-		return nil, unknownTableError(st.Table)
+	p, params, err := e.planFor(st, v)
+	if err != nil {
+		return nil, err
 	}
-	base := btv.t
-	b := &binder{}
-	alias := st.Alias
-	if alias == "" {
-		alias = st.Table
-	}
-	b.addTable(alias, base)
-
 	res := &Result{}
-
-	// Build the joined row set table by table.
-	rows := make([]Row, 0, len(btv.rows))
-	// Fast path: WHERE pk = literal on a single table.
-	if len(st.Joins) == 0 && base.pkCol >= 0 {
-		if pv, ok := pkLookup(st.Where, base, alias); ok {
-			if idx, hit := btv.pk[pv.key()]; hit && idx < len(btv.rows) {
-				rows = append(rows, btv.rows[idx])
-			}
-			res.Scanned++
-			return e.finishSelect(ctx, st, b, rows, res)
-		}
+	if err := p.run(ctx, v, params, res); err != nil {
+		return nil, err
 	}
-	// Fast path: WHERE col = literal on a secondary-indexed column.
-	if len(st.Joins) == 0 {
-		if col, cv, ok := eqLookup(st.Where, base, alias); ok {
-			if matches, indexed := btv.lookupIndex(col, cv); indexed {
-				for _, ri := range matches {
-					rows = append(rows, btv.rows[ri])
-				}
-				res.Scanned += int64(len(matches))
-				return e.finishSelect(ctx, st, b, rows, res)
-			}
-		}
-	}
-	rows = append(rows, btv.rows...)
-	res.Scanned += int64(len(btv.rows))
-
-	for _, j := range st.Joins {
-		jtv, ok := v.tables[j.Table]
-		if !ok {
-			return nil, unknownTableError(j.Table)
-		}
-		jt := jtv.t
-		jAlias := j.Alias
-		if jAlias == "" {
-			jAlias = j.Table
-		}
-		leftWidth := len(b.slots)
-		b.addTable(jAlias, jt)
-
-		// Try a hash join on an equi-condition col(left) = col(right).
-		lIdx, rIdx, eq := equiJoinCols(j.On, b, leftWidth)
-		joined := make([]Row, 0, len(rows))
-		if eq {
-			// Build hash table on the smaller, probe with rows.
-			ht := make(map[string][]Row, len(jtv.rows))
-			for _, rr := range jtv.rows {
-				k := rr[rIdx-leftWidth].key()
-				ht[k] = append(ht[k], rr)
-			}
-			res.Scanned += int64(len(jtv.rows))
-			for _, lr := range rows {
-				for _, rr := range ht[lr[lIdx].key()] {
-					nr := make(Row, 0, leftWidth+len(rr))
-					nr = append(nr, lr...)
-					nr = append(nr, rr...)
-					joined = append(joined, nr)
-				}
-			}
-		} else {
-			on, err := bind(j.On, b)
-			if err != nil {
-				return nil, err
-			}
-			ec := &evalCtx{}
-			for _, lr := range rows {
-				for _, rr := range jtv.rows {
-					if res.Scanned%cancelCheckRows == 0 {
-						if err := ctx.Err(); err != nil {
-							return nil, err
-						}
-					}
-					nr := make(Row, 0, leftWidth+len(rr))
-					nr = append(nr, lr...)
-					nr = append(nr, rr...)
-					ec.row = nr
-					v, err := eval(on, ec)
-					if err != nil {
-						return nil, err
-					}
-					res.Scanned++
-					if v.Truth() {
-						joined = append(joined, nr)
-					}
-				}
-			}
-		}
-		rows = joined
-	}
-	return e.finishSelect(ctx, st, b, rows, res)
-}
-
-// eqLookup detects "col = literal" (optionally table-qualified) in a
-// WHERE clause consisting of exactly that condition, returning the
-// column index and literal.
-func eqLookup(where Expr, t *Table, alias string) (int, Value, bool) {
-	bo, ok := where.(*BinOp)
-	if !ok || bo.Op != "=" {
-		return 0, Null, false
-	}
-	c, ok := bo.L.(*ColRef)
-	lit, lok := bo.R.(*Lit)
-	if !ok || !lok {
-		c, ok = bo.R.(*ColRef)
-		lit, lok = bo.L.(*Lit)
-		if !ok || !lok {
-			return 0, Null, false
-		}
-	}
-	if c.Table != "" && c.Table != alias {
-		return 0, Null, false
-	}
-	ci := t.ColumnIndex(c.Column)
-	if ci < 0 {
-		return 0, Null, false
-	}
-	return ci, lit.V, true
+	return res, nil
 }
 
 // pkLookup detects "pk = literal" (optionally table-qualified) in a
@@ -560,269 +445,6 @@ func pkLookup(where Expr, t *Table, alias string) (Value, bool) {
 		return Null, false
 	}
 	return l.V, true
-}
-
-// equiJoinCols detects a single equi-join condition "left.col =
-// right.col" where one side binds to the already-joined tables (slot <
-// leftWidth) and the other to the newly joined table. It returns the
-// two joined-row indices (left first) and whether the pattern matched.
-func equiJoinCols(on Expr, b *binder, leftWidth int) (int, int, bool) {
-	bo, ok := on.(*BinOp)
-	if !ok || bo.Op != "=" {
-		return 0, 0, false
-	}
-	lc, ok := bo.L.(*ColRef)
-	if !ok {
-		return 0, 0, false
-	}
-	rc, ok := bo.R.(*ColRef)
-	if !ok {
-		return 0, 0, false
-	}
-	li, err := b.resolve(lc)
-	if err != nil {
-		return 0, 0, false
-	}
-	ri, err := b.resolve(rc)
-	if err != nil {
-		return 0, 0, false
-	}
-	if li < leftWidth && ri >= leftWidth {
-		return li, ri, true
-	}
-	if ri < leftWidth && li >= leftWidth {
-		return ri, li, true
-	}
-	return 0, 0, false
-}
-
-// finishSelect applies WHERE, grouping, HAVING, ordering, projection,
-// DISTINCT and LIMIT to the joined rows.
-func (e *Engine) finishSelect(ctx context.Context, st *SelectStmt, b *binder, rows []Row, res *Result) (*Result, error) {
-	// WHERE.
-	if st.Where != nil {
-		w, err := bind(st.Where, b)
-		if err != nil {
-			return nil, err
-		}
-		ec := &evalCtx{}
-		kept := rows[:0:len(rows)]
-		for i, r := range rows {
-			if i%cancelCheckRows == 0 {
-				if err := ctx.Err(); err != nil {
-					return nil, err
-				}
-			}
-			ec.row = r
-			v, err := eval(w, ec)
-			if err != nil {
-				return nil, err
-			}
-			if v.Truth() {
-				kept = append(kept, r)
-			}
-		}
-		rows = kept
-	}
-
-	// Expand SELECT * and bind output expressions.
-	var outExprs []Expr
-	var outNames []string
-	for _, it := range st.Items {
-		if it.Star {
-			for _, s := range b.slots {
-				outExprs = append(outExprs, &boundCol{idx: s.base, name: s.table.Cols[s.col].Name})
-				outNames = append(outNames, s.table.Cols[s.col].Name)
-			}
-			continue
-		}
-		be, err := bind(it.Expr, b)
-		if err != nil {
-			return nil, err
-		}
-		outExprs = append(outExprs, be)
-		name := it.Alias
-		if name == "" {
-			if bc, ok := be.(*boundCol); ok {
-				name = bc.name
-			} else {
-				name = fmt.Sprintf("col%d", len(outNames)+1)
-			}
-		}
-		outNames = append(outNames, name)
-	}
-	res.Columns = outNames
-
-	// Aggregate mode?
-	var aggs []*Agg
-	for _, oe := range outExprs {
-		collectAggs(oe, &aggs)
-	}
-	var having Expr
-	if st.Having != nil {
-		h, err := bind(st.Having, b)
-		if err != nil {
-			return nil, err
-		}
-		having = h
-		collectAggs(having, &aggs)
-	}
-	groupMode := len(aggs) > 0 || len(st.GroupBy) > 0
-
-	var outRows []Row
-	var orderInputs []Row // input (or group sample) row per output row
-	if groupMode {
-		var groupExprs []Expr
-		for _, g := range st.GroupBy {
-			bg, err := bind(g, b)
-			if err != nil {
-				return nil, err
-			}
-			groupExprs = append(groupExprs, bg)
-		}
-		groups, order, err := groupRows(rows, groupExprs, aggs)
-		if err != nil {
-			return nil, err
-		}
-		for _, key := range order {
-			g := groups[key]
-			ctx := &evalCtx{row: g.sample, aggs: g.aggValues()}
-			if having != nil {
-				hv, err := eval(having, ctx)
-				if err != nil {
-					return nil, err
-				}
-				if !hv.Truth() {
-					continue
-				}
-			}
-			or := make(Row, len(outExprs))
-			for i, oe := range outExprs {
-				v, err := eval(oe, ctx)
-				if err != nil {
-					return nil, err
-				}
-				or[i] = v
-			}
-			outRows = append(outRows, or)
-			orderInputs = append(orderInputs, g.sample)
-		}
-	} else {
-		ctx := &evalCtx{}
-		for _, r := range rows {
-			ctx.row = r
-			or := make(Row, len(outExprs))
-			for i, oe := range outExprs {
-				v, err := eval(oe, ctx)
-				if err != nil {
-					return nil, err
-				}
-				or[i] = v
-			}
-			outRows = append(outRows, or)
-			orderInputs = append(orderInputs, r)
-		}
-	}
-
-	// DISTINCT.
-	if st.Distinct {
-		seen := make(map[string]bool, len(outRows))
-		kept := outRows[:0]
-		keptIn := orderInputs[:0]
-		for i, r := range outRows {
-			var sb strings.Builder
-			for _, v := range r {
-				sb.WriteString(v.key())
-				sb.WriteByte('|')
-			}
-			k := sb.String()
-			if !seen[k] {
-				seen[k] = true
-				kept = append(kept, r)
-				keptIn = append(keptIn, orderInputs[i])
-			}
-		}
-		outRows = kept
-		orderInputs = keptIn
-	}
-
-	// ORDER BY: each item is either an output column (by alias or name)
-	// or an expression over the input row — for aggregated queries the
-	// group's sample row, which is well-defined for grouped columns.
-	if len(st.OrderBy) > 0 {
-		type keyed struct {
-			row  Row
-			keys []Value
-		}
-		idxOf := func(name string) int {
-			for i, n := range outNames {
-				if n == name {
-					return i
-				}
-			}
-			return -1
-		}
-		// Pre-bind order expressions that are not output columns.
-		bound := make([]Expr, len(st.OrderBy))
-		outIdx := make([]int, len(st.OrderBy))
-		for oi, ob := range st.OrderBy {
-			outIdx[oi] = -1
-			if cr, ok := ob.Expr.(*ColRef); ok && cr.Table == "" {
-				if j := idxOf(cr.Column); j >= 0 {
-					outIdx[oi] = j
-					continue
-				}
-			}
-			be, err := bind(ob.Expr, b)
-			if err != nil {
-				return nil, fmt.Errorf("sqlmini: ORDER BY: %w", err)
-			}
-			var hasAgg []*Agg
-			collectAggs(be, &hasAgg)
-			if len(hasAgg) > 0 {
-				return nil, fmt.Errorf("sqlmini: ORDER BY aggregate must be a named output column")
-			}
-			bound[oi] = be
-		}
-		ks := make([]keyed, len(outRows))
-		ctx := &evalCtx{}
-		for i, r := range outRows {
-			ks[i] = keyed{row: r, keys: make([]Value, len(st.OrderBy))}
-			for oi := range st.OrderBy {
-				if j := outIdx[oi]; j >= 0 {
-					ks[i].keys[oi] = r[j]
-					continue
-				}
-				ctx.row = orderInputs[i]
-				v, err := eval(bound[oi], ctx)
-				if err != nil {
-					return nil, err
-				}
-				ks[i].keys[oi] = v
-			}
-		}
-		sort.SliceStable(ks, func(i, j int) bool {
-			for oi, ob := range st.OrderBy {
-				c := Compare(ks[i].keys[oi], ks[j].keys[oi])
-				if c != 0 {
-					if ob.Desc {
-						return c > 0
-					}
-					return c < 0
-				}
-			}
-			return false
-		})
-		for i := range ks {
-			outRows[i] = ks[i].row
-		}
-	}
-
-	if st.Limit >= 0 && len(outRows) > st.Limit {
-		outRows = outRows[:st.Limit]
-	}
-	res.Rows = outRows
-	return res, nil
 }
 
 // group accumulates aggregate state for one group.
@@ -929,10 +551,10 @@ func (g *group) aggValues() map[*Agg]Value {
 
 // groupRows partitions rows by the group expressions and accumulates the
 // aggregates, preserving first-seen group order.
-func groupRows(rows []Row, groupExprs []Expr, aggs []*Agg) (map[string]*group, []string, error) {
+func groupRows(rows []Row, groupExprs []Expr, aggs []*Agg, params []Value) (map[string]*group, []string, error) {
 	groups := make(map[string]*group)
 	var order []string
-	ctx := &evalCtx{}
+	ctx := &evalCtx{params: params}
 	for _, r := range rows {
 		ctx.row = r
 		var sb strings.Builder

@@ -45,9 +45,11 @@ func (e *Engine) CreateIndex(table, column string) error {
 	}
 	t.indexes = append(t.indexes, &secondaryIndex{col: ci, dirty: true})
 	// Republish so the new index definition reaches readers: views cut
-	// before this point simply scan.
+	// before this point simply scan. Cached plans chose their access
+	// paths without this index, so drop them too.
 	t.view = nil
 	e.dirty = true
+	e.InvalidatePlans()
 	e.publishLocked()
 	return nil
 }

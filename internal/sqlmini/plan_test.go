@@ -1,0 +1,433 @@
+package sqlmini
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// buildJoinDB creates a three-table join schema with deterministic
+// data: two "big" tables of n rows linked by an equi edge, and a small
+// dimension table with a selective tag column.
+func buildJoinDB(tb testing.TB, n int) *Engine {
+	tb.Helper()
+	e := New()
+	for _, ddl := range []string{
+		`CREATE TABLE jbig1 (id INT PRIMARY KEY, dim_id INT, v INT)`,
+		`CREATE TABLE jbig2 (id INT PRIMARY KEY, b1_id INT, v INT)`,
+		`CREATE TABLE jdim (id INT PRIMARY KEY, tag TEXT)`,
+	} {
+		if _, err := e.Exec(ddl); err != nil {
+			tb.Fatalf("Exec(%q): %v", ddl, err)
+		}
+	}
+	rows1 := make([]Row, 0, n)
+	rows2 := make([]Row, 0, n)
+	for i := 0; i < n; i++ {
+		rows1 = append(rows1, Row{Int(int64(i)), Int(int64(i % 16)), Int(int64(i * 7))})
+		rows2 = append(rows2, Row{Int(int64(i)), Int(int64(i)), Int(int64(i * 3))})
+	}
+	dim := make([]Row, 0, 16)
+	for i := 0; i < 16; i++ {
+		dim = append(dim, Row{Int(int64(i)), Text(fmt.Sprintf("t%d", i%4))})
+	}
+	for table, rows := range map[string][]Row{"jbig1": rows1, "jbig2": rows2, "jdim": dim} {
+		if err := e.BulkInsert(table, rows); err != nil {
+			tb.Fatalf("BulkInsert(%s): %v", table, err)
+		}
+	}
+	return e
+}
+
+// pessimalJoin is a 3-table join written in the worst textual order:
+// the two big tables first, the selective dimension last.
+const pessimalJoin = `SELECT b1.v FROM jbig1 b1 JOIN jbig2 b2 ON b2.b1_id = b1.id JOIN jdim d ON d.id = b1.dim_id WHERE d.tag = 't0'`
+
+// planOrder plans sql against the engine's current view and returns
+// the chosen physical scan order.
+func planOrder(e *Engine, sql string) ([]string, error) {
+	st, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("not a SELECT: %T", st)
+	}
+	p, _, err := e.planFor(sel, e.loadView())
+	if err != nil {
+		return nil, err
+	}
+	order := make([]string, len(p.scans))
+	for i := range p.scans {
+		order[i] = p.scans[i].table
+	}
+	return order, nil
+}
+
+// TestJoinOrderCostBased: the dimension table with the selective filter
+// must be joined first even though the SQL text names it last.
+func TestJoinOrderCostBased(t *testing.T) {
+	e := buildJoinDB(t, 1000)
+	order, err := planOrder(e, pessimalJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != "jdim" {
+		t.Fatalf("scan order = %v, want jdim first", order)
+	}
+	// And the plan is marked reordered for the metrics.
+	ps := e.PlannerStats()
+	if ps.JoinPlans < 1 || ps.Reordered < 1 {
+		t.Fatalf("planner stats = %+v, want join plan counted as reordered", ps)
+	}
+	// The reordered plan still returns the right rows: jdim tag 't0' is
+	// ids {0,4,8,12}, each with 1000/16 jbig1 rows and one jbig2 match.
+	r := mustExec(t, e, pessimalJoin)
+	if want := 4 * 1000 / 16; len(r.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(r.Rows), want)
+	}
+}
+
+// TestPlannerDeterminism: same statement + same stats must produce a
+// bit-identical join order across runs, engines, and concurrent
+// planners (exercised under -race by the suite).
+func TestPlannerDeterminism(t *testing.T) {
+	ref := buildJoinDB(t, 500)
+	want, err := planOrder(ref, pessimalJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 3; run++ {
+		e := buildJoinDB(t, 500)
+		const workers = 8
+		got := make([][]string, workers)
+		errs := make([]error, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				got[w], errs[w] = planOrder(e, pessimalJoin)
+			}(w)
+		}
+		wg.Wait()
+		for w := 0; w < workers; w++ {
+			if errs[w] != nil {
+				t.Fatal(errs[w])
+			}
+			if fmt.Sprint(got[w]) != fmt.Sprint(want) {
+				t.Fatalf("run %d worker %d: order %v, want %v", run, w, got[w], want)
+			}
+		}
+	}
+}
+
+// TestPlanCacheHitWithParams: repeated statements of the same shape hit
+// the cache and still see their own literals.
+func TestPlanCacheHitWithParams(t *testing.T) {
+	e := newTestDB(t)
+	before := e.PlannerStats()
+	r := mustExec(t, e, `SELECT name FROM item WHERE id = 1`)
+	if len(r.Rows) != 1 || r.Rows[0][0].S != "apple" {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	r = mustExec(t, e, `SELECT name FROM item WHERE id = 3`)
+	if len(r.Rows) != 1 || r.Rows[0][0].S != "cherry" {
+		t.Fatalf("cached plan with new literal: rows = %v", r.Rows)
+	}
+	// Same shape again with a different IN list of equal length.
+	r = mustExec(t, e, `SELECT id FROM item WHERE id IN (1, 2)`)
+	if len(r.Rows) != 2 {
+		t.Fatalf("IN rows = %v", r.Rows)
+	}
+	r = mustExec(t, e, `SELECT id FROM item WHERE id IN (3, 4)`)
+	if len(r.Rows) != 2 {
+		t.Fatalf("cached IN with new literals: rows = %v", r.Rows)
+	}
+	after := e.PlannerStats()
+	if hits := after.Hits - before.Hits; hits < 2 {
+		t.Fatalf("cache hits = %d, want >= 2 (stats %+v)", hits, after)
+	}
+	// Aggregation through a cached plan sees its own parameters too.
+	r1 := mustExec(t, e, `SELECT cust, SUM(qty) AS s FROM orders WHERE qty > 1 GROUP BY cust ORDER BY cust`)
+	r2 := mustExec(t, e, `SELECT cust, SUM(qty) AS s FROM orders WHERE qty > 2 GROUP BY cust ORDER BY cust`)
+	if len(r1.Rows) == len(r2.Rows) {
+		t.Fatalf("different params, same output size: %v vs %v", r1.Rows, r2.Rows)
+	}
+}
+
+// TestPlanInvalidation: DDL, CREATE INDEX, and snapshot restores bump
+// the generation so stale plans cannot be served.
+func TestPlanInvalidation(t *testing.T) {
+	e := newTestDB(t)
+	mustExec(t, e, `SELECT name FROM item WHERE id = 1`)
+	base := e.PlannerStats()
+	if base.Entries < 1 {
+		t.Fatalf("no cached plan: %+v", base)
+	}
+
+	mustExec(t, e, `CREATE TABLE extra (a INT PRIMARY KEY)`)
+	ps := e.PlannerStats()
+	if ps.Invalidations <= base.Invalidations || ps.Entries != 0 {
+		t.Fatalf("CREATE TABLE did not invalidate: %+v -> %+v", base, ps)
+	}
+
+	mustExec(t, e, `SELECT name FROM item WHERE id = 1`)
+	base = e.PlannerStats()
+	if err := e.CreateIndex("item", "stock"); err != nil {
+		t.Fatal(err)
+	}
+	ps = e.PlannerStats()
+	if ps.Invalidations <= base.Invalidations || ps.Entries != 0 {
+		t.Fatalf("CREATE INDEX did not invalidate: %+v -> %+v", base, ps)
+	}
+	// The re-built plan uses the new index access path.
+	r := mustExec(t, e, `SELECT name FROM item WHERE stock = 100`)
+	if r.Scanned != 1 {
+		t.Fatalf("Scanned = %d, want 1 via new index", r.Scanned)
+	}
+
+	// Restore (the migration-cutover path) invalidates too.
+	var buf bytes.Buffer
+	if err := e.SnapshotTables(&buf, []string{"extra"}); err != nil {
+		t.Fatal(err)
+	}
+	e2 := New()
+	if _, err := e2.Exec(`CREATE TABLE t (a INT PRIMARY KEY)`); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, e2, `SELECT a FROM t`)
+	base2 := e2.PlannerStats()
+	if err := e2.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ps2 := e2.PlannerStats()
+	if ps2.Invalidations <= base2.Invalidations || ps2.Entries != 0 {
+		t.Fatalf("Restore did not invalidate: %+v -> %+v", base2, ps2)
+	}
+}
+
+// TestPlanDriftRebuild: a cached join plan is rebuilt when a table's
+// cardinality moves far enough to invalidate the chosen order.
+func TestPlanDriftRebuild(t *testing.T) {
+	e := buildJoinDB(t, 100)
+	const q = `SELECT b1.v FROM jbig1 b1 JOIN jbig2 b2 ON b2.b1_id = b1.id`
+	mustExec(t, e, q)
+	base := e.PlannerStats()
+
+	// Repeat: cache hit, no rebuild.
+	mustExec(t, e, q)
+	ps := e.PlannerStats()
+	if ps.Hits != base.Hits+1 {
+		t.Fatalf("expected a hit: %+v -> %+v", base, ps)
+	}
+
+	// Grow jbig2 past the 4x drift bound; the cached order is stale.
+	grow := make([]Row, 0, 500)
+	for i := 0; i < 500; i++ {
+		grow = append(grow, Row{Int(int64(1000 + i)), Int(int64(i % 100)), Int(0)})
+	}
+	if err := e.BulkInsert("jbig2", grow); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, e, q)
+	ps2 := e.PlannerStats()
+	if ps2.Invalidations <= ps.Invalidations {
+		t.Fatalf("drift did not rebuild: %+v -> %+v", ps, ps2)
+	}
+}
+
+// TestPinnedViewCachedPlan: a pinned view keeps returning its epoch's
+// rows after the current schema and data move on, without poisoning the
+// cache for current-view queries.
+func TestPinnedViewCachedPlan(t *testing.T) {
+	e := newTestDB(t)
+	const q = `SELECT name FROM item WHERE id = 2`
+	mustExec(t, e, q) // warm the cache at this epoch
+	v := e.AcquireView()
+
+	mustExec(t, e, `UPDATE item SET name = 'BANANA' WHERE id = 2`)
+	r, err := e.QueryView(v, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 1 || r.Rows[0][0].S != "banana" {
+		t.Fatalf("pinned view rows = %v, want old name", r.Rows)
+	}
+	if cur := mustExec(t, e, q); cur.Rows[0][0].S != "BANANA" {
+		t.Fatalf("current rows = %v", cur.Rows)
+	}
+
+	// Schema replacement: the pinned view must fall back to a transient
+	// plan (its *Table differs from the current one).
+	mustExec(t, e, `DROP TABLE item`)
+	mustExec(t, e, `CREATE TABLE item (id INT PRIMARY KEY, other TEXT)`)
+	mustExec(t, e, `INSERT INTO item VALUES (2, 'new-schema')`)
+	if _, err := e.Exec(q); err == nil {
+		t.Fatal("query for dropped column should fail on the new schema")
+	}
+	r, err = e.QueryView(v, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 1 || r.Rows[0][0].S != "banana" {
+		t.Fatalf("pinned view after schema change: rows = %v", r.Rows)
+	}
+
+	// The pinned-view miss must not evict current-view entries.
+	const q2 = `SELECT other FROM item WHERE id = 2`
+	mustExec(t, e, q2)
+	before := e.PlannerStats()
+	if _, err := e.QueryView(v, q2); err == nil {
+		t.Fatal("old view has no column 'other'")
+	}
+	after := e.PlannerStats()
+	if after.Entries != before.Entries {
+		t.Fatalf("pinned-view query evicted cache entries: %+v -> %+v", before, after)
+	}
+	if hit := mustExec(t, e, q2); hit.Rows[0][0].S != "new-schema" {
+		t.Fatalf("current rows = %v", hit.Rows)
+	}
+}
+
+// TestPredicatePushdownScanned: a selective single-table predicate in a
+// join picks the pk access path for that table instead of filtering the
+// join product.
+func TestPredicatePushdownScanned(t *testing.T) {
+	e := newTestDB(t)
+	r := mustExec(t, e, `SELECT o.oid FROM orders o JOIN item i ON o.item_id = i.id WHERE i.id = 3`)
+	if len(r.Rows) != 1 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	// item probes its pk (1), orders full-scans (4); the hash join adds
+	// no per-pair counts. Pre-planner this was 8 (both tables in full).
+	if r.Scanned != 5 {
+		t.Fatalf("Scanned = %d, want 5 (pk probe + one full scan)", r.Scanned)
+	}
+}
+
+// TestHashJoinBuildSide: the hash join builds on the smaller input on
+// either side; results are identical whichever side that is.
+func TestHashJoinBuildSide(t *testing.T) {
+	e := New()
+	mustExec(t, e, `CREATE TABLE small (id INT PRIMARY KEY, k INT)`)
+	mustExec(t, e, `CREATE TABLE big (id INT PRIMARY KEY, k INT)`)
+	small := make([]Row, 0, 3)
+	for i := 0; i < 3; i++ {
+		small = append(small, Row{Int(int64(i)), Int(int64(i))}) // k: 0,1,2
+	}
+	big := make([]Row, 0, 300)
+	for i := 0; i < 300; i++ {
+		big = append(big, Row{Int(int64(i)), Int(int64(i % 10))}) // 30 rows per k
+	}
+	if err := e.BulkInsert("small", small); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.BulkInsert("big", big); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{
+		`SELECT s.id, b.id FROM small s JOIN big b ON s.k = b.k ORDER BY s.id, b.id`,
+		`SELECT s.id, b.id FROM big b JOIN small s ON b.k = s.k ORDER BY s.id, b.id`,
+	} {
+		r := mustExec(t, e, q)
+		if len(r.Rows) != 3*30 {
+			t.Fatalf("%s: rows = %d, want 90", q, len(r.Rows))
+		}
+	}
+}
+
+// TestHashJoinCancellation: the equi-join build/probe path observes
+// context cancellation (pre-planner only the nested loop did).
+func TestHashJoinCancellation(t *testing.T) {
+	e := newTestDB(t)
+	st, err := Parse(`SELECT o.oid FROM orders o JOIN item i ON o.item_id = i.id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// execSelect directly: ExecStmtContext rejects a canceled context up
+	// front, but the join loops must also notice cancellation mid-run.
+	if _, err := e.execSelect(ctx, st.(*SelectStmt), e.loadView()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled from the hash-join loop", err)
+	}
+}
+
+// TestPlanCacheLFUEviction: distinct statement shapes past the cap
+// evict the least-used eighth instead of growing without bound.
+func TestPlanCacheLFUEviction(t *testing.T) {
+	e := newTestDB(t)
+	for i := 0; i < planCacheCap+100; i++ {
+		// LIMIT is part of the shape, so each i is a distinct plan-cache
+		// key of the same statement family.
+		mustExec(t, e, fmt.Sprintf(`SELECT id FROM item LIMIT %d`, i+1))
+	}
+	ps := e.PlannerStats()
+	if ps.Entries > planCacheCap {
+		t.Fatalf("cache grew past cap: %+v", ps)
+	}
+	if ps.Evictions == 0 {
+		t.Fatalf("no evictions recorded: %+v", ps)
+	}
+}
+
+// TestNDVEstimate covers the deterministic prefix-sample estimator:
+// key-like columns extrapolate, category-like columns saturate.
+func TestNDVEstimate(t *testing.T) {
+	n := statsSampleRows * 4
+	rows := make([]Row, 0, n)
+	for i := 0; i < n; i++ {
+		rows = append(rows, Row{Int(int64(i)), Int(int64(i % 7))})
+	}
+	if got := estimateNDV(rows, 0); got != float64(n) {
+		t.Fatalf("key-like ndv = %v, want %d", got, n)
+	}
+	if got := estimateNDV(rows, 1); got != 7 {
+		t.Fatalf("category ndv = %v, want 7", got)
+	}
+	if got := estimateNDV(nil, 0); got != 1 {
+		t.Fatalf("empty ndv = %v, want 1", got)
+	}
+}
+
+// TestCanonKeyShapes: normalization distinguishes genuinely different
+// statements and unifies literal-only variation.
+func TestCanonKeyShapes(t *testing.T) {
+	key := func(sql string) string {
+		t.Helper()
+		st, err := Parse(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k, _, _ := canonSelect(st.(*SelectStmt), false)
+		return k
+	}
+	if key(`SELECT id FROM item WHERE id = 1`) != key(`SELECT id FROM item WHERE id = 99`) {
+		t.Fatal("literal variation must share one key")
+	}
+	distinct := []string{
+		`SELECT id FROM item WHERE id = 1`,
+		`SELECT id FROM item WHERE stock = 1`,
+		`SELECT id FROM item WHERE id = 1 LIMIT 1`,
+		`SELECT id FROM item WHERE id IN (1, 2)`,
+		`SELECT id FROM item WHERE id IN (1, 2, 3)`,
+		`SELECT DISTINCT id FROM item WHERE id = 1`,
+		`SELECT id AS x FROM item WHERE id = 1`,
+		`SELECT i.id FROM item i WHERE i.id = 1`,
+		`SELECT id FROM item WHERE id = 1 ORDER BY id`,
+		`SELECT id FROM item WHERE id = 1 ORDER BY id DESC`,
+	}
+	seen := make(map[string]string, len(distinct))
+	for _, sql := range distinct {
+		k := key(sql)
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("key collision between %q and %q: %q", prev, sql, k)
+		}
+		seen[k] = sql
+	}
+}

@@ -93,5 +93,9 @@ func (e *Engine) Restore(r io.Reader) error {
 		e.tables[st.Name] = t
 		e.dirty = true
 	}
+	// Restore lands whole tables at once (reallocation / migration
+	// cutover): any cached plan may now target the wrong schema or a
+	// wildly different cardinality.
+	e.InvalidatePlans()
 	return nil
 }

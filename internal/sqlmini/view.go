@@ -46,6 +46,7 @@ type tableView struct {
 	rows    []Row
 	pk      map[string]int
 	indexes []*secondaryIndex
+	stats   tableStats // lazily filled planner statistics (tablestats.go)
 }
 
 // emptyView backs reads against an engine that has never published
@@ -223,12 +224,14 @@ func (e *Engine) execWriteLocked(st Statement) (*Result, error) {
 			return nil, err
 		}
 		e.tables[s.Table] = t
+		e.InvalidatePlans()
 		return &Result{}, nil
 	case *DropTableStmt:
 		if _, ok := e.tables[s.Table]; !ok {
 			return nil, unknownTableError(s.Table)
 		}
 		delete(e.tables, s.Table)
+		e.InvalidatePlans()
 		return &Result{}, nil
 	}
 	return nil, fmt.Errorf("sqlmini: unsupported statement %T", st)

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race lint check chaos chaos-migrate chaos-group chaos-overload bench bench-smoke bench-planner clean
+.PHONY: all build test vet race lint lint-json check chaos chaos-migrate chaos-group chaos-overload bench bench-smoke bench-planner clean
 
 all: check
 
@@ -16,12 +16,20 @@ test:
 race:
 	$(GO) test -race ./...
 
-# lint runs qcpa-lint, the repo's own go/analysis suite (detrange,
-# detsource, lockorder, atomicfield — see DESIGN.md §9). Zero findings
-# is the contract; waivers are //qcpa:orderinsensitive comments with a
-# stated reason.
+# lint runs qcpa-lint, the repo's own go/analysis suite: the four
+# per-package analyzers (detrange, detsource, lockorder, atomicfield)
+# plus the four whole-program call-graph analyzers (lockgraph, ctxflow,
+# leakcheck, viewmutate) — see DESIGN.md §9. Analyzers run in parallel
+# (bounded by GOMAXPROCS); output order is deterministic. Zero findings
+# is the contract; waivers are //qcpa:* comments with a stated reason.
 lint:
 	$(GO) run ./cmd/qcpa-lint ./...
+
+# lint-json emits the findings as a JSON array (empty run prints []).
+# CI diffs this against the committed empty baseline so any new finding
+# fails the build with a readable annotation.
+lint-json:
+	$(GO) run ./cmd/qcpa-lint -json ./...
 
 # check is the CI gate: vet, lint, build, then the full suite under the
 # race detector (the parallel ROWA fan-out and the server are concurrent

@@ -47,8 +47,26 @@ type Analyzer struct {
 	// import path it accepts. The driver consults it; test harnesses
 	// bypass it so testdata packages are always analyzed.
 	AppliesTo func(pkgPath string) bool
-	// Run performs the check on one package.
+	// Run performs the check on one package. Exactly one of Run and
+	// RunProgram is set.
 	Run func(*Pass) error
+	// RunProgram, when set, marks a whole-program analyzer: the driver
+	// calls it once with every loaded package and the call graph
+	// connecting them, instead of once per package.
+	RunProgram func(*ProgramPass) error
+}
+
+// A ProgramPass carries one whole-program analyzer's view of the
+// loaded program.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+	Report   func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
 // A Pass carries one analyzer's view of one package.
@@ -74,9 +92,14 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
-// Suite returns every analyzer, in the order the driver runs them.
+// Suite returns every analyzer, in the order the driver runs them:
+// the four per-package phase-1 analyzers followed by the four
+// whole-program phase-2 analyzers.
 func Suite() []*Analyzer {
-	return []*Analyzer{DetRange, DetSource, LockOrder, AtomicField}
+	return []*Analyzer{
+		DetRange, DetSource, LockOrder, AtomicField,
+		LockGraph, CtxFlow, LeakCheck, ViewMutate,
+	}
 }
 
 // detCriticalPrefixes are the import paths (and subtrees) whose results
@@ -117,10 +140,35 @@ func DetCritical(path string) bool {
 //	                                   is not det-critical — e.g. the
 //	                                   sqlmini planner, whose plans must
 //	                                   be identical on every replica
+//	//qcpa:daemon <reason>             waives leakcheck for the go
+//	                                   statement on the same or next
+//	                                   line: the goroutine is a named
+//	                                   process-lifetime daemon
+//	//qcpa:background <reason>         waives ctxflow for a
+//	                                   context.Background()/TODO() call
+//	                                   on a request path (legitimate
+//	                                   lifecycle root)
+//	//qcpa:nocancel <reason>           waives ctxflow for a call site
+//	                                   that deliberately drops the
+//	                                   request context into a blocking
+//	                                   callee
+//	//qcpa:published <reason>          declares (on a type declaration)
+//	                                   that values are immutable once
+//	                                   published: viewmutate flags any
+//	                                   write outside the builder
+//	//qcpa:lazycache <reason>          declares (on a type declaration)
+//	                                   a mutex-serialized, idempotent
+//	                                   lazy cache: writes through it are
+//	                                   exempt from viewmutate
 const (
 	dirOrderInsensitive = "orderinsensitive"
 	dirLocks            = "locks"
 	dirDeterministic    = "deterministic"
+	dirDaemon           = "daemon"
+	dirBackground       = "background"
+	dirNoCancel         = "nocancel"
+	dirPublished        = "published"
+	dirLazyCache        = "lazycache"
 )
 
 // fileDetCritical reports whether a file is bound by the determinism

@@ -41,9 +41,20 @@ func Run(t *testing.T, testdataDir string, a *analysis.Analyzer, pkgname string)
 	}
 
 	var diags []analysis.Diagnostic
-	pass := pkg.NewPass(a, func(d analysis.Diagnostic) { diags = append(diags, d) })
-	if err := a.Run(pass); err != nil {
-		t.Fatalf("running %s: %v", a.Name, err)
+	report := func(d analysis.Diagnostic) { diags = append(diags, d) }
+	if a.RunProgram != nil {
+		// Whole-program analyzer: the testdata package is the entire
+		// program.
+		prog := analysis.NewProgram([]*analysis.Package{pkg})
+		pass := &analysis.ProgramPass{Analyzer: a, Prog: prog, Report: report}
+		if err := a.RunProgram(pass); err != nil {
+			t.Fatalf("running %s: %v", a.Name, err)
+		}
+	} else {
+		pass := pkg.NewPass(a, report)
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("running %s: %v", a.Name, err)
+		}
 	}
 
 	type key struct {

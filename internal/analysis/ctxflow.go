@@ -1,0 +1,220 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxFlow enforces context propagation on request paths. The roots are
+// every function that takes a context.Context — ExecuteContext, the
+// server's per-command handlers, and anything shaped like them — and
+// the request path is the closure of synchronous call edges from those
+// roots (goroutine spawns are excluded: a spawned worker's lifetime is
+// leakcheck's business, not the request's).
+//
+// Two findings:
+//
+//   - a function on the request path performs a blocking operation
+//     (channel send/receive, select without default, range over a
+//     channel, time.Sleep, WaitGroup.Wait, Cond.Wait, net I/O) but
+//     does not itself take a context.Context: cancelling the request
+//     cannot reach the block. Thread ctx through, or waive the
+//     operation with //qcpa:nocancel <reason> when blocking without
+//     cancellation is the intent (e.g. a bounded enqueue protected by
+//     admission control).
+//   - a function on the request path manufactures a fresh lifetime
+//     with context.Background() or context.TODO(): the request's
+//     deadline and cancellation are silently dropped. Waive with
+//     //qcpa:background <reason> for legitimate lifecycle roots.
+//
+// Having a ctx parameter satisfies the first check even if a given
+// block does not select on ctx.Done() — the contract is that
+// cancellation *can* be plumbed, enforced shape-wise; auditing every
+// select is a human's job once the parameter exists.
+var CtxFlow = &Analyzer{
+	Name:       "ctxflow",
+	Doc:        "request-path functions that block must receive context.Context; Background()/TODO() on a request path is a finding",
+	RunProgram: runCtxFlow,
+}
+
+func runCtxFlow(pass *ProgramPass) error {
+	prog := pass.Prog
+
+	// Roots: every node with a context.Context parameter.
+	var roots []*FuncNode
+	for _, n := range prog.Funcs {
+		if n.HasContextParam() {
+			roots = append(roots, n)
+		}
+	}
+	onPath := reachableSync(roots)
+
+	for _, n := range prog.Funcs {
+		if !onPath[n] {
+			continue
+		}
+		body := n.Body()
+		if body == nil {
+			continue
+		}
+		hasCtx := n.HasContextParam()
+		// Channel ops that are a select's comm clauses belong to the
+		// select: alone they do not block (the select decides), and a
+		// select with a default never blocks at all.
+		commOps := make(map[ast.Node]bool)
+		inspectOwn(body, func(node ast.Node) {
+			sel, ok := node.(*ast.SelectStmt)
+			if !ok {
+				return
+			}
+			for _, cl := range sel.Body.List {
+				comm, ok := cl.(*ast.CommClause)
+				if !ok || comm.Comm == nil {
+					continue
+				}
+				commOps[comm.Comm] = true
+				switch s := comm.Comm.(type) {
+				case *ast.ExprStmt:
+					commOps[s.X] = true
+				case *ast.AssignStmt:
+					for _, r := range s.Rhs {
+						commOps[r] = true
+					}
+				}
+			}
+		})
+		inspectOwn(body, func(node ast.Node) {
+			if commOps[node] {
+				return
+			}
+			switch op := node.(type) {
+			case *ast.CallExpr:
+				if f := staticCallee(n.Pkg.Info, op); f != nil {
+					if isBackgroundCtor(f) {
+						if !prog.WaivedAt(n.Pkg, op.Pos(), dirBackground) {
+							pass.Reportf(op.Pos(), "context.%s() on a request path (%s is reachable from a context-bearing function): the caller's deadline and cancellation are dropped — propagate the incoming ctx or waive with //qcpa:background <reason>", f.Name(), n.Name())
+						}
+						return
+					}
+					if !hasCtx {
+						if kind := blockingStdCall(f); kind != "" {
+							reportCtxBlock(pass, prog, n, op.Pos(), kind)
+						}
+					}
+				}
+			case *ast.SendStmt:
+				if !hasCtx {
+					reportCtxBlock(pass, prog, n, op.Pos(), "channel send")
+				}
+			case *ast.UnaryExpr:
+				if op.Op == token.ARROW && !hasCtx {
+					reportCtxBlock(pass, prog, n, op.Pos(), "channel receive")
+				}
+			case *ast.SelectStmt:
+				if !hasCtx && !selectHasDefault(op) {
+					reportCtxBlock(pass, prog, n, op.Pos(), "select without default")
+				}
+			case *ast.RangeStmt:
+				if !hasCtx {
+					if t := n.Pkg.Info.TypeOf(op.X); t != nil {
+						if _, isChan := t.Underlying().(*types.Chan); isChan {
+							reportCtxBlock(pass, prog, n, op.Pos(), "range over channel")
+						}
+					}
+				}
+			}
+		})
+	}
+	return nil
+}
+
+func reportCtxBlock(pass *ProgramPass, prog *Program, n *FuncNode, pos token.Pos, kind string) {
+	if prog.WaivedAt(n.Pkg, pos, dirNoCancel) {
+		return
+	}
+	// A function-level waiver (on the declaration) covers every
+	// blocking op in the body.
+	if prog.WaivedAt(n.Pkg, n.Pos(), dirNoCancel) {
+		return
+	}
+	pass.Reportf(pos, "%s blocks (%s) on a request path but takes no context.Context: cancellation cannot reach this point — add a ctx parameter or waive with //qcpa:nocancel <reason>", n.Name(), kind)
+}
+
+// reachableSync computes the closure of synchronous call edges from
+// roots: ordinary and deferred calls, including dynamic fan-out, but
+// NOT goroutine spawns and NOT escaping-literal references (those run
+// on their own schedule).
+func reachableSync(roots []*FuncNode) map[*FuncNode]bool {
+	seen := make(map[*FuncNode]bool)
+	var queue []*FuncNode
+	for _, r := range roots {
+		if r != nil && !seen[r] {
+			seen[r] = true
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, site := range n.Calls {
+			if site.Go {
+				continue
+			}
+			for _, callee := range site.Callees {
+				if !seen[callee] {
+					seen[callee] = true
+					queue = append(queue, callee)
+				}
+			}
+		}
+	}
+	return seen
+}
+
+// isBackgroundCtor reports whether f is context.Background or
+// context.TODO.
+func isBackgroundCtor(f *types.Func) bool {
+	return f.Pkg() != nil && f.Pkg().Path() == "context" &&
+		(f.Name() == "Background" || f.Name() == "TODO")
+}
+
+// blockingStdCall classifies standard-library callees that block
+// unboundedly, returning a human-readable kind or "".
+func blockingStdCall(f *types.Func) string {
+	pkg := f.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	switch pkg.Path() {
+	case "time":
+		if f.Name() == "Sleep" {
+			return "time.Sleep"
+		}
+	case "sync":
+		if f.Name() == "Wait" {
+			if recv := sigOf(f).Recv(); recv != nil {
+				switch typeShortName(recv.Type()) {
+				case "*WaitGroup", "WaitGroup":
+					return "WaitGroup.Wait"
+				case "*Cond", "Cond":
+					return "Cond.Wait"
+				}
+			}
+		}
+	case "net":
+		// Conservative: any net call on a request path is I/O that a
+		// dropped context cannot cancel.
+		return "net." + f.Name()
+	}
+	return ""
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, cl := range s.Body.List {
+		if comm, ok := cl.(*ast.CommClause); ok && comm.Comm == nil {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LeakCheck requires a provable termination path for every goroutine.
+// For each go statement, the spawned body (a function literal or a
+// statically resolved declaration) must exhibit at least one of:
+//
+//   - a WaitGroup join: the body calls Done (the spawner is expected to
+//     Wait) or Wait itself (it terminates when the group drains);
+//   - context plumbing: the body takes or references a context.Context
+//     (its Done/Err channel is the cancellation path);
+//   - a stop signal: the body receives from a channel, ranges over one,
+//     or selects — the idiomatic done-channel shapes;
+//   - provable boundedness: the body contains no unbounded constructs
+//     at all (no condition-less for, no channel send, no select), so it
+//     runs to completion by falling off the end;
+//   - a //qcpa:daemon <reason> waiver on the go statement, for named
+//     process-lifetime daemons that intentionally never exit.
+//
+// A go statement whose target cannot be resolved (a function value from
+// elsewhere) always needs the waiver: the analyzer cannot see the body.
+//
+// The evidence test is shape-based, not a proof: a for loop with a
+// break still counts as exit-capable, and a channel receive counts as a
+// stop signal even if nothing ever sends. The point is to force every
+// spawn to carry its termination story in a greppable, reviewable form.
+var LeakCheck = &Analyzer{
+	Name:       "leakcheck",
+	Doc:        "every go statement needs a provable termination path: WaitGroup join, ctx cancellation, stop channel, bounded body, or a //qcpa:daemon waiver",
+	RunProgram: runLeakCheck,
+}
+
+func runLeakCheck(pass *ProgramPass) error {
+	prog := pass.Prog
+	for _, n := range prog.Funcs {
+		for _, site := range n.Calls {
+			if !site.Go {
+				continue
+			}
+			if prog.WaivedAt(n.Pkg, site.Call.Pos(), dirDaemon) {
+				continue
+			}
+			if len(site.Callees) == 0 || site.Dynamic {
+				pass.Reportf(site.Call.Pos(), "goroutine target is not statically resolvable: its termination cannot be checked — spawn a named function/literal or waive with //qcpa:daemon <reason>")
+				continue
+			}
+			for _, target := range site.Callees {
+				if why := leakEvidence(target); why != "" {
+					pass.Reportf(site.Call.Pos(), "goroutine %s has no provable termination path (%s): join it with a WaitGroup, give it a ctx or stop channel, or waive with //qcpa:daemon <reason>", target.Name(), why)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// leakEvidence inspects a spawned node's full body (including nested
+// literals — helpers it spawns or defers share its lifetime evidence)
+// and returns "" when a termination path is visible, else a short
+// description of what is missing.
+func leakEvidence(target *FuncNode) string {
+	body := target.Body()
+	if body == nil {
+		return "no body to analyze"
+	}
+	if target.HasContextParam() {
+		return ""
+	}
+	info := target.Pkg.Info
+	var (
+		wgJoin     bool
+		ctxUse     bool
+		stopSignal bool
+		unbounded  bool
+	)
+	inspectOwnLits(body, func(node ast.Node) {
+		switch node := node.(type) {
+		case *ast.CallExpr:
+			if sel, ok := node.Fun.(*ast.SelectorExpr); ok {
+				if f, ok := info.Uses[sel.Sel].(*types.Func); ok && f.Pkg() != nil && f.Pkg().Path() == "sync" {
+					if f.Name() == "Done" || f.Name() == "Wait" {
+						if recv := sigOf(f).Recv(); recv != nil {
+							switch typeShortName(recv.Type()) {
+							case "*WaitGroup", "WaitGroup":
+								wgJoin = true
+							}
+						}
+					}
+				}
+				// ctx.Done() / ctx.Err() on a context value captured by
+				// the closure.
+				if t := info.TypeOf(sel.X); t != nil && isContextType(t) {
+					ctxUse = true
+				}
+			}
+		case *ast.Ident:
+			if v, ok := info.Uses[node].(*types.Var); ok && isContextType(v.Type()) {
+				ctxUse = true
+			}
+		case *ast.UnaryExpr:
+			if node.Op == token.ARROW {
+				stopSignal = true
+			}
+		case *ast.SelectStmt:
+			stopSignal = true
+		case *ast.RangeStmt:
+			if t := info.TypeOf(node.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					stopSignal = true
+				}
+			}
+		case *ast.ForStmt:
+			if node.Cond == nil {
+				unbounded = true
+			}
+		case *ast.SendStmt:
+			// A send can block forever with no receiver (the classic
+			// one-shot result leak); it is not termination evidence.
+			unbounded = true
+		}
+	})
+	if wgJoin || ctxUse || stopSignal {
+		return ""
+	}
+	if !unbounded {
+		return "" // straight-line body: runs to completion
+	}
+	return "body loops or sends with no WaitGroup join, context, or stop-channel receive"
+}

@@ -295,14 +295,54 @@ func (c *lockChecker) lockCallName(call *ast.CallExpr, method string) string {
 	if !ok || sel.Sel.Name != method {
 		return ""
 	}
-	// Confirm the receiver is a sync mutex so field names that happen
-	// to collide with annotated mutexes don't flip the state.
-	if t := c.pass.TypesInfo.TypeOf(sel.X); t != nil {
-		if name := namedTypeName(t); name != "Mutex" && name != "RWMutex" {
-			return ""
+	return lockRecvName(c.pass.TypesInfo, sel)
+}
+
+// lockRecvName resolves the mutex name a Lock/Unlock selector acquires:
+// the receiver field or variable for an explicit x.mu.Lock() chain, or
+// the embedded field the method was promoted from for x.Lock() on a
+// type that embeds sync.Mutex/RWMutex (possibly through intermediate
+// embedded structs — the name is the innermost traversed field, which
+// is what a //qcpa:locks annotation names).
+func lockRecvName(info *types.Info, sel *ast.SelectorExpr) string {
+	if t := info.TypeOf(sel.X); t != nil {
+		if name := namedTypeName(t); name == "Mutex" || name == "RWMutex" {
+			return mutexNameOf(sel.X)
 		}
 	}
-	return mutexNameOf(sel.X)
+	// Not a direct mutex receiver: the method may be promoted from an
+	// embedded mutex. Walk the selection's implicit field path.
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return ""
+	}
+	f, ok := s.Obj().(*types.Func)
+	if !ok || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+		return ""
+	}
+	return promotedFieldName(s)
+}
+
+// promotedFieldName returns the name of the last field traversed by a
+// method-value selection's implicit embedding path ("" when the path is
+// empty, i.e. the method is declared on the receiver itself).
+func promotedFieldName(s *types.Selection) string {
+	t := s.Recv()
+	index := s.Index()
+	name := ""
+	for _, i := range index[:len(index)-1] {
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok || i >= st.NumFields() {
+			return ""
+		}
+		field := st.Field(i)
+		name = field.Name()
+		t = field.Type()
+	}
+	return name
 }
 
 func (c *lockChecker) scanExpr(e ast.Expr, held lockState) {

@@ -23,6 +23,22 @@ func TestAtomicField(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.AtomicField, "atomicfield")
 }
 
+func TestLockGraph(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.LockGraph, "lockgraph")
+}
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.CtxFlow, "ctxflow")
+}
+
+func TestLeakCheck(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.LeakCheck, "leakcheck")
+}
+
+func TestViewMutate(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.ViewMutate, "viewmutate")
+}
+
 func TestDetCritical(t *testing.T) {
 	critical := []string{
 		"qcpa/internal/core",
@@ -57,22 +73,41 @@ func TestDetCritical(t *testing.T) {
 
 func TestSuite(t *testing.T) {
 	suite := analysis.Suite()
-	if len(suite) != 4 {
-		t.Fatalf("Suite() has %d analyzers, want 4", len(suite))
+	if len(suite) != 8 {
+		t.Fatalf("Suite() has %d analyzers, want 8", len(suite))
 	}
 	seen := map[string]bool{}
 	for _, a := range suite {
-		if a.Name == "" || a.Doc == "" || a.Run == nil {
-			t.Errorf("analyzer %q missing name, doc, or run function", a.Name)
+		if a.Name == "" || a.Doc == "" {
+			t.Errorf("analyzer %q missing name or doc", a.Name)
+		}
+		if (a.Run == nil) == (a.RunProgram == nil) {
+			t.Errorf("analyzer %q must set exactly one of Run and RunProgram", a.Name)
 		}
 		if seen[a.Name] {
 			t.Errorf("duplicate analyzer name %q", a.Name)
 		}
 		seen[a.Name] = true
 	}
-	for _, want := range []string{"detrange", "detsource", "lockorder", "atomicfield"} {
+	perPkg := []string{"detrange", "detsource", "lockorder", "atomicfield"}
+	program := []string{"lockgraph", "ctxflow", "leakcheck", "viewmutate"}
+	for _, want := range append(perPkg, program...) {
 		if !seen[want] {
 			t.Errorf("Suite() missing analyzer %q", want)
+		}
+	}
+	for _, a := range suite {
+		isProgram := false
+		for _, name := range program {
+			if a.Name == name {
+				isProgram = true
+			}
+		}
+		if isProgram && a.RunProgram == nil {
+			t.Errorf("analyzer %q should be whole-program (RunProgram)", a.Name)
+		}
+		if !isProgram && a.Run == nil {
+			t.Errorf("analyzer %q should be per-package (Run)", a.Name)
 		}
 	}
 }

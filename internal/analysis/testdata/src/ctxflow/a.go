@@ -1,0 +1,73 @@
+// Ctxflow cases: blocking without ctx on a request path, fresh
+// context.Background lifetimes, waivers, and the non-blocking shapes
+// that must stay clean.
+package ctxflow
+
+import (
+	"context"
+	"time"
+)
+
+// handle is the request-path root: everything it calls synchronously
+// is on the path.
+func handle(ctx context.Context, ch chan int) {
+	helperBlocks(ch)
+	helperCtx(ctx, ch)
+	tryNotify(ch)
+	pause()
+	waived(ch)
+	_ = freshCtx()
+	_ = lifecycleRoot()
+	go worker(ch) // spawned: off the request path (leakcheck territory)
+}
+
+func helperBlocks(ch chan int) {
+	<-ch    // want "channel receive"
+	ch <- 1 // want "channel send"
+}
+
+// helperCtx blocks, but it takes ctx: cancellation can be plumbed.
+func helperCtx(ctx context.Context, ch chan int) {
+	select {
+	case <-ctx.Done():
+	case v := <-ch:
+		_ = v
+	}
+}
+
+// tryNotify's select has a default: it never blocks, and its send is a
+// comm clause, not a standalone op.
+func tryNotify(ch chan int) {
+	select {
+	case ch <- 1:
+	default:
+	}
+}
+
+func pause() {
+	time.Sleep(time.Millisecond) // want "time.Sleep"
+}
+
+func waived(ch chan int) {
+	//qcpa:nocancel test shutdown closes ch
+	<-ch
+}
+
+func freshCtx() context.Context {
+	return context.Background() // want "deadline and cancellation are dropped"
+}
+
+func lifecycleRoot() context.Context {
+	//qcpa:background process-lifetime root, not tied to any request
+	return context.Background()
+}
+
+// worker is only reached through a go statement, so it is not on the
+// synchronous request path and blocking without ctx is fine here.
+func worker(ch chan int) {
+	for range ch {
+	}
+}
+
+// offPath has no callers from any context-bearing root: not flagged.
+func offPath(ch chan int) { <-ch }

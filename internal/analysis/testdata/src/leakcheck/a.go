@@ -1,0 +1,103 @@
+// Leakcheck cases: the unwaived leak, every accepted termination
+// shape, and the unresolvable-target case.
+package leakcheck
+
+import (
+	"context"
+	"sync"
+)
+
+// The seeded leak: an unbounded loop with no join, no context, and no
+// stop channel.
+func leak() {
+	go func() { // want "no provable termination path"
+		for {
+			_ = 1
+		}
+	}()
+}
+
+// A one-shot send with no buffered receiver guarantee is the classic
+// result-channel leak.
+func sendLeak(ch chan int) {
+	go func() { // want "no provable termination path"
+		ch <- 1
+	}()
+}
+
+// WaitGroup-joined: the spawner waits, the body signals Done.
+func joined(work []int) {
+	var wg sync.WaitGroup
+	out := make([]int, len(work))
+	for i, w := range work {
+		wg.Add(1)
+		go func(i, w int) {
+			defer wg.Done()
+			out[i] = w * 2
+		}(i, w)
+	}
+	wg.Wait()
+}
+
+// Context-cancelled.
+func ctxWorker(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// Stop-channel select.
+func stopChan(done chan struct{}, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+// Bounded body: runs to completion by falling off the end.
+func bounded() {
+	go func() {
+		for i := 0; i < 10; i++ {
+			_ = i
+		}
+	}()
+}
+
+// Waived: a named process-lifetime daemon.
+func daemon() {
+	//qcpa:daemon metrics pump, runs for the process lifetime
+	go func() {
+		for {
+			_ = 1
+		}
+	}()
+}
+
+// A function value from elsewhere cannot be checked: the waiver is
+// mandatory.
+func dynamic(f func(int)) {
+	go f(1) // want "not statically resolvable"
+}
+
+func dynamicWaived(f func(int)) {
+	//qcpa:daemon caller guarantees f returns on shutdown
+	go f(2)
+}
+
+// A declared function spawned by name resolves statically and its body
+// is checked like a literal's.
+func spin() {
+	for {
+		_ = 1
+	}
+}
+
+func spawnDecl() {
+	go spin() // want "no provable termination path"
+}

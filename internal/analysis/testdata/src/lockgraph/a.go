@@ -1,0 +1,87 @@
+// Lockgraph cases: a seeded two-mutex cycle, interprocedural
+// //qcpa:locks inference through unannotated helpers, detached-call
+// violations, and an annotation that resolves to nothing.
+package lockgraph
+
+import "sync"
+
+// pair seeds the deadlock cycle: lockAB nests b under a, lockBA nests
+// a under b.
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (p *pair) lockAB() {
+	p.a.Lock()
+	p.b.Lock() // want "lock-order cycle"
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func (p *pair) lockBA() {
+	p.b.Lock()
+	p.a.Lock()
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+// guarded exercises entry-set inference: helper has no annotation, but
+// its only caller holds mu, so calls inside it inherit the fact.
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+//qcpa:locks mu
+func (g *guarded) bumpLocked() { g.n++ }
+
+// helper is private and only ever called with mu held: inference marks
+// its entry set, so the bumpLocked call is clean — the per-package
+// direct-caller check could not see this.
+func (g *guarded) helper() { g.bumpLocked() }
+
+func (g *guarded) Bump() {
+	g.mu.Lock()
+	g.helper()
+	g.mu.Unlock()
+}
+
+// badHelper's only caller does NOT hold mu, so the inherited entry set
+// is empty and the call is flagged here, at the deepest site.
+func (g *guarded) badHelper() {
+	g.bumpLocked() // want "not provably held"
+}
+
+func (g *guarded) BumpUnlocked() {
+	g.badHelper()
+}
+
+// A goroutine never inherits the spawner's locks.
+func (g *guarded) SpawnBad() {
+	g.mu.Lock()
+	go g.bumpLocked() // want "never held in a goroutine"
+	g.mu.Unlock()
+}
+
+// Read-locks satisfy the contract too (documented caveat: the analyzer
+// does not distinguish read from write holds).
+type rwbox struct {
+	lk sync.RWMutex
+	m  map[string]int
+}
+
+//qcpa:locks lk
+func (r *rwbox) readLocked() int { return r.m[""] }
+
+func (r *rwbox) Get() int {
+	r.lk.RLock()
+	defer r.lk.RUnlock()
+	return r.readLocked()
+}
+
+// An annotation naming a mutex that exists nowhere is dead weight and
+// gets flagged at the declaration.
+//
+//qcpa:locks nosuchmu
+func (g *guarded) phantomLocked() {} // want "does not resolve"

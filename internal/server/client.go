@@ -195,6 +195,8 @@ func (c *Client) failAll(err error) {
 
 // roundTrip sends one request and waits for its response. Transport
 // errors (dial lost, server gone) surface as plain errors.
+//
+//qcpa:nocancel the wire client is deadline-driven: conn deadlines bound the write, and readLoop closes every waiter channel on shutdown or read error
 func (c *Client) roundTrip(req Request) (*Response, error) {
 	c.mu.Lock()
 	if c.readErr != nil {

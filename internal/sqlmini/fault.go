@@ -60,6 +60,7 @@ func splitmix64(x uint64) uint64 {
 // the engine at the top of ExecStmtContext.
 func (f *Fault) inject() error {
 	if f.Latency > 0 {
+		//qcpa:nocancel deliberately injected latency, bounded by f.Latency
 		time.Sleep(f.Latency)
 	}
 	if f.crashed.Load() {

@@ -13,6 +13,8 @@ import (
 // reallocation-driven reloads) without complicating the write path.
 // The index's own mutex serializes the lazy build among concurrent
 // readers of the same view.
+//
+//qcpa:lazycache idempotent rebuild from the view's immutable rows, serialized by mu
 type secondaryIndex struct {
 	mu      sync.Mutex
 	col     int

@@ -53,6 +53,8 @@ func (tv *tableView) ndvEstimate(col int) float64 {
 // tableStats caches lazily computed per-column statistics for one
 // immutable tableView. The mutex serializes the lazy fill among
 // concurrent readers of the same view, mirroring secondaryIndex.
+//
+//qcpa:lazycache deterministic lazy fill from immutable rows, serialized by mu
 type tableStats struct {
 	mu  sync.Mutex
 	ndv []float64 // per column; 0 = not yet computed

@@ -35,12 +35,16 @@ import (
 // the Table, the buckets on the view.
 
 // readView is one immutable published snapshot of the whole engine.
+//
+//qcpa:published immutable after e.view.Store; readers access it lock-free
 type readView struct {
 	epoch  int64
 	tables map[string]*tableView
 }
 
 // tableView is the immutable per-table half of a readView.
+//
+//qcpa:published immutable once reachable from a published readView
 type tableView struct {
 	t       *Table // schema only — never touch t.rows/t.pk through this
 	rows    []Row

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race lint lint-json check chaos chaos-migrate chaos-group chaos-overload bench bench-smoke bench-planner clean
+.PHONY: all build test vet race lint lint-json check chaos chaos-migrate chaos-group chaos-overload bench bench-smoke bench-planner bench-wire fuzz-smoke clean
 
 all: check
 
@@ -84,6 +84,22 @@ bench-smoke:
 # the ratio is pinned by TestPlanCacheHitAllocations).
 bench-planner:
 	$(GO) test -bench 'SqlminiJoinOrder|PlanCacheHit' -benchmem -run TestPlanCacheHitAllocations ./internal/bench/
+
+# bench-wire compares the wire protocols at equal admission limits —
+# the same rotating point-query load through v1 newline-JSON, v2 binary
+# frames, and v2 prepared handles — then probes v2 connection scale up
+# to the fd limit. The full run (recorded into BENCH_*.json baselines
+# via `qcpa-bench -json`) is the acceptance gate for the v2 speedup.
+bench-wire:
+	$(GO) run ./cmd/qcpa-bench -wire
+
+# fuzz-smoke runs each wire-protocol fuzz target briefly against its
+# seed corpus plus a few seconds of fresh inputs: the frame decoder and
+# the v1 line reader must never panic on arbitrary bytes. CI runs this
+# on every push; longer campaigns can raise -fuzztime locally.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzFrameDecode -fuzztime 5s ./internal/server/
+	$(GO) test -run '^$$' -fuzz FuzzReadLine -fuzztime 5s ./internal/server/
 
 clean:
 	$(GO) clean ./...

@@ -36,8 +36,17 @@ func main() {
 		seed     = flag.Int64("seed", 1, "base RNG seed")
 		jsonOut  = flag.Bool("json", false, "write a machine-readable perf baseline instead of text tables")
 		outPath  = flag.String("out", "", "baseline file path (default BENCH_<date>.json)")
+		wireOnly = flag.Bool("wire", false, "run only the wire-protocol comparison (v1 JSON vs v2 binary vs prepared)")
 	)
 	flag.Parse()
+
+	if *wireOnly {
+		if _, err := bench.RunWire(*quick, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	opts := experiments.Options{Seed: *seed}
 	if *quick {
@@ -118,6 +127,11 @@ func writeBaseline(opts experiments.Options, want map[string]bool, quick bool, p
 		return err
 	}
 	report.Overload = over
+	wire, err := bench.RunWire(quick, os.Stderr)
+	if err != nil {
+		return err
+	}
+	report.Wire = wire
 	if err := report.Write(path); err != nil {
 		return err
 	}

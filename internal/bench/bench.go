@@ -43,6 +43,7 @@ type Report struct {
 	Figures    []FigureResult      `json:"figures"`
 	Micro      []MicroResult       `json:"micro"`
 	Overload   *OverloadResult     `json:"overload,omitempty"`
+	Wire       *WireResult         `json:"wire,omitempty"`
 }
 
 // NewReport stamps the environment fields.

@@ -1,0 +1,339 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"syscall"
+	"time"
+
+	"qcpa/internal/cluster"
+	"qcpa/internal/core"
+	"qcpa/internal/server"
+	"qcpa/internal/sqlmini"
+)
+
+// WireModeResult records one protocol mode of the wire benchmark:
+// identical offered load and admission limits, only the encoding (and,
+// for the prepared mode, the per-request parse) differ.
+type WireModeResult struct {
+	// Mode is v1-json, v2-binary, or v2-prepared.
+	Mode     string `json:"mode"`
+	Requests int    `json:"requests"`
+	// Throughput is completed point queries per second of wall time.
+	Throughput float64 `json:"requests_per_sec"`
+	P50US      int64   `json:"p50_us"`
+	P99US      int64   `json:"p99_us"`
+}
+
+// WireConnScale records the v2 connection-scale probe: how many
+// concurrent connections the server held open and served, bounded by
+// the process's file-descriptor limit (each in-process connection costs
+// a client fd and a server fd).
+type WireConnScale struct {
+	Target      int `json:"target"`
+	Established int `json:"established"`
+	Served      int `json:"served"`
+}
+
+// WireResult is the protocol comparison recorded into the baseline:
+// the same rotating-literal point-query workload pushed through v1
+// JSON, v2 binary, and v2 prepared handles at equal admission limits.
+type WireResult struct {
+	Conns   int              `json:"conns"`
+	Streams int              `json:"streams"`
+	Modes   []WireModeResult `json:"modes"`
+	// SpeedupV2 and SpeedupPrepared are throughput ratios against the
+	// v1-json mode.
+	SpeedupV2       float64        `json:"speedup_v2_vs_v1"`
+	SpeedupPrepared float64        `json:"speedup_prepared_vs_v1"`
+	ConnScale       *WireConnScale `json:"conn_scale,omitempty"`
+}
+
+// wireRows is how many distinct literal values the workload rotates
+// through: enough that the v1 path keeps parsing fresh statement text
+// (the realistic point-query pattern) while the prepared path ships
+// only the changing argument.
+const wireRows = 512
+
+// RunWire benchmarks the wire path across protocol modes and probes v2
+// connection scale. Quick mode shrinks durations and the scale target,
+// not the comparison.
+func RunWire(quick bool, w io.Writer) (*WireResult, error) {
+	const conns, streams = 8, 4
+	duration := 1500 * time.Millisecond
+	scaleTarget := 10_000
+	if quick {
+		duration = 300 * time.Millisecond
+		scaleTarget = 256
+	}
+
+	res := &WireResult{Conns: conns, Streams: streams}
+	for _, mode := range []string{"v1-json", "v2-binary", "v2-prepared"} {
+		mr, err := runWireMode(mode, conns, streams, duration)
+		if err != nil {
+			return nil, fmt.Errorf("bench: wire %s: %w", mode, err)
+		}
+		res.Modes = append(res.Modes, *mr)
+		if w != nil {
+			fmt.Fprintf(w, "wire %-12s %8.0f req/s  p50 %5dus  p99 %5dus  (%d requests)\n",
+				mr.Mode, mr.Throughput, mr.P50US, mr.P99US, mr.Requests)
+		}
+	}
+	v1 := res.Modes[0].Throughput
+	if v1 > 0 {
+		res.SpeedupV2 = res.Modes[1].Throughput / v1
+		res.SpeedupPrepared = res.Modes[2].Throughput / v1
+	}
+	if w != nil {
+		fmt.Fprintf(w, "wire speedup: v2-binary %.2fx, v2-prepared %.2fx over v1-json\n",
+			res.SpeedupV2, res.SpeedupPrepared)
+	}
+
+	scale, err := runWireConnScale(scaleTarget, w)
+	if err != nil {
+		return nil, err
+	}
+	res.ConnScale = scale
+	return res, nil
+}
+
+// wireFixture builds a cluster with wireRows point rows replicated on
+// four backends (so reads load-balance and the wire path, not engine
+// contention, is what the modes differ on) and a server with the shared
+// admission limits every mode runs under.
+func wireFixture(maxConns int) (*cluster.Cluster, *server.Server, string, error) {
+	const backends = 4
+	cl := core.NewClassification()
+	cl.AddFragment(core.Fragment{ID: "a", Size: 1})
+	cl.MustAddClass(core.NewClass("QA", core.Read, 1, "a"))
+	alloc := core.NewAllocation(cl, core.UniformBackends(backends))
+	for b := 0; b < backends; b++ {
+		alloc.AddFragments(b, "a")
+		alloc.SetAssign(b, "QA", 1.0/backends)
+	}
+	if err := alloc.Validate(); err != nil {
+		return nil, nil, "", err
+	}
+	c, err := cluster.New(cluster.Config{Backends: core.UniformBackends(backends)})
+	if err != nil {
+		return nil, nil, "", err
+	}
+	load := func(e *sqlmini.Engine, tables []string) error {
+		for _, tb := range tables {
+			if err := e.CreateTable(tb, []sqlmini.Column{
+				{Name: tb + "_id", Type: sqlmini.KindInt, PrimaryKey: true},
+				{Name: tb + "_v", Type: sqlmini.KindInt},
+			}); err != nil {
+				return err
+			}
+			rows := make([]sqlmini.Row, wireRows)
+			for i := range rows {
+				rows[i] = sqlmini.Row{sqlmini.Int(int64(i)), sqlmini.Int(int64(2 * i))}
+			}
+			if err := e.BulkInsert(tb, rows); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := c.Install(alloc, load); err != nil {
+		c.Close()
+		return nil, nil, "", err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		c.Close()
+		return nil, nil, "", err
+	}
+	srv := server.ServeConfig(ln, c, server.Config{Limits: server.Limits{
+		MaxConns: maxConns,
+	}})
+	return c, srv, ln.Addr().String(), nil
+}
+
+// runWireMode drives one protocol mode against a fresh fixture (a
+// shared fixture would let one mode warm caches for the next).
+func runWireMode(mode string, conns, streams int, duration time.Duration) (*WireModeResult, error) {
+	c, srv, addr, err := wireFixture(conns + 8)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	defer srv.Close()
+
+	proto := 2
+	if mode == "v1-json" {
+		proto = 1
+	}
+	var (
+		mu       sync.Mutex
+		requests int
+		lat      []int64
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	// Warm the path (connections, caches, scheduler) before measuring so
+	// the first mode is not penalized for paying the startup costs.
+	warmEnd := time.Now().Add(duration / 3)
+	deadline := warmEnd.Add(duration)
+	for i := 0; i < conns; i++ {
+		client, err := server.DialOptions(addr, server.ClientOptions{
+			MaxRetries: -1, BreakerThreshold: -1, Protocol: proto, Seed: int64(i + 1),
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer client.Close()
+		var st *server.Stmt
+		if mode == "v2-prepared" {
+			st, err = client.Prepare(`SELECT a_v FROM a WHERE a_id = 1`, "QA", false)
+			if err != nil {
+				return nil, err
+			}
+		}
+		for s := 0; s < streams; s++ {
+			wg.Add(1)
+			go func(worker int) {
+				defer wg.Done()
+				var local []int64
+				n, counted := 0, 0
+				for {
+					id := int64((worker*7919 + n) % wireRows)
+					t0 := time.Now()
+					if !t0.Before(deadline) {
+						break
+					}
+					var (
+						resp *server.Response
+						err  error
+					)
+					if st != nil {
+						resp, err = st.Exec(id)
+					} else {
+						resp, err = client.Do(server.Request{
+							SQL:   fmt.Sprintf(`SELECT a_v FROM a WHERE a_id = %d`, id),
+							Class: "QA",
+						})
+					}
+					if err != nil || !resp.OK {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = fmt.Errorf("%s request failed: resp=%+v err=%v", mode, resp, err)
+						}
+						mu.Unlock()
+						return
+					}
+					if t0.After(warmEnd) {
+						local = append(local, time.Since(t0).Microseconds())
+						counted++
+					}
+					n++
+				}
+				mu.Lock()
+				requests += counted
+				lat = append(lat, local...)
+				mu.Unlock()
+			}(i*streams + s)
+		}
+	}
+	wg.Wait()
+	wall := time.Since(warmEnd)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if requests == 0 {
+		return nil, errors.New("no requests completed")
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return &WireModeResult{
+		Mode:       mode,
+		Requests:   requests,
+		Throughput: float64(requests) / wall.Seconds(),
+		P50US:      lat[len(lat)/2],
+		P99US:      lat[len(lat)*99/100],
+	}, nil
+}
+
+// runWireConnScale opens as many concurrent v2 connections as the fd
+// limit allows (up to target), serves one point query on each, and
+// reports how many the server held and answered.
+func runWireConnScale(target int, w io.Writer) (*WireConnScale, error) {
+	if limit := fdLimit(); limit > 0 {
+		// Each connection costs two fds in-process (client + server
+		// side); keep headroom for listeners, files, and the runtime.
+		if max := (limit - 128) / 2; target > max {
+			target = max
+		}
+	}
+	if target < 1 {
+		return nil, errors.New("bench: fd limit leaves no room for connections")
+	}
+	c, srv, addr, err := wireFixture(target + 8)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	defer srv.Close()
+
+	scale := &WireConnScale{Target: target}
+	clients := make([]*server.Client, 0, target)
+	defer func() {
+		for _, cl := range clients {
+			cl.Close()
+		}
+	}()
+	// Dial in bounded batches so the accept queue never overflows.
+	const dialers = 64
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	sem := make(chan struct{}, dialers)
+	for i := 0; i < target; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			cl, err := server.DialOptions(addr, server.ClientOptions{
+				MaxRetries: -1, BreakerThreshold: -1,
+			})
+			if err != nil {
+				return
+			}
+			resp, err := cl.Do(server.Request{SQL: `SELECT a_v FROM a WHERE a_id = 1`, Class: "QA"})
+			mu.Lock()
+			clients = append(clients, cl)
+			scale.Established++
+			if err == nil && resp.OK {
+				scale.Served++
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if w != nil {
+		fmt.Fprintf(w, "wire conn-scale: %d/%d connections established, %d served\n",
+			scale.Established, scale.Target, scale.Served)
+	}
+	if scale.Served < scale.Target*9/10 {
+		return nil, fmt.Errorf("bench: only %d of %d connections served", scale.Served, scale.Target)
+	}
+	return scale, nil
+}
+
+// fdLimit returns the soft RLIMIT_NOFILE, or 0 when unknown.
+func fdLimit() int {
+	var rl syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl); err != nil {
+		return 0
+	}
+	if rl.Cur > 1<<20 {
+		return 1 << 20
+	}
+	return int(rl.Cur)
+}

@@ -295,6 +295,14 @@ type Cluster struct {
 	migMu sync.Mutex // guards mig (live-migration progress)
 	mig   MigrationStatus
 
+	// routeGen counts routing-metadata changes: every installed
+	// allocation (stop-the-world or live cutover) and every DDL write
+	// bumps it. Prepared statements cache their resolved route tagged
+	// with the generation they computed it under and re-resolve on
+	// mismatch — the wire-protocol analogue of the plan cache's
+	// generation invalidation.
+	routeGen atomic.Uint64
+
 	stopped atomic.Bool
 }
 
@@ -562,6 +570,7 @@ func (c *Cluster) Install(alloc *core.Allocation, load Loader) error {
 //
 //qcpa:locks mu
 func (c *Cluster) installRoutingLocked(alloc *core.Allocation) {
+	c.routeGen.Add(1)
 	c.alloc = alloc
 	c.classFrags = make(map[string][]string)
 	for _, cl := range alloc.Classification().Classes() {
@@ -631,28 +640,47 @@ func (c *Cluster) ExecuteContext(ctx context.Context, req workload.Request) (*Re
 	if err != nil {
 		return nil, err
 	}
-	c.mu.Lock()
-	tables, ok := c.classFrags[req.Class]
-	c.mu.Unlock()
-	if !ok {
-		// Route by the statement's own table references.
-		backends := c.all()
-		schema := sqlmini.SchemaOf(backends[0].engine)
-		// Use the union schema of all backends for analysis.
-		for _, b := range backends[1:] {
-			for t, cols := range sqlmini.SchemaOf(b.engine) {
-				schema[t] = cols
-			}
-		}
-		info, err := sqlmini.AnalyzeStmt(stmt, schema)
-		if err != nil {
-			return nil, fmt.Errorf("cluster: cannot route %q: %w", req.SQL, err)
-		}
-		tables = info.Tables
+	tables, err := c.resolveTables(req.Class, stmt, req.SQL)
+	if err != nil {
+		return nil, err
 	}
+	return c.executeRouted(ctx, stmt, req, tables)
+}
 
+// resolveTables maps a request to the tables its backend must hold:
+// the class's fragment tables when the class is known, otherwise the
+// statement's own table references under the union schema.
+func (c *Cluster) resolveTables(class string, stmt sqlmini.Statement, sql string) ([]string, error) {
+	c.mu.Lock()
+	tables, ok := c.classFrags[class]
+	c.mu.Unlock()
+	if ok {
+		return tables, nil
+	}
+	// Route by the statement's own table references.
+	backends := c.all()
+	schema := sqlmini.SchemaOf(backends[0].engine)
+	// Use the union schema of all backends for analysis.
+	for _, b := range backends[1:] {
+		for t, cols := range sqlmini.SchemaOf(b.engine) {
+			schema[t] = cols
+		}
+	}
+	info, err := sqlmini.AnalyzeStmt(stmt, schema)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: cannot route %q: %w", sql, err)
+	}
+	return info.Tables, nil
+}
+
+// executeRouted runs an already-parsed, already-routed request and
+// records it in the query journal under the request's SQL text (for a
+// prepared execution that is the template, so the journal aggregates
+// the class instead of one line per bound literal set).
+func (c *Cluster) executeRouted(ctx context.Context, stmt sqlmini.Statement, req workload.Request, tables []string) (*Result, error) {
 	start := time.Now()
 	var res *Result
+	var err error
 	if req.Write {
 		res, err = c.executeWrite(ctx, stmt, req.SQL, req.Class, tables)
 	} else {
@@ -840,6 +868,12 @@ func (c *Cluster) executeWrite(ctx context.Context, stmt sqlmini.Statement, sql,
 		for _, bad := range e.failed {
 			c.quarantine(bad)
 		}
+	}
+	switch stmt.(type) {
+	case *sqlmini.CreateTableStmt, *sqlmini.DropTableStmt:
+		// DDL changed the schema the reference-based routing fallback
+		// analyzes against: prepared routes must re-resolve.
+		c.routeGen.Add(1)
 	}
 	return &Result{Backend: fmt.Sprintf("%d replicas", e.targets), Affected: e.affected}, nil
 }
@@ -1057,6 +1091,7 @@ func (c *Cluster) Metrics() *metrics.Snapshot {
 		snap.Planner.Add(bs.Planner)
 		snap.Backends = append(snap.Backends, bs)
 	}
+	snap.Planner.PreparedReroutes = c.metrics.PreparedReroutes()
 	return snap
 }
 

@@ -98,6 +98,20 @@ type Admission struct {
 	expired       atomic.Int64 // requests whose deadline passed while queued
 	queued        atomic.Int64 // admission queue depth (gauge)
 	queueWait     stats.ExpHistogram // microseconds from enqueue to slot grant
+
+	// Wire-protocol series (the v2 binary protocol and the prepared-
+	// statement handles of DESIGN.md §12). Connections are counted per
+	// negotiated protocol; frames/flushes expose the v2 writer's batch
+	// ratio; handles is the open prepared-statement gauge.
+	connsV1       atomic.Int64 // connections that spoke v1 newline-JSON
+	connsV2       atomic.Int64 // connections that negotiated v2 binary frames
+	framesIn      atomic.Int64 // v2 request frames decoded
+	framesOut     atomic.Int64 // v2 response frames written
+	flushes       atomic.Int64 // v2 writer flushes (framesOut/flushes = batch ratio)
+	badFrames     atomic.Int64 // undecodable or unknown-type frames answered bad_request
+	prepares      atomic.Int64 // prepare commands served
+	preparedExecs atomic.Int64 // exec commands served through a handle
+	handles       atomic.Int64 // open prepared-statement handles (gauge)
 }
 
 // NewAdmission returns a zeroed admission metrics block.
@@ -148,6 +162,39 @@ func (a *Admission) ObserveDeadlineExpired() { a.expired.Add(1) }
 // Shed returns the shed counter (tests and the overload bench read it).
 func (a *Admission) Shed() int64 { return a.shed.Load() }
 
+// ObserveProtoConn records a connection's negotiated wire protocol.
+func (a *Admission) ObserveProtoConn(v2 bool) {
+	if v2 {
+		a.connsV2.Add(1)
+	} else {
+		a.connsV1.Add(1)
+	}
+}
+
+// ObserveFrameIn records one decoded v2 request frame.
+func (a *Admission) ObserveFrameIn() { a.framesIn.Add(1) }
+
+// ObserveFrameOut records one written v2 response frame.
+func (a *Admission) ObserveFrameOut() { a.framesOut.Add(1) }
+
+// ObserveFlush records one v2 writer flush (possibly covering many
+// coalesced frames).
+func (a *Admission) ObserveFlush() { a.flushes.Add(1) }
+
+// ObserveBadFrame records a frame that failed to decode (or carried an
+// unknown type byte) and was answered with a typed bad_request.
+func (a *Admission) ObserveBadFrame() { a.badFrames.Add(1) }
+
+// ObservePrepare records a served prepare command and the new handle.
+func (a *Admission) ObservePrepare() { a.prepares.Add(1); a.handles.Add(1) }
+
+// ObserveStmtClosed records a prepared handle being released (an
+// explicit close or its connection going away).
+func (a *Admission) ObserveStmtClosed(n int64) { a.handles.Add(-n) }
+
+// ObservePreparedExec records an exec command served through a handle.
+func (a *Admission) ObservePreparedExec() { a.preparedExecs.Add(1) }
+
 // Snapshot captures the admission series.
 func (a *Admission) Snapshot() AdmissionSnapshot {
 	return AdmissionSnapshot{
@@ -161,6 +208,17 @@ func (a *Admission) Snapshot() AdmissionSnapshot {
 		DeadlineExpired: a.expired.Load(),
 		Queued:          a.queued.Load(),
 		QueueWait:       latencySnapshot(&a.queueWait),
+		Wire: WireSnapshot{
+			ConnsV1:       a.connsV1.Load(),
+			ConnsV2:       a.connsV2.Load(),
+			FramesIn:      a.framesIn.Load(),
+			FramesOut:     a.framesOut.Load(),
+			Flushes:       a.flushes.Load(),
+			BadFrames:     a.badFrames.Load(),
+			Prepares:      a.prepares.Load(),
+			PreparedExecs: a.preparedExecs.Load(),
+			Handles:       a.handles.Load(),
+		},
 	}
 }
 
@@ -174,6 +232,10 @@ type Registry struct {
 	unavailable atomic.Int64
 	redoAppends atomic.Int64
 	catchup     stats.ExpHistogram // milliseconds
+
+	// preparedReroutes counts prepared statements re-resolving their
+	// cached route after a routing-generation bump.
+	preparedReroutes atomic.Int64
 
 	// Group-commit series: per-round batch sizes and per-update commit
 	// wait (submit to round dispatch).
@@ -205,6 +267,14 @@ func (r *Registry) ObserveUnavailable() { r.unavailable.Add(1) }
 // ObserveRedoAppend records one update diverted to a Down backend's
 // redo log.
 func (r *Registry) ObserveRedoAppend() { r.redoAppends.Add(1) }
+
+// ObservePreparedReroute records a prepared statement re-resolving its
+// route after a routing-generation bump (installed allocation, live
+// cutover, or DDL).
+func (r *Registry) ObservePreparedReroute() { r.preparedReroutes.Add(1) }
+
+// PreparedReroutes returns the prepared-route recomputation count.
+func (r *Registry) PreparedReroutes() int64 { return r.preparedReroutes.Load() }
 
 // ObserveCatchUp records one completed recovery and its catch-up time.
 func (r *Registry) ObserveCatchUp(d time.Duration) { r.catchup.Observe(d.Milliseconds()) }
@@ -347,6 +417,10 @@ type PlannerSnapshot struct {
 	PlanEntries       int64 `json:"plan_entries"`
 	JoinPlans         int64 `json:"join_plans"`
 	JoinReordered     int64 `json:"join_reordered"`
+	// PreparedReroutes counts prepared statements that re-resolved
+	// their cached route after a routing-generation bump. Cluster-level
+	// (per-backend snapshots report zero); filled by Cluster.Metrics.
+	PreparedReroutes int64 `json:"prepared_reroutes,omitempty"`
 }
 
 // Add accumulates another backend's planner counters (the cluster-wide
@@ -422,6 +496,23 @@ type AdmissionSnapshot struct {
 	DeadlineExpired int64           `json:"deadline_expired"`
 	Queued          int64           `json:"queued"`
 	QueueWait       LatencySnapshot `json:"queue_wait"`
+	Wire            WireSnapshot    `json:"wire"`
+}
+
+// WireSnapshot summarizes the wire-protocol series: connections per
+// negotiated protocol, v2 frame and flush counts (their ratio is the
+// response batch factor), rejected frames, and the prepared-statement
+// handle traffic.
+type WireSnapshot struct {
+	ConnsV1       int64 `json:"conns_v1"`
+	ConnsV2       int64 `json:"conns_v2"`
+	FramesIn      int64 `json:"frames_in"`
+	FramesOut     int64 `json:"frames_out"`
+	Flushes       int64 `json:"flushes"`
+	BadFrames     int64 `json:"bad_frames"`
+	Prepares      int64 `json:"prepares"`
+	PreparedExecs int64 `json:"prepared_execs"`
+	Handles       int64 `json:"handles"`
 }
 
 // Snapshot is the full metrics export: one entry per backend plus the

@@ -34,10 +34,15 @@ type Limits struct {
 	// WriteTimeout bounds one response write so a stalled client cannot
 	// pin execution slots forever (default 10s).
 	WriteTimeout time.Duration
-	// MaxLineBytes caps one request line (default 1 MiB). An oversized
-	// line gets a typed too-large error and the connection is resynced
-	// at the next newline instead of dropped.
+	// MaxLineBytes caps one request line — and, on a v2 connection, one
+	// frame (default 1 MiB). An oversized request gets a typed
+	// too-large error and the connection resyncs (at the next newline,
+	// or exactly past the frame's declared length) instead of dropping.
 	MaxLineBytes int
+	// MaxStmts caps the prepared-statement handles one connection may
+	// hold open (default 512); past the cap, prepare fails until a
+	// handle is closed. Negative means unlimited.
+	MaxStmts int
 }
 
 // withDefaults fills zero fields. Negative caps become "unlimited"
@@ -46,9 +51,14 @@ func (l Limits) withDefaults() Limits {
 	l.MaxConns = defaultCap(l.MaxConns, 1024)
 	l.MaxInflight = defaultCap(l.MaxInflight, 256)
 	l.ConnInflight = defaultCap(l.ConnInflight, 32)
-	if l.QueueDepth == 0 {
+	switch {
+	case l.QueueDepth == 0 && l.MaxInflight == unlimited:
+		// 2x an unlimited sentinel would overflow negative, turning
+		// "no limit" into "shed everything that queues".
+		l.QueueDepth = unlimited
+	case l.QueueDepth == 0:
 		l.QueueDepth = 2 * l.MaxInflight
-	} else if l.QueueDepth < 0 {
+	case l.QueueDepth < 0:
 		l.QueueDepth = unlimited
 	}
 	if l.DrainTimeout <= 0 {
@@ -63,6 +73,7 @@ func (l Limits) withDefaults() Limits {
 	if l.MaxLineBytes <= 0 {
 		l.MaxLineBytes = 1 << 20
 	}
+	l.MaxStmts = defaultCap(l.MaxStmts, 512)
 	return l
 }
 

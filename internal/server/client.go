@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -13,12 +14,17 @@ import (
 
 	"qcpa/internal/cluster"
 	"qcpa/internal/runtime"
+	"qcpa/internal/sqlmini"
 )
 
 // ClientOptions tunes the client's overload reaction. The zero value
 // selects sensible defaults; negative MaxRetries disables retries and
 // negative BreakerThreshold disables the circuit breaker.
 type ClientOptions struct {
+	// Protocol selects the wire protocol: 0 or 2 negotiates the v2
+	// binary frame protocol (falling back to v1 if the server answers
+	// in JSON), 1 forces newline-JSON.
+	Protocol int
 	// MaxRetries bounds the resends of one Do call after typed
 	// retryable rejections (overload, unavailable). Default 3; -1
 	// disables retries.
@@ -43,6 +49,9 @@ type ClientOptions struct {
 }
 
 func (o ClientOptions) withDefaults() ClientOptions {
+	if o.Protocol == 0 {
+		o.Protocol = 2
+	}
 	if o.MaxRetries == 0 {
 		o.MaxRetries = 3
 	}
@@ -86,7 +95,14 @@ type Client struct {
 	conn net.Conn
 	rng  *rand.Rand // concurrency-safe (runtime.NewLockedRand)
 
-	wmu sync.Mutex // serializes request writes
+	wmu  sync.Mutex // serializes request writes and owns wbuf
+	wbuf []byte     // v2 frame scratch, reused across sends
+
+	// protoReady closes once the protocol is settled: immediately for a
+	// forced-v1 client, after the hello handshake (or its v1 fallback)
+	// otherwise. Senders wait on it; v2 is only read afterwards.
+	protoReady chan struct{}
+	v2         bool
 
 	mu      sync.Mutex
 	nextID  uint64
@@ -117,15 +133,21 @@ func DialOptions(addr string, opts ClientOptions) (*Client, error) {
 func NewClient(conn net.Conn, opts ClientOptions) *Client {
 	opts = opts.withDefaults()
 	c := &Client{
-		opts:    opts,
-		conn:    conn,
-		rng:     runtime.NewLockedRand(opts.Seed),
-		waiters: make(map[uint64]chan *Response),
+		opts:       opts,
+		conn:       conn,
+		rng:        runtime.NewLockedRand(opts.Seed),
+		protoReady: make(chan struct{}),
+		waiters:    make(map[uint64]chan *Response),
 	}
 	c.breaker.threshold = opts.BreakerThreshold
 	c.breaker.cooldown = opts.BreakerCooldown
 	c.budget.max = opts.RetryBudget
 	c.budget.tokens = opts.RetryBudget
+	if opts.Protocol >= 2 {
+		// Open with the v2 preamble; the server's first byte tells us
+		// whether it understood (a write error surfaces via readLoop).
+		c.conn.Write(wirePreamble[:])
+	}
 	c.readWG.Add(1)
 	go c.readLoop()
 	return c
@@ -141,13 +163,58 @@ func (c *Client) Close() error {
 	return err
 }
 
-// readLoop demultiplexes responses to their waiting Do calls by id. A
-// response without an id (a pre-id server, or an error generated
-// before the request parsed) is matched to the sole waiter when
-// exactly one is outstanding.
+// readLoop settles the protocol, then demultiplexes responses to their
+// waiting Do calls by id. A response without an id (a pre-id server,
+// or an error generated before the request parsed) is matched to the
+// sole waiter when exactly one is outstanding.
 func (c *Client) readLoop() {
 	defer c.readWG.Done()
 	br := bufio.NewReader(c.conn)
+	if c.opts.Protocol >= 2 {
+		err := c.handshake(br)
+		close(c.protoReady)
+		if err != nil {
+			c.failAll(err)
+			return
+		}
+	} else {
+		close(c.protoReady)
+	}
+	if c.v2 {
+		c.readFramesLoop(br)
+	} else {
+		c.readLinesLoop(br)
+	}
+}
+
+// handshake reads the server's first byte after our preamble: a hello
+// frame confirms v2; a JSON line means a server that answered in v1
+// before seeing the preamble consumed (a connection-cap rejection) —
+// fall back to v1 and let the line loop deliver it.
+func (c *Client) handshake(br *bufio.Reader) error {
+	first, err := br.Peek(1)
+	if err != nil {
+		return err
+	}
+	if first[0] == '{' {
+		c.v2 = false
+		return nil
+	}
+	typ, payload, _, err := readFrame(br, absMaxFrame)
+	if err != nil {
+		return fmt.Errorf("server: v2 handshake failed: %w", err)
+	}
+	if typ != frameHello || len(payload) < 1 {
+		return fmt.Errorf("server: v2 handshake: unexpected frame type %#x", typ)
+	}
+	if payload[0] < wireVersion {
+		return fmt.Errorf("server: v2 handshake: unsupported version %d", payload[0])
+	}
+	c.v2 = true
+	return nil
+}
+
+func (c *Client) readLinesLoop(br *bufio.Reader) {
 	for {
 		line, err := br.ReadBytes('\n')
 		if err != nil {
@@ -159,20 +226,51 @@ func (c *Client) readLoop() {
 			c.failAll(fmt.Errorf("server: undecodable response: %w", err))
 			return
 		}
-		c.mu.Lock()
-		ch, ok := c.waiters[resp.ID]
-		if ok {
-			delete(c.waiters, resp.ID)
-		} else if resp.ID == 0 && len(c.waiters) == 1 {
-			for id, w := range c.waiters {
-				ch, ok = w, true
-				delete(c.waiters, id)
-			}
+		c.deliver(&resp)
+	}
+}
+
+func (c *Client) readFramesLoop(br *bufio.Reader) {
+	var rbuf []byte // frame scratch, reused — decodeResponse copies out
+	for {
+		typ, payload, _, err := readFrameBuf(br, absMaxFrame, &rbuf)
+		if err != nil {
+			c.failAll(err)
+			return
 		}
-		c.mu.Unlock()
-		if ok {
-			ch <- &resp
+		var resp *Response
+		switch typ {
+		case frameResponse:
+			resp, err = decodeResponse(payload)
+		case frameRespJSON:
+			resp = &Response{}
+			err = json.Unmarshal(payload, resp)
+		default:
+			err = fmt.Errorf("unknown frame type %#x", typ)
 		}
+		if err != nil {
+			c.failAll(fmt.Errorf("server: undecodable response: %w", err))
+			return
+		}
+		c.deliver(resp)
+	}
+}
+
+// deliver routes one response to its waiter.
+func (c *Client) deliver(resp *Response) {
+	c.mu.Lock()
+	ch, ok := c.waiters[resp.ID]
+	if ok {
+		delete(c.waiters, resp.ID)
+	} else if resp.ID == 0 && len(c.waiters) == 1 {
+		for id, w := range c.waiters {
+			ch, ok = w, true
+			delete(c.waiters, id)
+		}
+	}
+	c.mu.Unlock()
+	if ok {
+		ch <- resp
 	}
 }
 
@@ -198,6 +296,9 @@ func (c *Client) failAll(err error) {
 //
 //qcpa:nocancel the wire client is deadline-driven: conn deadlines bound the write, and readLoop closes every waiter channel on shutdown or read error
 func (c *Client) roundTrip(req Request) (*Response, error) {
+	// The protocol settles with the server's first byte; encode for the
+	// one that won.
+	<-c.protoReady
 	c.mu.Lock()
 	if c.readErr != nil {
 		err := c.readErr
@@ -214,15 +315,30 @@ func (c *Client) roundTrip(req Request) (*Response, error) {
 	c.waiters[req.ID] = ch
 	c.mu.Unlock()
 
-	data, err := json.Marshal(&req)
-	if err != nil {
-		c.dropWaiter(req.ID)
-		return nil, err
+	var err error
+	if c.v2 {
+		// One buffer, one write: [u32 len][type][payload]. The buffer is
+		// owned by wmu and reused, so steady-state sends allocate
+		// nothing.
+		c.wmu.Lock()
+		data := append(c.wbuf[:0], 0, 0, 0, 0, frameRequest)
+		data, err = encodeRequest(data, &req)
+		if err == nil {
+			binary.BigEndian.PutUint32(data[:4], uint32(len(data)-4))
+			_, err = c.conn.Write(data)
+		}
+		c.wbuf = data
+		c.wmu.Unlock()
+	} else {
+		var data []byte
+		data, err = json.Marshal(&req)
+		if err == nil {
+			data = append(data, '\n')
+			c.wmu.Lock()
+			_, err = c.conn.Write(data)
+			c.wmu.Unlock()
+		}
 	}
-	data = append(data, '\n')
-	c.wmu.Lock()
-	_, err = c.conn.Write(data)
-	c.wmu.Unlock()
 	if err != nil {
 		c.dropWaiter(req.ID)
 		return nil, err
@@ -267,8 +383,17 @@ func (c *Client) Do(req Request) (*Response, error) {
 // one) and retry sleeps abort on cancellation.
 func (c *Client) DoContext(ctx context.Context, req Request) (*Response, error) {
 	if dl, ok := ctx.Deadline(); ok && req.DeadlineMS == 0 {
-		ms := time.Until(dl).Milliseconds()
+		remaining := time.Until(dl)
+		if remaining <= 0 {
+			// Already expired: reject locally instead of serializing a
+			// truncated 0 — which the server would read as "no deadline"
+			// and run unbounded.
+			return nil, context.DeadlineExceeded
+		}
+		ms := remaining.Milliseconds()
 		if ms < 1 {
+			// Sub-millisecond budgets round UP: 0 means "no deadline" on
+			// the wire.
 			ms = 1
 		}
 		req.DeadlineMS = ms
@@ -339,6 +464,110 @@ func (c *Client) Exec(sql, class string) (*Response, error) {
 		return resp, ResponseError(resp)
 	}
 	return resp, nil
+}
+
+// Stmt is a server-side prepared statement: the statement was parsed
+// and routed once at Prepare, and each Exec ships only the handle plus
+// fresh argument values — no SQL text, no parse, and a plan-cache hit
+// on the backend. Handles are scoped to the client's connection. Safe
+// for concurrent Exec calls.
+type Stmt struct {
+	c      *Client
+	handle uint64
+	sql    string
+	nargs  int
+}
+
+// Handle returns the server-side id (tests and metrics correlation).
+func (st *Stmt) Handle() uint64 { return st.handle }
+
+// NumArgs returns how many literal positions Exec binds — all or none.
+func (st *Stmt) NumArgs() int { return st.nargs }
+
+// Prepare registers a statement server-side and returns its handle.
+// The SQL's literals become argument positions bound by Exec in
+// textual order; class and write route it exactly like Query/Exec.
+func (c *Client) Prepare(sql, class string, write bool) (*Stmt, error) {
+	resp, err := c.Do(Request{Cmd: "prepare", SQL: sql, Class: class, Write: write})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, ResponseError(resp)
+	}
+	stmt, _ := sqlmini.Parse(sql)
+	nargs := 0
+	if stmt != nil {
+		nargs = sqlmini.CountLiterals(stmt)
+	}
+	return &Stmt{c: c, handle: resp.Handle, sql: sql, nargs: nargs}, nil
+}
+
+// Exec executes the prepared statement with args bound to its literal
+// positions (pass none to run the template verbatim). Arguments may be
+// nil, integers, floats, or strings; over v2 they are typed binary
+// values, over v1 exact JSON numbers.
+func (st *Stmt) Exec(args ...interface{}) (*Response, error) {
+	return st.ExecContext(context.Background(), args...)
+}
+
+// ExecContext is Exec bounded by ctx.
+func (st *Stmt) ExecContext(ctx context.Context, args ...interface{}) (*Response, error) {
+	wire := make([]interface{}, len(args))
+	for i, a := range args {
+		v, err := wireArg(a)
+		if err != nil {
+			return nil, fmt.Errorf("arg %d: %w", i, err)
+		}
+		wire[i] = v
+	}
+	resp, err := st.c.DoContext(ctx, Request{Cmd: "exec", Handle: st.handle, Args: wire})
+	if err != nil {
+		return resp, err
+	}
+	if !resp.OK {
+		return resp, ResponseError(resp)
+	}
+	return resp, nil
+}
+
+// Close releases the server-side handle.
+func (st *Stmt) Close() error {
+	resp, err := st.c.Do(Request{Cmd: "close", Handle: st.handle})
+	if err != nil {
+		return err
+	}
+	return ResponseError(resp)
+}
+
+// wireArg normalizes a caller-supplied argument to the wire's value
+// domain (nil, int64, float64, string).
+func wireArg(a interface{}) (interface{}, error) {
+	switch x := a.(type) {
+	case nil, int64, float64, string:
+		return x, nil
+	case int:
+		return int64(x), nil
+	case int32:
+		return int64(x), nil
+	case uint32:
+		return int64(x), nil
+	case float32:
+		return float64(x), nil
+	case sqlmini.Value:
+		switch x.K {
+		case sqlmini.KindNull:
+			return nil, nil
+		case sqlmini.KindInt:
+			return x.I, nil
+		case sqlmini.KindFloat:
+			return x.F, nil
+		default:
+			return x.S, nil
+		}
+	default:
+		return nil, fmt.Errorf("unsupported argument type %T", a)
+	}
 }
 
 // Health fetches the controller's availability report.

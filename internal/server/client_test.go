@@ -211,7 +211,7 @@ func TestClientPipelinesConcurrentCalls(t *testing.T) {
 					t.Errorf("worker %d: %v", n, err)
 					return
 				}
-				if v := resp.Rows[0][0].(float64); v != float64(2*id) {
+				if v := resp.Rows[0][0].(int64); v != int64(2*id) {
 					t.Errorf("worker %d: a_v = %v for a_id %d (crossed responses?)", n, v, id)
 					return
 				}

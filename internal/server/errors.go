@@ -20,7 +20,10 @@ import (
 //	deadline     the request's deadline_ms/timeout_ms budget expired
 //	unavailable  no live replica could serve the request (retryable —
 //	             a failed backend may recover)
-//	bad_request  the line was not a valid request object
+//	bad_request  the line (or frame) was not a valid request
+//	bad_handle   an exec/close referenced a prepared handle this
+//	             connection does not hold (closed, never prepared, or a
+//	             different connection's) — re-prepare and retry
 const (
 	CodeOverload    = "overload"
 	CodeDraining    = "draining"
@@ -28,6 +31,7 @@ const (
 	CodeDeadline    = "deadline"
 	CodeUnavailable = "unavailable"
 	CodeBadRequest  = "bad_request"
+	CodeBadHandle   = "bad_handle"
 )
 
 // OverloadError is the typed form of a CodeOverload rejection: the

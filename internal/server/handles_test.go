@@ -1,0 +1,184 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestPreparedHandlesOverBothProtocols runs the full prepare/exec/close
+// lifecycle over the binary v2 protocol and the JSON v1 protocol: the
+// handle commands are protocol-neutral.
+func TestPreparedHandlesOverBothProtocols(t *testing.T) {
+	_, _, addr := startServer(t)
+	for _, proto := range []int{1, 2} {
+		t.Run(fmt.Sprintf("v%d", proto), func(t *testing.T) {
+			client, err := DialOptions(addr, ClientOptions{Protocol: proto})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer client.Close()
+
+			st, err := client.Prepare(`SELECT a_v FROM a WHERE a_id = 1`, "QA", false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Handle() == 0 {
+				t.Fatal("prepare returned the zero handle")
+			}
+			if st.NumArgs() != 1 {
+				t.Fatalf("NumArgs = %d, want 1", st.NumArgs())
+			}
+			for id := int64(0); id < 4; id++ {
+				resp, err := st.Exec(id)
+				if err != nil {
+					t.Fatalf("exec id %d: %v", id, err)
+				}
+				// a_v = 2*a_id in the fixture; v1 JSON delivers float64,
+				// v2 delivers int64.
+				var got int64
+				switch v := resp.Rows[0][0].(type) {
+				case int64:
+					got = v
+				case float64:
+					got = int64(v)
+				default:
+					t.Fatalf("row value type %T", v)
+				}
+				if got != 2*id {
+					t.Fatalf("exec id %d: a_v = %d, want %d", id, got, 2*id)
+				}
+			}
+			// Template runs verbatim with no args.
+			if resp, err := st.Exec(); err != nil || !resp.OK {
+				t.Fatalf("verbatim exec: resp=%+v err=%v", resp, err)
+			}
+			if err := st.Close(); err != nil {
+				t.Fatal(err)
+			}
+			// Exec after close: typed bad_handle, and the connection
+			// survives to serve a plain query.
+			_, err = st.Exec(int64(1))
+			var we *WireError
+			if !errors.As(err, &we) || we.Code != CodeBadHandle {
+				t.Fatalf("exec after close: err = %v, want bad_handle", err)
+			}
+			if resp, err := client.Query(`SELECT a_v FROM a WHERE a_id = 1`, "QA"); err != nil || !resp.OK {
+				t.Fatalf("connection dead after bad_handle: resp=%+v err=%v", resp, err)
+			}
+		})
+	}
+}
+
+// TestPreparedHandleWrite checks a prepared ROWA write round-trips with
+// bound arguments.
+func TestPreparedHandleWrite(t *testing.T) {
+	_, _, addr := startServer(t)
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	st, err := client.Prepare(`UPDATE b SET b_v = 0 WHERE b_id = 0`, "UB", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	resp, err := st.Exec(int64(321), int64(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Affected != 1 {
+		t.Fatalf("affected = %d, want 1", resp.Affected)
+	}
+	read, err := client.Query(`SELECT b_v FROM b WHERE b_id = 2`, "QB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := read.Rows[0][0].(int64); v != 321 {
+		t.Fatalf("b_v = %d after prepared write, want 321", v)
+	}
+}
+
+// TestPreparedHandleCap checks MaxStmts bounds handles per connection
+// and that closing one frees a slot.
+func TestPreparedHandleCap(t *testing.T) {
+	_, _, addr := startLimitedServer(t, Limits{MaxStmts: 2})
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	s1, err := client.Prepare(`SELECT a_v FROM a WHERE a_id = 1`, "QA", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Prepare(`SELECT b_v FROM b WHERE b_id = 1`, "QB", false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Prepare(`SELECT a_v FROM a WHERE a_id = 2`, "QA", false); err == nil {
+		t.Fatal("third prepare should exceed MaxStmts: 2")
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Prepare(`SELECT a_v FROM a WHERE a_id = 2`, "QA", false); err != nil {
+		t.Fatalf("prepare after close should reuse the freed slot: %v", err)
+	}
+}
+
+// TestPreparedHandlesAreConnectionScoped checks one connection cannot
+// exec another's handle.
+func TestPreparedHandlesAreConnectionScoped(t *testing.T) {
+	_, _, addr := startServer(t)
+	c1, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	st, err := c1.Prepare(`SELECT a_v FROM a WHERE a_id = 1`, "QA", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c2.Do(Request{Cmd: "exec", Handle: st.Handle(), Args: []interface{}{int64(1)}})
+	if err == nil && resp.OK {
+		t.Fatal("foreign connection executed another's handle")
+	}
+	if resp != nil && resp.Code != CodeBadHandle {
+		t.Fatalf("code = %q, want bad_handle", resp.Code)
+	}
+}
+
+// TestMixedProtocolsShareOnePort drives v1 and v2 clients concurrently
+// against the same listener: the first-byte sniff must route each
+// connection to its protocol without cross-talk.
+func TestMixedProtocolsShareOnePort(t *testing.T) {
+	_, _, addr := startServer(t)
+	var wg sync.WaitGroup
+	for _, proto := range []int{1, 2, 1, 2} {
+		wg.Add(1)
+		go func(proto int) {
+			defer wg.Done()
+			client, err := DialOptions(addr, ClientOptions{Protocol: proto})
+			if err != nil {
+				t.Errorf("v%d dial: %v", proto, err)
+				return
+			}
+			defer client.Close()
+			for i := 0; i < 10; i++ {
+				resp, err := client.Query(`SELECT a_v FROM a WHERE a_id = 2`, "QA")
+				if err != nil || !resp.OK {
+					t.Errorf("v%d query: resp=%+v err=%v", proto, resp, err)
+					return
+				}
+			}
+		}(proto)
+	}
+	wg.Wait()
+}

@@ -127,7 +127,11 @@ func TestOverloadEveryRequestAnswered(t *testing.T) {
 	)
 	var wg sync.WaitGroup
 	for i := 0; i < conns; i++ {
-		client, err := DialOptions(addr, ClientOptions{MaxRetries: -1, BreakerThreshold: -1, Seed: int64(i + 1)})
+		// Half the swarm speaks v1 JSON, half v2 binary: the admission
+		// gates must hold identically for both on one port.
+		client, err := DialOptions(addr, ClientOptions{
+			MaxRetries: -1, BreakerThreshold: -1, Seed: int64(i + 1), Protocol: 1 + i%2,
+		})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -273,14 +277,21 @@ func TestOversizedRequestResync(t *testing.T) {
 // alias) bounds a request end to end: a deadline that expires while the
 // request waits in the admission queue yields the typed deadline error.
 func TestDeadlinePropagation(t *testing.T) {
-	for _, field := range []string{"deadline_ms", "timeout_ms"} {
+	for _, tc := range []struct {
+		field string
+		proto int
+	}{
+		{"deadline_ms", 2}, {"timeout_ms", 2},
+		{"deadline_ms_v1", 1}, {"timeout_ms_v1", 1},
+	} {
+		field, proto := tc.field, tc.proto
 		t.Run(field, func(t *testing.T) {
 			_, c, addr := startLimitedServer(t, Limits{
 				MaxInflight: 1, QueueDepth: 4, ConnInflight: 8,
 			})
 			c.Backend(0).SetFault(&sqlmini.Fault{Latency: 400 * time.Millisecond})
 
-			client, err := DialOptions(addr, ClientOptions{MaxRetries: -1, BreakerThreshold: -1})
+			client, err := DialOptions(addr, ClientOptions{MaxRetries: -1, BreakerThreshold: -1, Protocol: proto})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -293,7 +304,7 @@ func TestDeadlinePropagation(t *testing.T) {
 			time.Sleep(50 * time.Millisecond) // hog owns the only slot
 
 			req := Request{SQL: `SELECT a_v FROM a WHERE a_id = 1`, Class: "QA"}
-			if field == "deadline_ms" {
+			if strings.HasPrefix(field, "deadline_ms") {
 				req.DeadlineMS = 50
 			} else {
 				req.TimeoutMS = 50

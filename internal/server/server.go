@@ -65,10 +65,12 @@ package server
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -106,6 +108,14 @@ type Request struct {
 	Backend string `json:"backend,omitempty"`
 	// Backends is the target backend count of the "resize" command.
 	Backends int `json:"backends,omitempty"`
+	// Handle targets a prepared statement: "exec" runs it, "close"
+	// releases it. Handles are connection-scoped — they come from a
+	// "prepare" on the same connection.
+	Handle uint64 `json:"handle,omitempty"`
+	// Args bind the prepared statement's literal positions in textual
+	// order (all or none). Over v1 JSON, numbers decode exactly
+	// (integers stay integers); over v2 they are typed on the wire.
+	Args []interface{} `json:"args,omitempty"`
 }
 
 // Config carries the server's reallocation hooks and edge limits. The
@@ -148,6 +158,9 @@ type Response struct {
 	Rows         [][]interface{}   `json:"rows,omitempty"`
 	Affected     int               `json:"affected,omitempty"`
 	DurationUS   int64             `json:"duration_us,omitempty"`
+	// Handle is the server-side id minted by cmd "prepare"; subsequent
+	// "exec" requests on the same connection reference it.
+	Handle uint64 `json:"handle,omitempty"`
 	History      []HistoryEntry    `json:"history,omitempty"`
 	Tables       [][]string        `json:"tables,omitempty"`
 	Metrics      *metrics.Snapshot `json:"metrics,omitempty"`
@@ -354,6 +367,10 @@ func (s *Server) rejectConn(conn net.Conn) {
 // writer, and the request goroutines.
 type connState struct {
 	conn net.Conn
+	// v2 marks a connection that negotiated the binary protocol; the
+	// writer then frames responses instead of encoding JSON lines.
+	v2 bool
+	mx *metrics.Admission
 	// resp carries completed responses to the writer. Capacity covers
 	// the connection's inflight bound plus the reader's inline error
 	// responses, so request goroutines never block here in the steady
@@ -366,6 +383,59 @@ type connState struct {
 	// reqs joins this connection's request goroutines before resp
 	// closes.
 	reqs sync.WaitGroup
+	// connSem bounds this connection's inflight requests (TCP
+	// backpressure: a full pipeline stops being read).
+	connSem chan struct{}
+	// stmts is the connection's prepared-statement handle table.
+	stmts stmtTable
+}
+
+// stmtTable maps connection-scoped handles to prepared statements.
+type stmtTable struct {
+	mu   sync.Mutex
+	next uint64
+	m    map[uint64]*cluster.Prepared
+}
+
+// put registers a prepared statement and mints its handle; cap bounds
+// the table (0 or negative: unlimited).
+func (t *stmtTable) put(p *cluster.Prepared, cap int) (uint64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.m == nil {
+		t.m = make(map[uint64]*cluster.Prepared)
+	}
+	if cap > 0 && cap != unlimited && len(t.m) >= cap {
+		return 0, fmt.Errorf("server: prepared-statement limit (%d) reached on this connection; close unused handles", cap)
+	}
+	t.next++
+	t.m[t.next] = p
+	return t.next, nil
+}
+
+func (t *stmtTable) get(h uint64) (*cluster.Prepared, bool) {
+	t.mu.Lock()
+	p, ok := t.m[h]
+	t.mu.Unlock()
+	return p, ok
+}
+
+func (t *stmtTable) del(h uint64) bool {
+	t.mu.Lock()
+	_, ok := t.m[h]
+	delete(t.m, h)
+	t.mu.Unlock()
+	return ok
+}
+
+// drop empties the table (connection teardown), returning how many
+// handles were open.
+func (t *stmtTable) drop() int {
+	t.mu.Lock()
+	n := len(t.m)
+	t.m = nil
+	t.mu.Unlock()
+	return n
 }
 
 // send enqueues one response unless the connection already died.
@@ -377,20 +447,34 @@ func (cs *connState) send(r *Response) {
 }
 
 // writeLoop is the connection's dedicated writer: it serializes
-// responses in completion order, flushing whenever the queue runs dry.
-// A write error (or WriteTimeout expiry — a client that stopped
-// reading) kills the connection and turns the loop into a drain so
-// request goroutines never block on a dead peer.
+// responses in completion order, flushing whenever the queue runs dry —
+// on a pipelined connection that coalesces a burst of completed
+// responses into one flush (the v2 batch factor is frames_out/flushes
+// in the wire metrics). A write error (or WriteTimeout expiry — a
+// client that stopped reading) kills the connection and turns the loop
+// into a drain so request goroutines never block on a dead peer.
 func (cs *connState) writeLoop(writeTimeout time.Duration) {
 	defer close(cs.writerDone)
 	w := bufio.NewWriter(cs.conn)
-	enc := json.NewEncoder(w)
 	alive := true
 	fail := func() {
 		alive = false
 		close(cs.dead)
 		cs.conn.Close() // unblocks the reader too
 	}
+	var enc *json.Encoder
+	if cs.v2 {
+		// The hello frame confirms the negotiated version before any
+		// response; flushed immediately so the client can start sending.
+		if err := writeFrame(w, frameHello, []byte{wireVersion}); err != nil {
+			fail()
+		} else if err := w.Flush(); err != nil {
+			fail()
+		}
+	} else {
+		enc = json.NewEncoder(w)
+	}
+	var scratch []byte
 	for r := range cs.resp {
 		if !alive {
 			continue
@@ -398,7 +482,22 @@ func (cs *connState) writeLoop(writeTimeout time.Duration) {
 		if writeTimeout > 0 {
 			cs.conn.SetWriteDeadline(time.Now().Add(writeTimeout))
 		}
-		if err := enc.Encode(r); err != nil {
+		if cs.v2 {
+			typ, payload, err := encodeResponseFrame(scratch[:0], r)
+			if err != nil {
+				// An admin payload that failed to marshal: degrade to a
+				// plain error so the request still gets an answer.
+				typ, payload, _ = encodeResponseFrame(scratch[:0], &Response{
+					ID: r.ID, Error: "internal error: " + err.Error(),
+				})
+			}
+			if err := writeFrame(w, typ, payload); err != nil {
+				fail()
+				continue
+			}
+			scratch = payload[:0]
+			cs.mx.ObserveFrameOut()
+		} else if err := enc.Encode(r); err != nil {
 			fail()
 			continue
 		}
@@ -407,6 +506,9 @@ func (cs *connState) writeLoop(writeTimeout time.Duration) {
 				fail()
 				continue
 			}
+			if cs.v2 {
+				cs.mx.ObserveFlush()
+			}
 		}
 	}
 	if alive {
@@ -414,25 +516,60 @@ func (cs *connState) writeLoop(writeTimeout time.Duration) {
 	}
 }
 
-// handle is the per-connection reader: it parses request lines,
-// enforces the per-connection inflight bound, and hands each request
-// to its own goroutine so pipelined requests complete out of order.
+// handle is the per-connection reader. It sniffs the first byte to
+// negotiate the protocol — the v2 preamble's 'Q' against a JSON line's
+// '{' — then runs the matching read loop. Either way every request is
+// gated identically (draining, per-connection inflight, drain barrier)
+// and served in its own goroutine so pipelined requests complete out
+// of order.
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
 	defer s.untrack(conn)
+	br := bufio.NewReaderSize(conn, 64<<10)
+	first, err := br.Peek(1)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	v2 := first[0] == wirePreamble[0]
+	if v2 {
+		var pre [4]byte
+		if _, err := io.ReadFull(br, pre[:]); err != nil || pre != wirePreamble {
+			conn.Close()
+			return
+		}
+	}
+	s.mx.ObserveProtoConn(v2)
 	cs := &connState{
 		conn:       conn,
+		v2:         v2,
+		mx:         s.mx,
 		resp:       make(chan *Response, minInt(s.limits.ConnInflight, 1024)+8),
 		dead:       make(chan struct{}),
 		writerDone: make(chan struct{}),
+		connSem:    make(chan struct{}, minInt(s.limits.ConnInflight, 1<<16)),
 	}
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
 		cs.writeLoop(s.limits.WriteTimeout)
 	}()
-	connSem := make(chan struct{}, minInt(s.limits.ConnInflight, 1<<16))
-	br := bufio.NewReaderSize(conn, 64<<10)
+	if v2 {
+		s.readFrames(cs, br)
+	} else {
+		s.readLines(cs, br)
+	}
+	cs.reqs.Wait()
+	close(cs.resp)
+	<-cs.writerDone
+	conn.Close()
+	if n := cs.stmts.drop(); n > 0 {
+		s.mx.ObserveStmtClosed(int64(n))
+	}
+}
+
+// readLines is the v1 loop: newline-delimited JSON objects.
+func (s *Server) readLines(cs *connState, br *bufio.Reader) {
 	for {
 		line, tooLong, err := readLine(br, s.limits.MaxLineBytes)
 		if tooLong {
@@ -442,70 +579,119 @@ func (s *Server) handle(conn net.Conn) {
 				Error: fmt.Sprintf("server: request line exceeds %d bytes", s.limits.MaxLineBytes),
 			})
 			if err != nil {
-				break
+				return
 			}
 			continue
 		}
 		if err != nil {
-			break
+			return
 		}
 		if len(line) == 0 {
 			continue
 		}
 		var req Request
-		if jerr := json.Unmarshal(line, &req); jerr != nil {
+		// UseNumber keeps prepared-exec args exact: integer literals
+		// stay integers instead of rounding through float64.
+		dec := json.NewDecoder(bytes.NewReader(line))
+		dec.UseNumber()
+		if jerr := dec.Decode(&req); jerr != nil {
 			cs.send(&Response{ID: req.ID, Code: CodeBadRequest, Error: "bad request: " + jerr.Error()})
 			continue
 		}
-		if s.draining.Load() {
-			s.mx.ObserveDrained()
-			cs.send(&Response{ID: req.ID, Code: CodeDraining, Error: (&DrainingError{}).Error()})
-			continue
-		}
-		// Per-connection inflight bound: a full pipeline blocks the
-		// reader (TCP backpressure) rather than shedding.
-		select {
-		case connSem <- struct{}{}:
-		case <-s.drainCh:
-			s.mx.ObserveDrained()
-			cs.send(&Response{ID: req.ID, Code: CodeDraining, Error: (&DrainingError{}).Error()})
-			continue
-		}
-		if !s.admitInflight() {
-			// Close began between the draining check and here.
-			<-connSem
-			s.mx.ObserveDrained()
-			cs.send(&Response{ID: req.ID, Code: CodeDraining, Error: (&DrainingError{}).Error()})
-			continue
-		}
-		cs.reqs.Add(1)
-		s.wg.Add(1)
-		go s.serve(cs, req, connSem)
+		s.gate(cs, req)
 	}
-	cs.reqs.Wait()
-	close(cs.resp)
-	<-cs.writerDone
-	conn.Close()
+}
+
+// readFrames is the v2 loop: length-prefixed binary frames. The length
+// prefix makes oversized-frame resync exact (discard the payload,
+// answer too_large, keep the connection); an undecodable or
+// unknown-type frame is answered bad_request and the connection lives
+// on. Only a garbage length or a truncated stream closes it.
+func (s *Server) readFrames(cs *connState, br *bufio.Reader) {
+	var rbuf []byte // frame scratch, reused — decodeRequest copies out
+	for {
+		typ, payload, tooBig, err := readFrameBuf(br, s.limits.MaxLineBytes, &rbuf)
+		if tooBig {
+			s.mx.ObserveTooLarge()
+			cs.send(&Response{
+				Code:  CodeTooLarge,
+				Error: fmt.Sprintf("server: frame exceeds %d bytes", s.limits.MaxLineBytes),
+			})
+			if err != nil {
+				return
+			}
+			continue
+		}
+		if err != nil {
+			return
+		}
+		switch typ {
+		case frameRequest:
+			s.mx.ObserveFrameIn()
+			req, derr := decodeRequest(payload)
+			if derr != nil {
+				s.mx.ObserveBadFrame()
+				cs.send(&Response{Code: CodeBadRequest, Error: "bad request: " + derr.Error()})
+				continue
+			}
+			s.gate(cs, req)
+		default:
+			s.mx.ObserveBadFrame()
+			cs.send(&Response{Code: CodeBadRequest, Error: fmt.Sprintf("bad request: unknown frame type %#x", typ)})
+		}
+	}
+}
+
+// gate runs the shared pre-execution gates — draining, the
+// per-connection inflight bound (TCP backpressure, not an error), and
+// the drain barrier — then hands the request to its own goroutine.
+// Both protocol loops funnel through here, so every Limits gate
+// applies identically to v1 lines and v2 frames.
+func (s *Server) gate(cs *connState, req Request) {
+	if s.draining.Load() {
+		s.mx.ObserveDrained()
+		cs.send(&Response{ID: req.ID, Code: CodeDraining, Error: (&DrainingError{}).Error()})
+		return
+	}
+	// Per-connection inflight bound: a full pipeline blocks the
+	// reader (TCP backpressure) rather than shedding.
+	select {
+	case cs.connSem <- struct{}{}:
+	case <-s.drainCh:
+		s.mx.ObserveDrained()
+		cs.send(&Response{ID: req.ID, Code: CodeDraining, Error: (&DrainingError{}).Error()})
+		return
+	}
+	if !s.admitInflight() {
+		// Close began between the draining check and here.
+		<-cs.connSem
+		s.mx.ObserveDrained()
+		cs.send(&Response{ID: req.ID, Code: CodeDraining, Error: (&DrainingError{}).Error()})
+		return
+	}
+	cs.reqs.Add(1)
+	s.wg.Add(1)
+	go s.serve(cs, req)
 }
 
 // serve runs one request: deadline derivation, global admission, then
 // execution. The response is enqueued before the inflight barrier is
 // released, so a graceful drain never leaves an admitted request
 // unanswered.
-func (s *Server) serve(cs *connState, req Request, connSem chan struct{}) {
+func (s *Server) serve(cs *connState, req Request) {
 	defer s.wg.Done()
 	ctx, cancel := s.requestContext(&req)
 	var resp Response
 	if err := s.adm.acquire(ctx, s.drainCh); err != nil {
 		resp = s.rejectResponse(err)
 	} else {
-		resp = s.safeExecute(ctx, req)
+		resp = s.safeExecute(ctx, cs, req)
 		s.adm.release()
 	}
 	cancel()
 	resp.ID = req.ID
 	cs.send(&resp)
-	<-connSem
+	<-cs.connSem
 	s.inflight.Done()
 	cs.reqs.Done()
 }
@@ -565,37 +751,83 @@ func (s *Server) errorResponse(err error) Response {
 // safeExecute shields the connection from a panicking request: the
 // client gets an error response and the connection (and server) lives
 // on, instead of one poisoned request killing its goroutine.
-func (s *Server) safeExecute(ctx context.Context, req Request) (resp Response) {
+func (s *Server) safeExecute(ctx context.Context, cs *connState, req Request) (resp Response) {
 	defer func() {
 		if r := recover(); r != nil {
 			resp = Response{Error: fmt.Sprintf("internal error: %v", r)}
 		}
 	}()
-	return s.execute(ctx, req)
+	return s.execute(ctx, cs, req)
 }
 
-func (s *Server) execute(ctx context.Context, req Request) Response {
+// resultResponse converts a cluster result into its wire form.
+func resultResponse(res *cluster.Result) Response {
+	out := Response{
+		OK:         true,
+		Backend:    res.Backend,
+		Columns:    res.Columns,
+		Affected:   res.Affected,
+		DurationUS: res.Duration.Microseconds(),
+	}
+	for _, row := range res.Data {
+		jr := make([]interface{}, len(row))
+		for i, v := range row {
+			jr[i] = jsonValue(v)
+		}
+		out.Rows = append(out.Rows, jr)
+	}
+	return out
+}
+
+func (s *Server) execute(ctx context.Context, cs *connState, req Request) Response {
 	switch req.Cmd {
 	case "":
 		res, err := s.cluster.ExecuteContext(ctx, workload.Request{SQL: req.SQL, Class: req.Class, Write: req.Write})
 		if err != nil {
 			return s.errorResponse(err)
 		}
-		out := Response{
-			OK:         true,
-			Backend:    res.Backend,
-			Columns:    res.Columns,
-			Affected:   res.Affected,
-			DurationUS: res.Duration.Microseconds(),
+		return resultResponse(res)
+	case "prepare":
+		if req.SQL == "" {
+			return Response{Code: CodeBadRequest, Error: "bad request: prepare needs sql"}
 		}
-		for _, row := range res.Data {
-			jr := make([]interface{}, len(row))
-			for i, v := range row {
-				jr[i] = jsonValue(v)
+		p, err := s.cluster.Prepare(req.SQL, req.Class, req.Write)
+		if err != nil {
+			return s.errorResponse(err)
+		}
+		h, err := cs.stmts.put(p, s.limits.MaxStmts)
+		if err != nil {
+			return Response{Error: err.Error()}
+		}
+		s.mx.ObservePrepare()
+		return Response{OK: true, Handle: h}
+	case "exec":
+		p, ok := cs.stmts.get(req.Handle)
+		if !ok {
+			return Response{Code: CodeBadHandle, Error: fmt.Sprintf("server: unknown prepared handle %d (prepare again)", req.Handle)}
+		}
+		args := make([]sqlmini.Value, len(req.Args))
+		for i, a := range req.Args {
+			v, err := toValue(a)
+			if err != nil {
+				return Response{Code: CodeBadRequest, Error: "bad request: " + err.Error()}
 			}
-			out.Rows = append(out.Rows, jr)
+			args[i] = v
 		}
+		res, err := s.cluster.ExecPrepared(ctx, p, args)
+		if err != nil {
+			return s.errorResponse(err)
+		}
+		s.mx.ObservePreparedExec()
+		out := resultResponse(res)
+		out.Handle = req.Handle
 		return out
+	case "close":
+		if !cs.stmts.del(req.Handle) {
+			return Response{Code: CodeBadHandle, Error: fmt.Sprintf("server: unknown prepared handle %d", req.Handle)}
+		}
+		s.mx.ObserveStmtClosed(1)
+		return Response{OK: true, Handle: req.Handle}
 	case "history":
 		var hist []HistoryEntry
 		for _, e := range s.cluster.History() {
@@ -678,12 +910,19 @@ func readLine(br *bufio.Reader, max int) (line []byte, tooLong bool, err error) 
 		buf = append(buf, frag...)
 		switch err {
 		case nil:
-			if len(buf) > max+1 { // +1: the newline itself
+			// Judge the payload with the framing stripped, so a request
+			// of exactly max bytes passes whether it ends in LF or CRLF
+			// (counting the CR used to shed valid boundary requests).
+			line := trimEOL(buf)
+			if len(line) > max {
 				return nil, true, nil
 			}
-			return trimEOL(buf), false, nil
+			return line, false, nil
 		case bufio.ErrBufferFull:
-			if len(buf) > max {
+			// Early bound before the newline arrives: allow the payload
+			// plus the largest framing (CRLF); the exact check happens
+			// above once the terminator is seen.
+			if len(buf) > max+2 {
 				return nil, true, discardToNewline(br)
 			}
 		default:

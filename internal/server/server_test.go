@@ -81,8 +81,8 @@ func TestQueryOverTCP(t *testing.T) {
 	if len(resp.Rows) != 1 {
 		t.Fatalf("rows = %v", resp.Rows)
 	}
-	if v, ok := resp.Rows[0][0].(float64); !ok || v != 4 {
-		t.Fatalf("value = %v (JSON numbers arrive as float64)", resp.Rows[0][0])
+	if v, ok := resp.Rows[0][0].(int64); !ok || v != 4 {
+		t.Fatalf("value = %v (%T); v2 preserves integer typing", resp.Rows[0][0], resp.Rows[0][0])
 	}
 	if resp.Backend != "B1" {
 		t.Fatalf("backend = %s", resp.Backend)

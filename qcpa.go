@@ -288,7 +288,9 @@ var NewCluster = cluster.New
 
 // Server types (see internal/server).
 type (
-	// Server serves a cluster controller over TCP (newline-JSON).
+	// Server serves a cluster controller over TCP: v1 newline-JSON and
+	// the v2 length-prefixed binary protocol on one port, sniffed per
+	// connection from the first byte (DESIGN.md §12).
 	Server = server.Server
 	// ServerRequest is one client message.
 	ServerRequest = server.Request
@@ -296,8 +298,12 @@ type (
 	ServerResponse = server.Response
 	// Client is a pipelined, overload-aware controller client.
 	Client = server.Client
-	// ClientOptions tunes the client's retry/backoff/breaker reaction.
+	// ClientOptions tunes the client's retry/backoff/breaker reaction
+	// and pins the wire protocol (Protocol: 1 JSON, 2 binary, 0 newest).
 	ClientOptions = server.ClientOptions
+	// Stmt is a server-side prepared-statement handle: parsed and routed
+	// once at Prepare, executed repeatedly shipping only argument values.
+	Stmt = server.Stmt
 	// ServerLimits bounds the server's edge (connections, inflight,
 	// admission queue, drain) — see DESIGN.md §12.
 	ServerLimits = server.Limits
@@ -306,6 +312,10 @@ type (
 	OverloadError = server.OverloadError
 	// DrainingError is the typed rejection of a shutting-down server.
 	DrainingError = server.DrainingError
+	// WireError is a typed protocol-level rejection (oversized or
+	// undecodable frame, bad prepared-statement handle, expired
+	// deadline) carrying its machine-readable code.
+	WireError = server.WireError
 )
 
 // Serve starts serving a cluster on a listener; Dial connects to a
